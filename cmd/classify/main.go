@@ -1,0 +1,92 @@
+// Command classify reproduces the paper's §7.1 access-distribution
+// taxonomy: it classifies every Livermore kernel dynamically (from
+// counting-simulation evidence) and the IR sample programs statically
+// (from affine subscript analysis), reporting agreement with the
+// classes the paper assigns.
+//
+// Usage:
+//
+//	classify              dynamic classification of all kernels
+//	classify -kernel k2   one kernel
+//	classify -static      static classification of the IR samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/ir"
+	"repro/internal/loops"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "", "classify one kernel")
+		static_ = flag.Bool("static", false, "statically classify the IR sample programs")
+		n       = flag.Int("n", 0, "problem size (0 = kernel default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *static_:
+		if err := staticReport(); err != nil {
+			fail(err)
+		}
+	case *kernel != "":
+		k, err := loops.ByKey(*kernel)
+		if err != nil {
+			fail(err)
+		}
+		if err := dynamicReport([]*loops.Kernel{k}, *n); err != nil {
+			fail(err)
+		}
+	default:
+		if err := dynamicReport(loops.All(), *n); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}
+
+func dynamicReport(ks []*loops.Kernel, n int) error {
+	reports, err := classify.Kernels(ks, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-48s %-6s %-9s %9s %8s %8s %8s\n",
+		"kernel", "name", "paper", "measured", "nc16%", "c8%", "c16%", "c64%")
+	agreements, judged := 0, 0
+	for _, r := range reports {
+		fmt.Printf("%-10s %-48s %-6s %-9s %9.2f %8.2f %8.2f %8.2f\n",
+			r.Key, r.Name, r.Paper, r.Measured,
+			r.Evidence.NoCache16, r.Evidence.Cached8, r.Evidence.Cached16, r.Evidence.Cached64)
+		if r.Paper != loops.ClassUnknown {
+			judged++
+			if r.Paper == r.Measured {
+				agreements++
+			}
+		}
+	}
+	fmt.Printf("\nagreement with the paper's taxonomy: %d/%d\n", agreements, judged)
+	return nil
+}
+
+func staticReport() error {
+	for _, p := range ir.Samples() {
+		cls, per, err := classify.Static(p, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		fmt.Printf("%-14s %-3s\n", p.Name, cls)
+		for _, sc := range per {
+			fmt.Printf("    %-3s %s\n", sc.Class, sc.Stmt)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command lfksim regenerates every figure and table of Bic, Nagel &
+// Roy (1989) from the counting simulator, runs the ablations, and
+// supports one-off kernel simulations.
+//
+// Usage:
+//
+//	lfksim -all                 run every experiment
+//	lfksim -exp fig1            one experiment (fig1..fig5, tableA, tableB, ablation-*)
+//	lfksim -exp fig2 -chart     include an ASCII chart of the figure
+//	lfksim -list                list experiments and kernels
+//	lfksim -kernel k1 -npe 8 -ps 32 -cache 256 -n 1000
+//	                            one-off simulation of a kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		all    = flag.Bool("all", false, "run every experiment")
+		exp    = flag.String("exp", "", "run one experiment by id")
+		chart  = flag.Bool("chart", false, "render ASCII charts for figures")
+		csvDir = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		svgDir = flag.String("svg", "", "also render each figure as SVG into this directory")
+		list   = flag.Bool("list", false, "list experiments and kernels")
+		kernel = flag.String("kernel", "", "simulate one kernel")
+		npe    = flag.Int("npe", 8, "number of PEs")
+		ps     = flag.Int("ps", 32, "page size (elements)")
+		cache  = flag.Int("cache", 256, "per-PE cache size in elements (0 = none)")
+		n      = flag.Int("n", 0, "problem size (0 = kernel default)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		listAll()
+	case *all:
+		for _, e := range core.Experiments() {
+			if err := runExperiment(e, *chart, *csvDir, *svgDir); err != nil {
+				fail(err)
+			}
+		}
+	case *exp != "":
+		e, err := core.ByID(*exp)
+		if err != nil {
+			fail(err)
+		}
+		if err := runExperiment(e, *chart, *csvDir, *svgDir); err != nil {
+			fail(err)
+		}
+	case *kernel != "":
+		if err := runKernel(*kernel, *n, *npe, *ps, *cache); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lfksim:", err)
+	os.Exit(1)
+}
+
+func listAll() {
+	fmt.Println("Experiments:")
+	for _, e := range core.Experiments() {
+		fmt.Printf("  %-18s %s\n", e.ID, e.Title)
+	}
+	fmt.Println("\nKernels:")
+	for _, k := range loops.All() {
+		fmt.Printf("  %-9s class=%-3s n=%-5d %s\n", k.Key, k.Class, k.DefaultN, k.Name)
+	}
+}
+
+func runExperiment(e core.Experiment, chart bool, csvDir, svgDir string) error {
+	o, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== %s ====\n", e.Title)
+	fmt.Printf("paper: %s\n\n", o.Paper)
+	fmt.Println(o.Text)
+	if chart && o.Figure != nil {
+		fmt.Println(o.Figure.Chart(12))
+	}
+	if csvDir != "" && o.Figure != nil {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(csvDir, e.ID+".csv")
+		if err := os.WriteFile(path, []byte(o.Figure.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	if svgDir != "" && o.Figure != nil {
+		if err := os.MkdirAll(svgDir, 0o755); err != nil {
+			return err
+		}
+		path := filepath.Join(svgDir, e.ID+".svg")
+		if err := os.WriteFile(path, []byte(o.Figure.SVG(640, 420)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+	}
+	for _, c := range o.Checks {
+		status := "ok  "
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s — %s\n", status, c.Name, c.Detail)
+	}
+	fmt.Println()
+	if !o.Pass() {
+		return fmt.Errorf("experiment %s failed its shape checks", e.ID)
+	}
+	return nil
+}
+
+func runKernel(key string, n, npe, ps, cacheElems int) error {
+	k, err := loops.ByKey(key)
+	if err != nil {
+		return err
+	}
+	cfg := sim.PaperConfig(npe, ps)
+	cfg.CacheElems = cacheElems
+	res, err := sim.Run(k, n, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s), n=%d, %d PEs, page size %d, cache %d elements\n",
+		k.Key, k.Name, res.N, npe, ps, cacheElems)
+	fmt.Printf("  totals: %s\n", res.Totals)
+	fmt.Printf("  remote reads: %.2f%% of reads; cached: %.2f%%\n",
+		res.Totals.RemotePercent(), res.Totals.CachedPercent())
+	lb := stats.BalanceOf(res.PerPE.Extract(stats.Write))
+	fmt.Printf("  write balance: min=%d mean=%.1f max=%d CV=%.3f\n", lb.Min, lb.Mean, lb.Max, lb.CV)
+	return nil
+}

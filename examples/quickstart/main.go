@@ -1,0 +1,39 @@
+// Quickstart: partition one Livermore loop over a simulated
+// loosely-coupled MIMD machine and see where its reads land.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The Hydro Fragment (Livermore kernel 1):
+	//   X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))
+	// Arrays are cut into 32-element pages; page p lives on PE p mod 8;
+	// each PE computes exactly the elements it owns (owner-computes).
+	cfg := repro.PaperConfig(8, 32) // 8 PEs, page size 32, 256-elem LRU cache
+	res, err := repro.Simulate("k1", 1000, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Hydro Fragment on 8 PEs, page size 32, 256-element cache:")
+	fmt.Printf("  writes       %7d  (always local: owner computes)\n", res.Totals.Writes)
+	fmt.Printf("  local reads  %7d\n", res.Totals.LocalReads)
+	fmt.Printf("  cached reads %7d  (remote pages fetched once, then reused)\n", res.Totals.CachedReads)
+	fmt.Printf("  remote reads %7d\n", res.Totals.RemoteReads)
+	fmt.Printf("  => %.2f%% of reads are remote\n\n", res.Totals.RemotePercent())
+
+	// Without the cache every boundary-crossing read goes to the wire.
+	nc, err := repro.Simulate("k1", 1000, repro.NoCacheConfig(8, 32))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Same machine without the page cache: %.2f%% remote\n", nc.Totals.RemotePercent())
+	fmt.Println("(the paper's §8 reports this exact pair: ~22% cut to ~1%)")
+}

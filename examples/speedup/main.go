@@ -1,0 +1,47 @@
+// Speedup: the §9 future-work items made concrete — price a simulated
+// run with an abstract cost model to estimate execution time, speedup
+// and network contention per access class and topology.
+//
+//	go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/loops"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func main() {
+	cm := sim.DefaultCostModel()
+	fmt.Println("Estimated speedup on a 2-D mesh (ps 32, 256-element cache):")
+	fmt.Printf("%-22s %6s %8s %8s %8s\n", "kernel (class)", "PEs", "speedup", "effic.", "hotlink")
+	for _, key := range []string{"k14frag", "k1", "k2", "k18", "k6"} {
+		k, err := loops.ByKey(key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, npe := range []int{4, 16, 64} {
+			res, err := sim.Run(k, 0, sim.PaperConfig(npe, 32))
+			if err != nil {
+				log.Fatal(err)
+			}
+			topo := network.NewMesh2D(npe)
+			tm := res.Estimate(cm, topo)
+			cont := res.Contention(cm, topo)
+			fmt.Printf("%-22s %6d %7.2fx %7.1f%% %8.4f\n",
+				fmt.Sprintf("%s (%s)", key, k.Class), npe, tm.Speedup,
+				100*tm.Efficiency, cont.Utilization)
+		}
+	}
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - MD/SD loops scale nearly linearly and barely load the network")
+	fmt.Println("    (the abstract's 'degradation in network performance ... is minimal');")
+	fmt.Println("  - the CD loop scales once the cache captures its cycle;")
+	fmt.Println("  - the RD loop slows DOWN: 40-cycle remote reads on ~50% of its")
+	fmt.Println("    accesses plus its triangular work distribution (the paper's §7.2")
+	fmt.Println("    caveat about skewed balance) erase the parallelism.")
+}

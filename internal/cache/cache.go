@@ -1,0 +1,340 @@
+// Package cache implements the per-PE array page cache of Bic, Nagel &
+// Roy (1989) §4. Remote page fetches are cached locally; single
+// assignment guarantees a cached page never needs invalidation, so there
+// is no coherence traffic. The cache has a fixed capacity in *elements*
+// (the paper uses 256), so the number of page frames is capacity divided
+// by the page size. The paper uses LRU replacement; FIFO, Clock and
+// Random are provided for ablation studies.
+//
+// A cached page is a snapshot. Under single assignment, cells defined in
+// the snapshot are final; cells undefined at snapshot time may have been
+// written since, so a hit on such a cell is a partial miss and forces a
+// re-fetch of the page (§4 and §8: "a single page might have to be
+// fetched more than once if that page is only partially filled at the
+// time of the first request").
+package cache
+
+import "fmt"
+
+// Key identifies one page of one array.
+type Key struct {
+	Array int // array identifier, assigned by the caller
+	Page  int // page number within the array's linear space
+}
+
+// Policy selects the replacement policy.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU Policy = iota // paper's choice
+	FIFO
+	Clock
+	Random
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Clock:
+		return "clock"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Outcome classifies a cache lookup.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	Miss        Outcome = iota // page not cached
+	Hit                        // page cached and cell defined in snapshot
+	PartialMiss                // page cached but cell undefined in snapshot
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case PartialMiss:
+		return "partial-miss"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits          int64 // lookups served from a snapshot
+	Misses        int64 // lookups with no cached page
+	PartialMisses int64 // cached page lacked the requested cell
+	Inserts       int64 // pages inserted
+	Refreshes     int64 // snapshot replaced by a fresher copy of same page
+	Evictions     int64 // pages displaced by capacity pressure
+}
+
+type entry struct {
+	key     Key
+	vals    []float64
+	defined []bool // nil means every cell defined
+	// Intrusive list links (LRU/FIFO order). head side = most recent.
+	prev, next *entry
+	ref        bool // Clock reference bit
+}
+
+func (e *entry) definedAt(off int) bool {
+	return e.defined == nil || (off < len(e.defined) && e.defined[off])
+}
+
+// Cache is a single PE's page cache. Not safe for concurrent use; in the
+// execution engine each PE owns exactly one Cache.
+type Cache struct {
+	capElems int
+	pageSize int
+	maxPages int
+	policy   Policy
+
+	entries map[Key]*entry
+	// Doubly-linked sentinel list in recency order (head.next = MRU).
+	head, tail *entry
+	clockHand  *entry
+	rng        uint64
+
+	stats Stats
+}
+
+// New returns a cache holding capElems elements of pages of pageSize
+// elements under the given policy. A capacity smaller than one page
+// yields a degenerate cache that caches nothing (every lookup misses),
+// matching the paper's observation that an over-large page size leaves
+// no cache frames.
+func New(capElems, pageSize int, policy Policy) (*Cache, error) {
+	if capElems < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capElems)
+	}
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("cache: page size must be positive, got %d", pageSize)
+	}
+	switch policy {
+	case LRU, FIFO, Clock, Random:
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %d", int(policy))
+	}
+	c := &Cache{
+		capElems: capElems,
+		pageSize: pageSize,
+		maxPages: capElems / pageSize,
+		policy:   policy,
+		entries:  make(map[Key]*entry),
+		rng:      0x9e3779b97f4a7c15,
+	}
+	c.head = &entry{}
+	c.tail = &entry{}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c, nil
+}
+
+// MaxPages returns the number of page frames.
+func (c *Cache) MaxPages() int { return c.maxPages }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Contains reports whether the page is cached, without touching recency
+// state or statistics.
+func (c *Cache) Contains(key Key) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Lookup probes the cache for cell off of the keyed page. On Hit the
+// snapshot value is returned. On PartialMiss the page is cached but the
+// cell was undefined at snapshot time; the caller must re-fetch and call
+// Insert with the fresher snapshot. On Miss the page is absent.
+func (c *Cache) Lookup(key Key, off int) (float64, Outcome) {
+	e, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return 0, Miss
+	}
+	if !e.definedAt(off) {
+		c.stats.PartialMisses++
+		return 0, PartialMiss
+	}
+	c.touch(e)
+	c.stats.Hits++
+	return e.vals[off], Hit
+}
+
+// Insert caches a page snapshot. defined may be nil to indicate a fully
+// defined page; otherwise it must parallel vals. Inserting a key that is
+// already cached refreshes its snapshot in place (the re-fetch path for
+// partially filled pages). If the cache has no frames the call is a
+// no-op. The slices are retained by the cache; callers must not mutate
+// them afterwards.
+func (c *Cache) Insert(key Key, vals []float64, defined []bool) {
+	if defined != nil && len(defined) != len(vals) {
+		panic(fmt.Sprintf("cache: defined length %d != vals length %d", len(defined), len(vals)))
+	}
+	if e, ok := c.entries[key]; ok {
+		e.vals = vals
+		e.defined = normalizeDefined(defined)
+		c.touch(e)
+		c.stats.Refreshes++
+		return
+	}
+	if c.maxPages == 0 {
+		return
+	}
+	for len(c.entries) >= c.maxPages {
+		c.evict()
+	}
+	e := &entry{key: key, vals: vals, defined: normalizeDefined(defined), ref: true}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.stats.Inserts++
+}
+
+// normalizeDefined collapses an all-true defined slice to nil so that
+// fully defined pages take the fast path in definedAt.
+func normalizeDefined(defined []bool) []bool {
+	if defined == nil {
+		return nil
+	}
+	for _, d := range defined {
+		if !d {
+			return defined
+		}
+	}
+	return nil
+}
+
+// Flush empties the cache, preserving statistics.
+func (c *Cache) Flush() {
+	c.entries = make(map[Key]*entry)
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	c.clockHand = nil
+}
+
+// InvalidateArray drops all cached pages of one array. Single assignment
+// never requires this for coherence; it supports the §5 host-processor
+// re-initialization protocol, after which stale snapshots of the old
+// array version must not be observable.
+func (c *Cache) InvalidateArray(array int) int {
+	dropped := 0
+	for key, e := range c.entries {
+		if key.Array == array {
+			c.remove(e)
+			delete(c.entries, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = c.head
+	e.next = c.head.next
+	c.head.next.prev = e
+	c.head.next = e
+}
+
+func (c *Cache) remove(e *entry) {
+	if c.clockHand == e {
+		c.clockHand = e.next
+	}
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) touch(e *entry) {
+	e.ref = true
+	if c.policy != LRU {
+		return // FIFO/Clock/Random order is insertion order
+	}
+	c.remove(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) evict() {
+	var victim *entry
+	switch c.policy {
+	case LRU, FIFO:
+		victim = c.tail.prev
+	case Clock:
+		victim = c.clockSweep()
+	case Random:
+		victim = c.randomEntry()
+	}
+	if victim == nil || victim == c.head || victim == c.tail {
+		return
+	}
+	c.remove(victim)
+	delete(c.entries, victim.key)
+	c.stats.Evictions++
+}
+
+func (c *Cache) clockSweep() *entry {
+	if c.clockHand == nil || c.clockHand == c.head || c.clockHand == c.tail {
+		c.clockHand = c.tail.prev
+	}
+	for i := 0; i < 2*len(c.entries)+2; i++ {
+		e := c.clockHand
+		if e == c.head || e == c.tail {
+			c.clockHand = c.tail.prev
+			continue
+		}
+		if !e.ref {
+			return e
+		}
+		e.ref = false
+		c.clockHand = e.prev
+		if c.clockHand == c.head {
+			c.clockHand = c.tail.prev
+		}
+	}
+	return c.tail.prev
+}
+
+func (c *Cache) randomEntry() *entry {
+	// xorshift64* for deterministic, seed-stable victim selection.
+	c.rng ^= c.rng << 13
+	c.rng ^= c.rng >> 7
+	c.rng ^= c.rng << 17
+	n := len(c.entries)
+	if n == 0 {
+		return nil
+	}
+	skip := int(c.rng % uint64(n))
+	e := c.head.next
+	for i := 0; i < skip && e.next != c.tail; i++ {
+		e = e.next
+	}
+	return e
+}
+
+// Keys returns the cached page keys in recency order (most recent
+// first). Intended for tests and diagnostics.
+func (c *Cache) Keys() []Key {
+	keys := make([]Key, 0, len(c.entries))
+	for e := c.head.next; e != c.tail; e = e.next {
+		keys = append(keys, e.key)
+	}
+	return keys
+}

@@ -1,0 +1,146 @@
+package classify
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/loops"
+)
+
+func TestStaticSamples(t *testing.T) {
+	cases := []struct {
+		p    *ir.Program
+		want loops.Class
+	}{
+		{ir.SampleMatched(), loops.MD},
+		{ir.SampleHydro(), loops.SD},
+		{ir.SampleCyclic(), loops.CD},
+		{ir.SampleIndirect(), loops.RD},
+	}
+	for _, c := range cases {
+		got, per, err := Static(c.p, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", c.p.Name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s: static class = %v, want %v (per-stmt: %v)", c.p.Name, got, c.want, per)
+		}
+		if len(per) == 0 {
+			t.Errorf("%s: no per-statement classes", c.p.Name)
+		}
+	}
+}
+
+func TestStaticMultiDimRowWalkIsCyclic(t *testing.T) {
+	// B(k, i) read under an i-loop writing W(i): the read strides a full
+	// row per k step — the paper's GLR pattern, cyclic-or-worse.
+	p := &ir.Program{
+		Name: "rowwalk",
+		Arrays: []ir.ArrayDecl{
+			{Name: "W", Dims: []ir.Extent{ir.NPlus(1)}},
+			{Name: "B", Dims: []ir.Extent{ir.NPlus(1), ir.NPlus(1)}, Input: true},
+		},
+		Body: []ir.Stmt{
+			&ir.Loop{Var: "i", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: ir.R("W", ir.V("i")),
+					RHS: ir.RHS{Terms: []ir.Term{
+						{Coef: 1, Read: ir.R("B", ir.V("i"), ir.C(1))},
+					}},
+				},
+			}},
+		},
+	}
+	got, _, err := Static(p, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != loops.CD {
+		t.Errorf("row-walk class = %v, want CD", got)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	bad := ir.SampleMatched()
+	bad.Name = ""
+	if _, _, err := Static(bad, 16); err == nil {
+		t.Error("invalid program accepted")
+	}
+	empty := &ir.Program{Name: "e", Arrays: []ir.ArrayDecl{{Name: "A", Dims: []ir.Extent{ir.Fixed(2)}, Input: true}}}
+	if _, _, err := Static(empty, 16); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestDecideRules(t *testing.T) {
+	cases := []struct {
+		ev   Evidence
+		want loops.Class
+	}{
+		{Evidence{NoCache16: 0}, loops.MD},
+		{Evidence{NoCache16: 22, Cached8: 1, Cached16: 1, Cached64: 1}, loops.SD},
+		{Evidence{NoCache16: 90, Cached8: 3, Cached16: 3, Cached64: 3.5}, loops.CD},
+		{Evidence{NoCache16: 9, Cached8: 5, Cached16: 5, Cached64: 1}, loops.CD},
+		{Evidence{NoCache16: 90, Cached8: 45, Cached16: 48, Cached64: 50}, loops.RD},
+	}
+	for i, c := range cases {
+		if got := Decide(c.ev); got != c.want {
+			t.Errorf("case %d (%+v): %v, want %v", i, c.ev, got, c.want)
+		}
+	}
+}
+
+// TestDynamicRecoversPaperTaxonomy is the reproduction of the paper's
+// §7.1 classification: the dynamic classifier, run on the same counting
+// simulation the paper used, must assign every paper-classified loop
+// its published class.
+func TestDynamicRecoversPaperTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification sweep")
+	}
+	reports, err := Kernels(loops.PaperSet(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if r.Paper == loops.ClassUnknown {
+			continue
+		}
+		if r.Measured != r.Paper {
+			t.Errorf("%s (%s): measured %v, paper says %v (evidence %+v)",
+				r.Key, r.Name, r.Measured, r.Paper, r.Evidence)
+		}
+	}
+}
+
+func TestDynamicSingleKernel(t *testing.T) {
+	k, err := loops.ByKey("k14frag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, ev, err := Dynamic(k, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls != loops.MD {
+		t.Errorf("k14frag class = %v (evidence %+v)", cls, ev)
+	}
+}
+
+func TestKernelsPropagatesErrors(t *testing.T) {
+	bad := &loops.Kernel{
+		Key: "boom", Name: "boom", DefaultN: 8, MinN: 1,
+		Arrays: func(n int) []loops.Spec {
+			return []loops.Spec{{Name: "X", Dims: []int{n}}}
+		},
+		Run: func(c *loops.Ctx, n int) {
+			x := c.A("X")
+			x.Set(func() float64 { return 1 }, 0)
+			x.Set(func() float64 { return 2 }, 0) // double write
+		},
+		Outputs: []string{"X"},
+	}
+	if _, err := Kernels([]*loops.Kernel{bad}, 8); err == nil {
+		t.Error("kernel error not propagated")
+	}
+}

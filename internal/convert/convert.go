@@ -1,0 +1,498 @@
+// Package convert implements the paper's §5 "automatic conversion
+// tool": a source-to-source rewrite that turns conventional Fortran-
+// style loop nests (which reuse arrays) into single-assignment form.
+// As the paper notes, "these translators will tend to increase the
+// amount of memory used for array storage"; the Result reports exactly
+// how much.
+//
+// Three rewrites are performed:
+//
+//   - carried-scalar expansion: a loop-invariant in-place update
+//     (S = S + X(i)) becomes a recurrence over a fresh array indexed by
+//     the loop variable (S2(i) = S2(i-1) + X(i));
+//   - version renaming: a statement that updates an array in place, or
+//     writes an array some earlier statement already wrote, writes a
+//     fresh version (A -> A__2); subsequent reads see the latest
+//     version;
+//   - in-place reads keep reading the previous version (so relaxation
+//     sweeps become Jacobi steps — a documented semantic change that
+//     single-assignment conversion of Gauss-Seidel inherently makes
+//     unless a wavefront schedule is introduced).
+package convert
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// RewriteKind classifies one transformation.
+type RewriteKind int
+
+// Rewrite kinds.
+const (
+	ScalarExpansion RewriteKind = iota
+	VersionRename
+)
+
+// String returns the kind name.
+func (k RewriteKind) String() string {
+	switch k {
+	case ScalarExpansion:
+		return "scalar-expansion"
+	case VersionRename:
+		return "version-rename"
+	default:
+		return fmt.Sprintf("RewriteKind(%d)", int(k))
+	}
+}
+
+// Rewrite records one transformation.
+type Rewrite struct {
+	Kind     RewriteKind
+	Array    string // original array
+	NewArray string // introduced array
+	Detail   string
+}
+
+// Result is the outcome of a conversion.
+type Result struct {
+	Program  *ir.Program
+	Rewrites []Rewrite
+	// ExtraElems is the additional storage (in elements, at problem
+	// size n passed to ToSA) the conversion introduced — the paper's
+	// "memory cost" of single assignment.
+	ExtraElems int
+	// Notes carries semantic caveats (e.g. Jacobi-ization).
+	Notes []string
+}
+
+// ToSA converts the program to single-assignment form. n is used only
+// to report the storage cost of introduced arrays. The returned
+// program passes ir.CheckSA with no Violation diagnostics for the
+// rewrite patterns this tool covers; remaining diagnostics are
+// reported as an error.
+func ToSA(p *ir.Program, n int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	q := cloneProgram(p)
+	q.Name = p.Name + "_sa"
+	res := &Result{Program: q}
+
+	if err := expandCarriedScalars(q, n, res); err != nil {
+		return nil, err
+	}
+	if err := renameVersions(q, n, res); err != nil {
+		return nil, err
+	}
+
+	// The converted program must be statically clean.
+	if viol := ir.Violations(q.CheckSA()); len(viol) != 0 {
+		return nil, fmt.Errorf("convert: %s: %d violations remain after conversion; first: %s",
+			p.Name, len(viol), viol[0])
+	}
+	return res, nil
+}
+
+// expandCarriedScalars rewrites loop-invariant in-place updates into
+// recurrences over the innermost loop variable.
+func expandCarriedScalars(q *ir.Program, n int, res *Result) error {
+	for _, info := range q.Assigns() {
+		a := info.Assign
+		if len(info.Loops) == 0 {
+			continue
+		}
+		inner := info.Loops[len(info.Loops)-1]
+		// Loop-invariant write in the innermost loop?
+		usesVar := false
+		for _, e := range a.LHS.Index {
+			for _, v := range e.FreeVars() {
+				if v == inner.Var {
+					usesVar = true
+				}
+			}
+		}
+		if usesVar {
+			continue
+		}
+		// Must also be an in-place update (a carried value), rank 1,
+		// constant subscript, ascending unit-step loop with constant
+		// lower bound: the classic expandable pattern.
+		inPlace := false
+		for _, r := range a.RHS.Reads() {
+			if r.Array == a.LHS.Array {
+				inPlace = true
+			}
+		}
+		if !inPlace {
+			return fmt.Errorf("convert: %s: loop-invariant write to %s is not a carried scalar; cannot convert",
+				q.Name, a.LHS.Array)
+		}
+		if len(a.LHS.Index) != 1 || !a.LHS.Index[0].IsAffine() || len(a.LHS.Index[0].FreeVars()) != 0 {
+			return fmt.Errorf("convert: %s: carried value %s has a non-constant subscript; cannot expand",
+				q.Name, a.LHS.Array)
+		}
+		if inner.Step != 1 || !inner.Lo.IsAffine() || len(inner.Lo.FreeVars()) != 0 {
+			return fmt.Errorf("convert: %s: carried value %s needs a unit-step loop with constant lower bound",
+				q.Name, a.LHS.Array)
+		}
+		lo := inner.Lo.Const
+		old := a.LHS.Array
+		newName := freshName(q, old+"__exp")
+		// New 1-D array over the loop variable, with boundary cells
+		// [0, lo) holding the pre-loop value of the carried scalar.
+		q.Arrays = append(q.Arrays, ir.ArrayDecl{
+			Name:         newName,
+			Dims:         []ir.Extent{ir.NPlus(2)},
+			InitLowCount: lo,
+		})
+		res.ExtraElems += n + 2
+		res.Rewrites = append(res.Rewrites, Rewrite{
+			Kind: ScalarExpansion, Array: old, NewArray: newName,
+			Detail: fmt.Sprintf("carried value %s expanded over loop variable %s", old, inner.Var),
+		})
+		// Rewrite the statement: write NEW[v], in-place reads NEW[v-1].
+		a.LHS = ir.R(newName, ir.V(inner.Var))
+		for ti := range a.RHS.Terms {
+			if a.RHS.Terms[ti].Read.Array == old {
+				a.RHS.Terms[ti].Read = ir.R(newName, ir.V(inner.Var).PlusC(-1))
+			}
+		}
+		// Later reads of the scalar (outside this loop) are rewritten
+		// by the versioning pass via the rename map seeded here: treat
+		// the expansion as having renamed old -> newName at the final
+		// index. For simplicity we only support later reads at the same
+		// constant subscript, which become NEW[hi]; detect and rewrite.
+		hi := inner.Hi
+		rewriteLaterScalarReads(q, a, old, newName, hi)
+	}
+	return nil
+}
+
+// rewriteLaterScalarReads replaces reads of the old carried scalar in
+// statements after the expanded one with the final element of the
+// expansion.
+func rewriteLaterScalarReads(q *ir.Program, after *ir.Assign, old, newName string, hi ir.Expr) {
+	seen := false
+	for _, info := range q.Assigns() {
+		if info.Assign == after {
+			seen = true
+			continue
+		}
+		if !seen {
+			continue
+		}
+		for ti := range info.Assign.RHS.Terms {
+			if info.Assign.RHS.Terms[ti].Read.Array == old {
+				info.Assign.RHS.Terms[ti].Read = ir.Ref{Array: newName, Index: []ir.Expr{hi}}
+			}
+		}
+	}
+}
+
+// renameVersions walks assignments in textual order and gives every
+// in-place update or repeated writer a fresh array version. Reads of
+// the renamed array inside the renaming statement are resolved by
+// sweep-order analysis:
+//
+//   - same index: the in-place read — always the previous version;
+//   - a cell the sweep has already produced (read iteration earlier
+//     than the write's): the new version, preserving Gauss-Seidel
+//     semantics, with boundary cells compensated by copies inserted
+//     before the loop when the loop sits at the top level;
+//   - a cell the sweep has not reached: the previous version.
+//
+// When faithful past-reads cannot be compensated (nested or
+// variable-bound loops) they fall back to the previous version, which
+// turns relaxation sweeps into Jacobi steps — reported in Notes.
+func renameVersions(q *ir.Program, n int, res *Result) error {
+	cur := map[string]string{}   // original name -> latest version name
+	written := map[string]bool{} // version name -> has a writer
+	jacobiNoted := false
+	type insertion struct {
+		before ir.Stmt
+		stmts  []ir.Stmt
+	}
+	var insertions []insertion
+
+	for _, info := range q.Assigns() {
+		a := info.Assign
+
+		// Resolve reads to the latest versions first; reads of the
+		// renamed target are refined below.
+		for ti := range a.RHS.Terms {
+			rewriteRefVersion(&a.RHS.Terms[ti].Read, cur)
+		}
+
+		orig := a.LHS.Array
+		target := orig
+		if v, ok := cur[orig]; ok {
+			target = v
+		}
+		d, _ := declOf(q, target)
+		needsVersion := false
+		if d != nil && d.Input {
+			needsVersion = true
+		}
+		if written[target] {
+			needsVersion = true
+		}
+		if !needsVersion {
+			a.LHS.Array = target
+			written[target] = true
+			continue
+		}
+
+		newName := freshName(q, orig+"__2")
+		base, _ := declOf(q, orig)
+		q.Arrays = append(q.Arrays, ir.ArrayDecl{Name: newName, Dims: append([]ir.Extent(nil), base.Dims...)})
+		res.ExtraElems += declElems(base, n)
+		res.Rewrites = append(res.Rewrites, Rewrite{
+			Kind: VersionRename, Array: orig, NewArray: newName,
+			Detail: fmt.Sprintf("writes of %s redirected to fresh version %s", target, newName),
+		})
+
+		wCoeffs, wConst, wAffine := q.LinearizeRef(ir.Ref{Array: target, Index: a.LHS.Index}, n)
+		minPast := 0 // most negative past-read delta kept faithful
+		for ti := range a.RHS.Terms {
+			r := &a.RHS.Terms[ti].Read
+			if r.Array != target {
+				continue
+			}
+			if sameIndexVec(r.Index, a.LHS.Index) {
+				continue // in-place read: previous version
+			}
+			delta, isPast, ok := sweepDelta(q, info, wCoeffs, wConst, wAffine, *r, n)
+			if ok && isPast && compensatable(q, info) {
+				r.Array = newName
+				if delta < minPast {
+					minPast = delta
+				}
+				continue
+			}
+			if ok && !isPast {
+				continue // future read: previous version is correct
+			}
+			if !jacobiNoted {
+				res.Notes = append(res.Notes,
+					"some in-place sweep reads fall back to the previous version: relaxation becomes a Jacobi step")
+				jacobiNoted = true
+			}
+		}
+		if minPast < 0 {
+			// Compensate the boundary: copy the cells before the sweep's
+			// first write from the old version.
+			outer := info.Loops[0]
+			inner := info.Loops[len(info.Loops)-1]
+			lo := inner.Lo.Const
+			var copies []ir.Stmt
+			for d := minPast; d < 0; d++ {
+				at := lo + d
+				if at < 0 {
+					continue
+				}
+				idx := make([]ir.Expr, len(a.LHS.Index))
+				for i := range idx {
+					idx[i] = ir.C(at)
+				}
+				copies = append(copies, &ir.Assign{
+					LHS: ir.Ref{Array: newName, Index: idx},
+					RHS: ir.RHS{Terms: []ir.Term{{Coef: 1, Read: ir.Ref{Array: target, Index: idx}}}},
+				})
+			}
+			if len(copies) > 0 {
+				insertions = append(insertions, insertion{before: outer, stmts: copies})
+				res.Notes = append(res.Notes, fmt.Sprintf(
+					"recurrence on %s preserved: %d boundary cell(s) copied from %s", newName, len(copies), target))
+			}
+		}
+		a.LHS.Array = newName
+		cur[orig] = newName
+		written[newName] = true
+	}
+
+	// Apply boundary-copy insertions at the top level.
+	if len(insertions) > 0 {
+		var body []ir.Stmt
+		for _, s := range q.Body {
+			for _, ins := range insertions {
+				if ins.before == s {
+					body = append(body, ins.stmts...)
+				}
+			}
+			body = append(body, s)
+		}
+		q.Body = body
+	}
+	return nil
+}
+
+// sweepDelta decides whether a recurrence read of the write's array
+// refers to an iteration the sweep has already produced. It requires
+// the read and write subscripts to share variable coefficients; delta
+// is then the constant linear distance, and the sign of
+// delta*coeff*step tells past from future.
+func sweepDelta(q *ir.Program, info ir.AssignInfo, wCoeffs map[string]int, wConst int, wAffine bool, r ir.Ref, n int) (delta int, isPast, ok bool) {
+	if !wAffine {
+		return 0, false, false
+	}
+	rCoeffs, rConst, affine := q.LinearizeRef(r, n)
+	if !affine {
+		return 0, false, false
+	}
+	for v, c := range wCoeffs {
+		if c != 0 && rCoeffs[v] != c {
+			return 0, false, false
+		}
+	}
+	for v, c := range rCoeffs {
+		if c != 0 && wCoeffs[v] != c {
+			return 0, false, false
+		}
+	}
+	delta = rConst - wConst
+	// Direction: use the innermost enclosing loop whose variable drives
+	// the subscript.
+	for i := len(info.Loops) - 1; i >= 0; i-- {
+		l := info.Loops[i]
+		c := wCoeffs[l.Var]
+		if c == 0 {
+			continue
+		}
+		return delta, delta*c*l.Step < 0, true
+	}
+	return delta, false, false
+}
+
+// compensatable reports whether boundary copies can be inserted before
+// the statement's loop nest: the nest must sit at the program's top
+// level and have a constant inner lower bound.
+func compensatable(q *ir.Program, info ir.AssignInfo) bool {
+	if len(info.Loops) == 0 {
+		return false
+	}
+	inner := info.Loops[len(info.Loops)-1]
+	if !inner.Lo.IsAffine() || len(inner.Lo.FreeVars()) != 0 {
+		return false
+	}
+	outer := info.Loops[0]
+	for _, s := range q.Body {
+		if s == outer {
+			return true
+		}
+	}
+	return false
+}
+
+func rewriteRefVersion(r *ir.Ref, cur map[string]string) {
+	if v, ok := cur[r.Array]; ok {
+		r.Array = v
+	}
+	for i := range r.Index {
+		if ind := r.Index[i].Indirect; ind != nil {
+			if v, ok := cur[ind.Array]; ok {
+				ind.Array = v
+			}
+		}
+	}
+}
+
+func declOf(q *ir.Program, name string) (*ir.ArrayDecl, bool) {
+	for i := range q.Arrays {
+		if q.Arrays[i].Name == name {
+			return &q.Arrays[i], true
+		}
+	}
+	return nil, false
+}
+
+func declElems(d *ir.ArrayDecl, n int) int {
+	total := 1
+	for _, ext := range d.Dims {
+		total *= ext.Size(n)
+	}
+	return total
+}
+
+func freshName(q *ir.Program, base string) string {
+	name := base
+	for i := 2; ; i++ {
+		if _, taken := declOf(q, name); !taken {
+			return name
+		}
+		name = fmt.Sprintf("%s_%d", base, i)
+	}
+}
+
+func sameIndexVec(a, b []ir.Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+// --- deep cloning ---
+
+func cloneProgram(p *ir.Program) *ir.Program {
+	q := &ir.Program{Name: p.Name}
+	q.Arrays = make([]ir.ArrayDecl, len(p.Arrays))
+	for i, d := range p.Arrays {
+		q.Arrays[i] = ir.ArrayDecl{
+			Name: d.Name, Input: d.Input, InitLowCount: d.InitLowCount,
+			Dims: append([]ir.Extent(nil), d.Dims...),
+		}
+	}
+	q.Body = cloneStmts(p.Body)
+	return q
+}
+
+func cloneStmts(stmts []ir.Stmt) []ir.Stmt {
+	out := make([]ir.Stmt, len(stmts))
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Loop:
+			out[i] = &ir.Loop{
+				Var: st.Var, Lo: cloneExpr(st.Lo), Hi: cloneExpr(st.Hi),
+				Step: st.Step, Body: cloneStmts(st.Body),
+			}
+		case *ir.Assign:
+			a := &ir.Assign{LHS: cloneRef(st.LHS)}
+			a.RHS.Bias = st.RHS.Bias
+			a.RHS.Terms = make([]ir.Term, len(st.RHS.Terms))
+			for ti, t := range st.RHS.Terms {
+				a.RHS.Terms[ti] = ir.Term{Coef: t.Coef, Read: cloneRef(t.Read)}
+			}
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func cloneRef(r ir.Ref) ir.Ref {
+	idx := make([]ir.Expr, len(r.Index))
+	for i, e := range r.Index {
+		idx[i] = cloneExpr(e)
+	}
+	return ir.Ref{Array: r.Array, Index: idx}
+}
+
+func cloneExpr(e ir.Expr) ir.Expr {
+	out := ir.Expr{Const: e.Const}
+	if e.Coeffs != nil {
+		out.Coeffs = make(map[string]int, len(e.Coeffs))
+		for v, c := range e.Coeffs {
+			out.Coeffs[v] = c
+		}
+	}
+	if e.Indirect != nil {
+		ind := &ir.Indirect{Array: e.Indirect.Array, Index: cloneExpr(e.Indirect.Index)}
+		out.Indirect = ind
+	}
+	return out
+}

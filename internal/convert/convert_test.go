@@ -1,0 +1,323 @@
+package convert
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/loops"
+)
+
+func mustConvert(t *testing.T, p *ir.Program, n int) *Result {
+	t.Helper()
+	res, err := ToSA(p, n)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+func runConverted(t *testing.T, res *Result, n int) *loops.SeqResult {
+	t.Helper()
+	k, err := res.Program.Kernel(n)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", res.Program.Name, err)
+	}
+	out, err := loops.RunSeq(k, n)
+	if err != nil {
+		t.Fatalf("%s: converted program still violates SA: %v", res.Program.Name, err)
+	}
+	return out
+}
+
+func TestDirtySamplesConvertAndRunClean(t *testing.T) {
+	// Every conventional-Fortran sample converts to a program that runs
+	// without violations on the reference engine — the end-to-end
+	// guarantee of the §5 conversion tool.
+	for _, p := range []*ir.Program{
+		ir.SampleInPlace(), ir.SampleCarriedScalar(),
+		ir.SampleGaussSeidel(), ir.SampleTwoPhase(),
+	} {
+		res := mustConvert(t, p, 32)
+		if len(res.Rewrites) == 0 {
+			t.Errorf("%s: no rewrites recorded", p.Name)
+		}
+		if res.ExtraElems <= 0 {
+			t.Errorf("%s: conversion reported no extra storage", p.Name)
+		}
+		if viol := ir.Violations(res.Program.CheckSA()); len(viol) != 0 {
+			t.Errorf("%s: violations remain: %v", p.Name, viol)
+		}
+		runConverted(t, res, 32)
+	}
+}
+
+func TestCleanProgramsPassThrough(t *testing.T) {
+	for _, p := range []*ir.Program{ir.SampleMatched(), ir.SampleHydro(), ir.SampleCyclic()} {
+		res := mustConvert(t, p, 32)
+		if len(res.Rewrites) != 0 {
+			t.Errorf("%s: clean program was rewritten: %v", p.Name, res.Rewrites)
+		}
+		if res.ExtraElems != 0 {
+			t.Errorf("%s: clean program charged %d extra elements", p.Name, res.ExtraElems)
+		}
+	}
+}
+
+func TestInPlaceSemantics(t *testing.T) {
+	// A(i) = A(i) + B(i) over input A must become A__2(i) with the old
+	// values read: A__2(i) == A(i) + B(i).
+	const n = 24
+	res := mustConvert(t, ir.SampleInPlace(), n)
+	out := runConverted(t, res, n)
+	newName := res.Rewrites[0].NewArray
+	vals, ok := out.Values[newName]
+	if !ok {
+		t.Fatalf("output %q missing; outputs: %v", newName, res.Program.WrittenArrays())
+	}
+	aIn, bIn := ir.InputSeed(0), ir.InputSeed(1)
+	for i := 1; i <= n; i++ {
+		want := aIn(i) + bIn(i)
+		if math.Abs(vals[i]-want) > 1e-12 {
+			t.Fatalf("%s[%d] = %v, want %v", newName, i, vals[i], want)
+		}
+	}
+}
+
+func TestCarriedScalarSemantics(t *testing.T) {
+	// S(0) = S(0) + X(i) expands to S__exp(i) = S__exp(i-1) + X(i) with
+	// S__exp(0) as boundary data; the final element is the running sum.
+	const n = 24
+	res := mustConvert(t, ir.SampleCarriedScalar(), n)
+	if res.Rewrites[0].Kind != ScalarExpansion {
+		t.Fatalf("expected scalar expansion, got %v", res.Rewrites[0])
+	}
+	out := runConverted(t, res, n)
+	newName := res.Rewrites[0].NewArray
+	vals := out.Values[newName]
+	// The expansion array is the third declaration (ordinal 2).
+	s0 := ir.InputSeed(2)(0)
+	x := ir.InputSeed(1)
+	want := s0
+	for i := 1; i <= n; i++ {
+		want += x(i)
+		if math.Abs(vals[i]-want) > 1e-9 {
+			t.Fatalf("%s[%d] = %v, want %v", newName, i, vals[i], want)
+		}
+	}
+}
+
+func TestGaussSeidelSemanticsPreserved(t *testing.T) {
+	// The in-place sweep A(i) = .25A(i-1) + .25A(i+1) + .5A(i) reads the
+	// *updated* left neighbour. The converter must preserve that via the
+	// new version plus a boundary copy — not degrade to Jacobi.
+	const n = 20
+	res := mustConvert(t, ir.SampleGaussSeidel(), n)
+	out := runConverted(t, res, n)
+	var newName string
+	for _, rw := range res.Rewrites {
+		if rw.Kind == VersionRename {
+			newName = rw.NewArray
+		}
+	}
+	if newName == "" {
+		t.Fatalf("no version rename recorded: %v", res.Rewrites)
+	}
+	vals := out.Values[newName]
+	// Reference Gauss-Seidel sweep on the same inputs.
+	a := make([]float64, n+2)
+	seed := ir.InputSeed(0)
+	for i := range a {
+		a[i] = seed(i)
+	}
+	for i := 1; i <= n; i++ {
+		a[i] = 0.25*a[i-1] + 0.25*a[i+1] + 0.5*a[i]
+	}
+	for i := 1; i <= n; i++ {
+		if math.Abs(vals[i]-a[i]) > 1e-12 {
+			t.Fatalf("%s[%d] = %v, want Gauss-Seidel %v", newName, i, vals[i], a[i])
+		}
+	}
+	// The boundary compensation should be visible in the notes.
+	joined := strings.Join(res.Notes, "; ")
+	if !strings.Contains(joined, "boundary") {
+		t.Errorf("notes lack boundary compensation: %v", res.Notes)
+	}
+}
+
+func TestTwoPhaseSemantics(t *testing.T) {
+	const n = 16
+	res := mustConvert(t, ir.SampleTwoPhase(), n)
+	out := runConverted(t, res, n)
+	newName := res.Rewrites[0].NewArray
+	u, v := ir.InputSeed(1), ir.InputSeed(2)
+	tvals := out.Values["T"]
+	t2vals := out.Values[newName]
+	for i := 1; i <= n; i++ {
+		if math.Abs(tvals[i]-(u(i)+v(i))) > 1e-12 {
+			t.Fatalf("T[%d] wrong", i)
+		}
+		if math.Abs(t2vals[i]-(tvals[i]+u(i))) > 1e-12 {
+			t.Fatalf("%s[%d] = %v, want %v", newName, i, t2vals[i], tvals[i]+u(i))
+		}
+	}
+}
+
+func TestConvertedProgramsRunOnSimulator(t *testing.T) {
+	// The converted programs are ordinary kernels: they partition and
+	// simulate like any Livermore loop.
+	res := mustConvert(t, ir.SampleGaussSeidel(), 128)
+	k, err := res.Program.Kernel(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loops.RunSeq(k, 128); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToSAValidatesInput(t *testing.T) {
+	bad := ir.SampleMatched()
+	bad.Name = ""
+	if _, err := ToSA(bad, 16); err == nil {
+		t.Error("invalid program accepted")
+	}
+}
+
+func TestRewriteKindString(t *testing.T) {
+	if ScalarExpansion.String() != "scalar-expansion" || VersionRename.String() != "version-rename" {
+		t.Error("kind names wrong")
+	}
+	if RewriteKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestNestedLoopInPlaceFallsBackToJacobi(t *testing.T) {
+	// A 2-D in-place sweep nested under an outer loop cannot get
+	// top-level boundary compensation; the converter must fall back to
+	// previous-version reads and say so.
+	p := &ir.Program{
+		Name: "nested",
+		Arrays: []ir.ArrayDecl{
+			{Name: "A", Dims: []ir.Extent{ir.Fixed(8), ir.NPlus(2)}, Input: true},
+		},
+		Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lo: ir.C(1), Hi: ir.C(6), Step: 1, Body: []ir.Stmt{
+				&ir.Loop{Var: "k", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: ir.R("A", ir.V("j"), ir.V("k")),
+						RHS: ir.RHS{Terms: []ir.Term{
+							{Coef: 0.5, Read: ir.R("A", ir.V("j"), ir.V("k"))},
+							{Coef: 0.5, Read: ir.R("A", ir.V("j"), ir.V("k").PlusC(1))},
+						}},
+					},
+				}},
+			}},
+		},
+	}
+	res := mustConvert(t, p, 16)
+	runConverted(t, res, 16)
+}
+
+func TestUnconvertiblePatterns(t *testing.T) {
+	// Loop-invariant write that is not a carried scalar (no in-place
+	// read): there is nothing to expand — the tool must refuse rather
+	// than emit a wrong program.
+	notCarried := &ir.Program{
+		Name: "notcarried",
+		Arrays: []ir.ArrayDecl{
+			{Name: "S", Dims: []ir.Extent{ir.Fixed(1)}},
+			{Name: "X", Dims: []ir.Extent{ir.NPlus(1)}, Input: true},
+		},
+		Body: []ir.Stmt{
+			&ir.Loop{Var: "i", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: ir.R("S", ir.C(0)),
+					RHS: ir.RHS{Terms: []ir.Term{{Coef: 1, Read: ir.R("X", ir.V("i"))}}},
+				},
+			}},
+		},
+	}
+	if _, err := ToSA(notCarried, 16); err == nil {
+		t.Error("non-carried loop-invariant write accepted")
+	}
+
+	// Carried scalar under a non-unit-step loop: expansion would need
+	// gaps; must refuse.
+	stride := ir.SampleCarriedScalar()
+	stride.Body[0].(*ir.Loop).Step = 2
+	if _, err := ToSA(stride, 16); err == nil {
+		t.Error("strided carried scalar accepted")
+	}
+
+	// Carried scalar with a variable lower bound: boundary cells cannot
+	// be computed statically.
+	varLo := ir.SampleCarriedScalar()
+	varLo.Body[0].(*ir.Loop).Lo = ir.N()
+	varLo.Body[0].(*ir.Loop).Hi = ir.N()
+	// Make it multi-trip again so the checker still fires.
+	varLo.Body[0].(*ir.Loop).Hi = ir.N().PlusC(0)
+	varLo.Body[0].(*ir.Loop).Lo = ir.V("n").Times(1)
+	if _, err := ToSA(varLo, 16); err == nil {
+		t.Error("variable-lower-bound carried scalar accepted")
+	}
+}
+
+func TestCarriedScalarWithVectorSubscriptRejected(t *testing.T) {
+	// A loop-invariant in-place write whose subscript is non-constant
+	// relative to an OUTER loop variable: the simple expansion does not
+	// apply; refuse.
+	p := &ir.Program{
+		Name: "outercarried",
+		Arrays: []ir.ArrayDecl{
+			{Name: "S", Dims: []ir.Extent{ir.NPlus(1)}},
+			{Name: "X", Dims: []ir.Extent{ir.NPlus(1)}, Input: true},
+		},
+		Body: []ir.Stmt{
+			&ir.Loop{Var: "j", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+				&ir.Loop{Var: "i", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+					&ir.Assign{
+						LHS: ir.R("S", ir.V("j")),
+						RHS: ir.RHS{Terms: []ir.Term{
+							{Coef: 1, Read: ir.R("S", ir.V("j"))},
+							{Coef: 1, Read: ir.R("X", ir.V("i"))},
+						}},
+					},
+				}},
+			}},
+		},
+	}
+	if _, err := ToSA(p, 16); err == nil {
+		t.Error("outer-indexed carried value accepted by the simple expansion")
+	}
+}
+
+func TestConvertPreservesIndirection(t *testing.T) {
+	// Version renaming must follow arrays referenced through indirect
+	// subscripts too.
+	p := &ir.Program{
+		Name: "indirver",
+		Arrays: []ir.ArrayDecl{
+			{Name: "IX", Dims: []ir.Extent{ir.NPlus(1)}, Input: true},
+			{Name: "G", Dims: []ir.Extent{ir.NPlus(2)}, Input: true},
+			{Name: "OUT", Dims: []ir.Extent{ir.NPlus(1)}},
+		},
+		Body: []ir.Stmt{
+			&ir.Loop{Var: "k", Lo: ir.C(1), Hi: ir.N(), Step: 1, Body: []ir.Stmt{
+				&ir.Assign{
+					LHS: ir.R("OUT", ir.V("k")),
+					RHS: ir.RHS{Terms: []ir.Term{
+						{Coef: 1, Read: ir.R("G", ir.Ind("IX", ir.V("k")))},
+					}},
+				},
+			}},
+		},
+	}
+	res := mustConvert(t, p, 16)
+	if len(res.Rewrites) != 0 {
+		t.Errorf("clean indirect program rewritten: %v", res.Rewrites)
+	}
+	runConverted(t, res, 16)
+}

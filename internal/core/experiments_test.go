@@ -1,0 +1,90 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPass runs every figure, table and ablation and
+// requires all encoded shape criteria to hold: this is the
+// reproduction certificate.
+func TestAllExperimentsPass(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			o, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(o.Checks) == 0 {
+				t.Fatalf("%s: no checks encoded", e.ID)
+			}
+			for _, c := range o.Checks {
+				if !c.Pass {
+					t.Errorf("%s: FAIL %s (%s)", e.ID, c.Name, c.Detail)
+				}
+			}
+			if o.Text == "" {
+				t.Errorf("%s: no rendered output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig1")
+	if err != nil || e.ID != "fig1" {
+		t.Errorf("ByID(fig1) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) != 14 {
+		t.Errorf("expected 14 experiments, got %d", len(seen))
+	}
+}
+
+func TestFigureRendering(t *testing.T) {
+	o, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Figure == nil || len(o.Figure.Series) != 4 {
+		t.Fatal("figure 1 should have 4 series")
+	}
+	if !strings.Contains(o.Text, "Cache, ps 32") {
+		t.Errorf("rendered table lacks series header:\n%s", o.Text)
+	}
+	chart := o.Figure.Chart(10)
+	if !strings.Contains(chart, "A = ") {
+		t.Errorf("chart lacks legend:\n%s", chart)
+	}
+	if !o.Pass() {
+		t.Error("figure 1 checks failed")
+	}
+}
+
+func TestOutcomePass(t *testing.T) {
+	o := &Outcome{Checks: []Check{{Pass: true}, {Pass: false}}}
+	if o.Pass() {
+		t.Error("Pass with failing check")
+	}
+	o.Checks[1].Pass = true
+	if !o.Pass() {
+		t.Error("Pass with all passing checks")
+	}
+}

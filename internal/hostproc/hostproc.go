@@ -1,0 +1,268 @@
+// Package hostproc implements the host-processor mechanism of Bic,
+// Nagel & Roy (1989) §5: statically allocated single-assignment arrays
+// cannot be rewritten, so reuse requires a controlled relaxation. Each
+// array is assigned an administrative PE — its host processor — and
+// re-initialization proceeds in two phases:
+//
+//  1. every PE that is finished with the current version of array A
+//     sends a re-initialization request to A's host;
+//  2. once the last PE has requested re-initialization, the host
+//     broadcasts a grant, after which A's cells are undefined again and
+//     a new version may be produced.
+//
+// The same synchronization pattern covers deallocation ("deallocation
+// of arrays must be based on the same kind of host processor
+// synchronization"). The compiler spreads host duties evenly over PEs;
+// here hosts default to array ID mod NPE.
+//
+// The package is deliberately independent of the execution engine: it
+// synchronizes any set of goroutine "PEs" over a network.Network, and
+// exposes the version counter that storage and caches key on.
+package hostproc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/network"
+)
+
+// State tracks one array's lifecycle.
+type State int
+
+// Array lifecycle states.
+const (
+	Live        State = iota // current version readable/writable
+	Reinit                   // re-initialization in progress
+	Deallocated              // storage released
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Live:
+		return "live"
+	case Reinit:
+		return "reinit"
+	case Deallocated:
+		return "deallocated"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Hooks let the storage layer react to protocol transitions. All hooks
+// run on the goroutine that completes the transition, exactly once per
+// transition.
+type Hooks struct {
+	// OnReinit runs when the last PE's request arrives, before the
+	// grant is broadcast: reset pages, invalidate cached snapshots.
+	OnReinit func(array int, newVersion int)
+	// OnDealloc runs when a deallocation completes.
+	OnDealloc func(array int)
+}
+
+// Coordinator manages host-processor synchronization for a set of
+// arrays across NPE processing elements. It is safe for concurrent use
+// by one goroutine per PE.
+type Coordinator struct {
+	npe   int
+	net   *network.Network
+	hooks Hooks
+
+	mu      sync.Mutex
+	arrays  map[int]*arrayCtl
+	msgSent int64
+}
+
+type arrayCtl struct {
+	host    int
+	state   State
+	version int
+	pending map[int]bool // PEs whose request has arrived this round
+	waiters []chan int   // grant channels, one per blocked PE
+}
+
+// New returns a Coordinator for npe PEs. net may be nil for engines
+// that only need the synchronization semantics without traffic
+// accounting.
+func New(npe int, net *network.Network) (*Coordinator, error) {
+	if npe <= 0 {
+		return nil, fmt.Errorf("hostproc: NPE must be positive, got %d", npe)
+	}
+	return &Coordinator{npe: npe, net: net, arrays: make(map[int]*arrayCtl)}, nil
+}
+
+// SetHooks installs storage callbacks; call before any PE activity.
+func (c *Coordinator) SetHooks(h Hooks) { c.hooks = h }
+
+// Register declares an array and assigns its host processor. The
+// compiler's even-spreading rule is host = array mod NPE; a negative
+// host selects that default.
+func (c *Coordinator) Register(array, host int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.arrays[array]; dup {
+		return fmt.Errorf("hostproc: array %d already registered", array)
+	}
+	if host < 0 {
+		host = array % c.npe
+	}
+	if host >= c.npe {
+		return fmt.Errorf("hostproc: host %d out of range for %d PEs", host, c.npe)
+	}
+	c.arrays[array] = &arrayCtl{host: host, state: Live, pending: make(map[int]bool)}
+	return nil
+}
+
+// Host returns the host PE of an array.
+func (c *Coordinator) Host(array int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctl, ok := c.arrays[array]
+	if !ok {
+		return 0, fmt.Errorf("hostproc: unknown array %d", array)
+	}
+	return ctl.host, nil
+}
+
+// Version returns the array's current version number (0 for the
+// original allocation, incremented by each re-initialization).
+func (c *Coordinator) Version(array int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctl, ok := c.arrays[array]
+	if !ok {
+		return 0, fmt.Errorf("hostproc: unknown array %d", array)
+	}
+	return ctl.version, nil
+}
+
+// StateOf returns the array's lifecycle state.
+func (c *Coordinator) StateOf(array int) (State, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ctl, ok := c.arrays[array]
+	if !ok {
+		return 0, fmt.Errorf("hostproc: unknown array %d", array)
+	}
+	return ctl.state, nil
+}
+
+// MessagesSent returns the number of protocol messages accounted so
+// far (requests and grant broadcasts).
+func (c *Coordinator) MessagesSent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgSent
+}
+
+// RequestReinit is called by PE pe when it is finished with the current
+// version of the array. It blocks until every PE has requested
+// re-initialization and the host has granted it, then returns the new
+// version number. "The host processor acts as a synchronization point
+// for A so that no PE attempts to write to an out-of-date version."
+func (c *Coordinator) RequestReinit(array, pe int) (int, error) {
+	grant, newVersion, err := c.request(array, pe, false)
+	if err != nil {
+		return 0, err
+	}
+	if grant == nil {
+		return newVersion, nil // this PE completed the round
+	}
+	return <-grant, nil
+}
+
+// RequestDealloc is the same barrier with deallocation semantics: after
+// the grant the array is gone and further operations on it fail.
+func (c *Coordinator) RequestDealloc(array, pe int) error {
+	grant, _, err := c.request(array, pe, true)
+	if err != nil {
+		return err
+	}
+	if grant != nil {
+		<-grant
+	}
+	return nil
+}
+
+// request registers PE pe's vote. It returns a non-nil channel if the
+// caller must wait for the grant, or (nil, newVersion) if the caller
+// was the last voter and completed the transition itself.
+func (c *Coordinator) request(array, pe int, dealloc bool) (chan int, int, error) {
+	c.mu.Lock()
+	ctl, ok := c.arrays[array]
+	if !ok {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("hostproc: unknown array %d", array)
+	}
+	if pe < 0 || pe >= c.npe {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("hostproc: PE %d out of range", pe)
+	}
+	if ctl.state == Deallocated {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("hostproc: array %d is deallocated", array)
+	}
+	if ctl.pending[pe] {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("hostproc: PE %d voted twice for array %d", pe, array)
+	}
+	ctl.pending[pe] = true
+	ctl.state = Reinit
+	// Model the request message to the host.
+	c.accountLocked(pe, ctl.host, network.ReinitRequest, array)
+
+	if len(ctl.pending) < c.npe {
+		ch := make(chan int, 1)
+		ctl.waiters = append(ctl.waiters, ch)
+		c.mu.Unlock()
+		return ch, 0, nil
+	}
+
+	// Last voter: the host completes the round.
+	waiters := ctl.waiters
+	ctl.waiters = nil
+	ctl.pending = make(map[int]bool)
+	var newVersion int
+	if dealloc {
+		ctl.state = Deallocated
+		newVersion = -1
+	} else {
+		ctl.version++
+		newVersion = ctl.version
+		ctl.state = Live
+	}
+	// Grant broadcast to every other PE.
+	for other := 0; other < c.npe; other++ {
+		if other != ctl.host {
+			c.accountLocked(ctl.host, other, network.ReinitGrant, array)
+		}
+	}
+	hooks := c.hooks
+	c.mu.Unlock()
+
+	if dealloc {
+		if hooks.OnDealloc != nil {
+			hooks.OnDealloc(array)
+		}
+	} else if hooks.OnReinit != nil {
+		hooks.OnReinit(array, newVersion)
+	}
+	for _, ch := range waiters {
+		ch <- newVersion
+	}
+	return nil, newVersion, nil
+}
+
+// accountLocked records one protocol message. The caller holds c.mu.
+// Protocol messages share the interconnect with page traffic; they are
+// accounted but resolved directly by the Coordinator rather than
+// routed through inboxes.
+func (c *Coordinator) accountLocked(src, dst int, typ network.MsgType, array int) {
+	c.msgSent++
+	if c.net == nil || src == dst {
+		return
+	}
+	_ = c.net.Account(network.Message{Type: typ, Src: src, Dst: dst, Array: array})
+}

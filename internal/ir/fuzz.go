@@ -1,0 +1,44 @@
+package ir
+
+// FuzzAffineProgram derives a single-assignment loop nest from fuzz
+// bytes: one unit-step loop writing OUT(k) for k = 1..n, reading up to
+// four input arrays at affine subscripts a*k+b with a in {1,2,3} and
+// b in [0,12]. Every generated program is single-assignment by
+// construction and in-bounds for any n, so engines can be
+// property-tested against the sequential reference over arbitrary
+// skews and rate mismatches.
+func FuzzAffineProgram(seed []byte) *Program {
+	if len(seed) == 0 {
+		seed = []byte{1}
+	}
+	pick := func(i int) int { return int(seed[i%len(seed)]) }
+	nReads := 1 + pick(0)%4
+	p := &Program{
+		Name: "fuzz",
+		Arrays: []ArrayDecl{
+			{Name: "OUT", Dims: []Extent{NPlus(1)}},
+		},
+	}
+	var terms []Term
+	for r := 0; r < nReads; r++ {
+		a := 1 + pick(2*r+1)%3 // coefficient 1..3
+		b := pick(2*r+2) % 13  // offset 0..12
+		name := string(rune('A' + r))
+		// Sized so a*n + b stays in range.
+		p.Arrays = append(p.Arrays, ArrayDecl{
+			Name:  name,
+			Dims:  []Extent{{Scale: a, Offset: b + a + 1}},
+			Input: true,
+		})
+		terms = append(terms, Term{
+			Coef: 0.25 + float64(r)*0.5,
+			Read: R(name, V("k").Times(a).PlusC(b)),
+		})
+	}
+	p.Body = []Stmt{
+		&Loop{Var: "k", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+			&Assign{LHS: R("OUT", V("k")), RHS: RHS{Bias: 0.5, Terms: terms}},
+		}},
+	}
+	return p
+}

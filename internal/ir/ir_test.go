@@ -1,0 +1,317 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+)
+
+func TestExprAlgebra(t *testing.T) {
+	e := V("i").Times(2).PlusC(3).Plus(V("j"))
+	env := map[string]int{"i": 5, "j": 7}
+	if got := e.Eval(env, nil); got != 20 {
+		t.Errorf("eval = %d, want 20", got)
+	}
+	if got := V("i").Minus(C(1)).Eval(env, nil); got != 4 {
+		t.Errorf("minus = %d", got)
+	}
+	fv := e.FreeVars()
+	if len(fv) != 2 || fv[0] != "i" || fv[1] != "j" {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	if !e.IsAffine() {
+		t.Error("affine expr reported non-affine")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	if s := V("i").Times(2).PlusC(-3).String(); s != "2*i+-3" && s != "2*i-3" {
+		t.Errorf("String = %q", s)
+	}
+	if s := C(0).String(); s != "0" {
+		t.Errorf("zero String = %q", s)
+	}
+	if s := Ind("IX", V("k")).String(); s != "IX(k)" {
+		t.Errorf("indirect String = %q", s)
+	}
+	if s := V("i").Times(-1).String(); s != "-i" {
+		t.Errorf("negated String = %q", s)
+	}
+}
+
+func TestExprEvalUnboundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbound variable did not panic")
+		}
+	}()
+	V("zz").Eval(map[string]int{}, nil)
+}
+
+func TestIndirectArithmeticPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("arithmetic on indirect did not panic")
+		}
+	}()
+	Ind("A", V("i")).PlusC(1)
+}
+
+func TestIndirectEval(t *testing.T) {
+	e := Ind("IX", V("k").PlusC(1))
+	got := e.Eval(map[string]int{"k": 3}, func(array string, idx int) float64 {
+		if array != "IX" || idx != 4 {
+			t.Errorf("indirection read %s[%d]", array, idx)
+		}
+		return 9
+	})
+	if got != 9 {
+		t.Errorf("indirect eval = %d", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *Program)
+	}{
+		{"empty name", func(p *Program) { p.Name = "" }},
+		{"dup array", func(p *Program) { p.Arrays = append(p.Arrays, p.Arrays[0]) }},
+		{"no dims", func(p *Program) { p.Arrays[0].Dims = nil }},
+		{"zero step", func(p *Program) { p.Body[0].(*Loop).Step = 0 }},
+		{"unbound var", func(p *Program) {
+			p.Body[0].(*Loop).Body[0].(*Assign).LHS = R("RX", V("zz"))
+		}},
+		{"undeclared array", func(p *Program) {
+			p.Body[0].(*Loop).Body[0].(*Assign).LHS.Array = "NOPE"
+		}},
+		{"rank mismatch", func(p *Program) {
+			p.Body[0].(*Loop).Body[0].(*Assign).LHS = R("RX", V("k"), V("k"))
+		}},
+		{"shadowed loop var", func(p *Program) {
+			inner := &Loop{Var: "k", Lo: C(1), Hi: C(2), Step: 1}
+			p.Body[0].(*Loop).Body = append(p.Body[0].(*Loop).Body, inner)
+		}},
+	}
+	for _, c := range cases {
+		p := SampleMatched()
+		c.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: not rejected", c.name)
+		}
+	}
+	if err := SampleMatched().Validate(); err != nil {
+		t.Errorf("clean sample rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsIndirectWrite(t *testing.T) {
+	p := SampleIndirect()
+	p.Body[0].(*Loop).Body[0].(*Assign).LHS = R("OUT", Ind("IX", V("k")))
+	if err := p.Validate(); err == nil {
+		t.Error("indirect write subscript accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := SampleHydro().String()
+	for _, want := range []string{"PROGRAM hydro", "ARRAY X", "INPUT", "OUTPUT", "DO k = 1, n", "END DO", "ZX(k+10)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCleanSamplesCompileAndRun(t *testing.T) {
+	// Matched, hydro, cyclic and indirect are single-assignment as
+	// written: they must compile and run clean on the reference engine.
+	for _, p := range []*Program{SampleMatched(), SampleHydro(), SampleCyclic(), SampleIndirect()} {
+		k, err := p.Kernel(64)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		res, err := loops.RunSeq(k, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if len(res.Checksums) == 0 || res.Checksums[0].Defined == 0 {
+			t.Errorf("%s: no output produced", p.Name)
+		}
+	}
+}
+
+func TestDirtySamplesFailSequentially(t *testing.T) {
+	// The conventional-Fortran samples violate single assignment and
+	// must be caught at runtime by the reference engine.
+	for _, p := range []*Program{SampleInPlace(), SampleCarriedScalar(), SampleGaussSeidel(), SampleTwoPhase()} {
+		k, err := p.Kernel(32)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if _, err := loops.RunSeq(k, 32); err == nil {
+			t.Errorf("%s: SA violation not detected at runtime", p.Name)
+		}
+	}
+}
+
+func TestMatchedKernelValues(t *testing.T) {
+	k, err := SampleMatched().Kernel(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loops.RunSeq(k, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xx, irr := InputSeed(1), InputSeed(2)
+	rx := res.Values["RX"]
+	for i := 1; i <= 16; i++ {
+		want := xx(i) - irr(i)
+		if diff := rx[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("RX[%d] = %v, want %v", i, rx[i], want)
+		}
+	}
+}
+
+func TestCheckSADiagnostics(t *testing.T) {
+	cases := []struct {
+		p    *Program
+		kind DiagKind
+	}{
+		{SampleInPlace(), InPlaceUpdate},
+		{SampleInPlace(), InputOverwrite},
+		{SampleCarriedScalar(), LoopInvariantWrite},
+		{SampleGaussSeidel(), InPlaceUpdate},
+		{SampleTwoPhase(), MultipleWriters},
+	}
+	for _, c := range cases {
+		diags := c.p.CheckSA()
+		found := false
+		for _, d := range diags {
+			if d.Kind == c.kind {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: expected %v diagnostic, got %v", c.p.Name, c.kind, diags)
+		}
+	}
+}
+
+func TestCheckSACleanSamples(t *testing.T) {
+	for _, p := range []*Program{SampleMatched(), SampleHydro(), SampleCyclic(), SampleIndirect()} {
+		if viol := Violations(p.CheckSA()); len(viol) != 0 {
+			t.Errorf("%s: unexpected violations: %v", p.Name, viol)
+		}
+	}
+}
+
+func TestDiagnosticStrings(t *testing.T) {
+	d := Diagnostic{Kind: InPlaceUpdate, Severity: Violation, Array: "A", Stmt: "A(i) = ...", Detail: "x"}
+	s := d.String()
+	if !strings.Contains(s, "violation") || !strings.Contains(s, "in-place-update") {
+		t.Errorf("diagnostic rendering = %q", s)
+	}
+	if Warning.String() != "warning" {
+		t.Error("severity name wrong")
+	}
+	for _, k := range []DiagKind{LoopInvariantWrite, InPlaceUpdate, MultipleWriters, InputOverwrite} {
+		if strings.Contains(k.String(), "DiagKind") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if DiagKind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+func TestLinearizeRef(t *testing.T) {
+	p := &Program{
+		Name: "lin",
+		Arrays: []ArrayDecl{
+			{Name: "B", Dims: []Extent{NPlus(1), NPlus(1)}, Input: true},
+		},
+	}
+	// B(k, i) at n=9: row length 10, lin = 10*k + i.
+	coeffs, konst, affine := p.LinearizeRef(R("B", V("k"), V("i").PlusC(3)), 9)
+	if !affine {
+		t.Fatal("affine ref reported non-affine")
+	}
+	if coeffs["k"] != 10 || coeffs["i"] != 1 || konst != 3 {
+		t.Errorf("coeffs=%v konst=%d", coeffs, konst)
+	}
+	// Indirect refs are non-affine.
+	if _, _, affine := p.LinearizeRef(R("B", Ind("B", C(0)), C(1)), 9); affine {
+		t.Error("indirect ref reported affine")
+	}
+	// Unknown arrays are non-affine.
+	if _, _, affine := p.LinearizeRef(R("NOPE", C(0)), 9); affine {
+		t.Error("unknown array reported affine")
+	}
+}
+
+func TestDescendingLoop(t *testing.T) {
+	// A descending recurrence: E(k) = E(k+1)*0.5, k = n..1.
+	p := &Program{
+		Name: "descend",
+		Arrays: []ArrayDecl{
+			{Name: "E", Dims: []Extent{NPlus(2)}},
+		},
+		Body: []Stmt{
+			&Loop{Var: "k", Lo: N(), Hi: C(1), Step: -1, Body: []Stmt{
+				&Assign{
+					LHS: R("E", V("k")),
+					RHS: RHS{Terms: []Term{{Coef: 0.5, Read: R("E", V("k").PlusC(1))}}},
+				},
+			}},
+		},
+	}
+	p.Arrays[0].InitLowCount = 0
+	// Boundary: E(n+1) must be initialization data. Use InitLowCount
+	// via a trick: descending recurrences need the HIGH cell defined,
+	// which InitLowCount cannot express, so write it as a statement.
+	p.Body = append([]Stmt{
+		&Assign{LHS: R("E", N().PlusC(1)), RHS: RHS{Bias: 1.0}},
+	}, p.Body...)
+	k, err := p.Kernel(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loops.RunSeq(k, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Values["E"]
+	want := 1.0
+	for kk := 16; kk >= 1; kk-- {
+		want *= 0.5
+		if e[kk] != 0 && (e[kk]-want > 1e-15 || want-e[kk] > 1e-15) {
+			t.Fatalf("E[%d] = %v, want %v", kk, e[kk], want)
+		}
+	}
+}
+
+func TestSamplesRegistry(t *testing.T) {
+	ss := Samples()
+	if len(ss) != 8 {
+		t.Fatalf("Samples() returned %d programs", len(ss))
+	}
+	seen := map[string]bool{}
+	for _, p := range ss {
+		if seen[p.Name] {
+			t.Errorf("duplicate sample %q", p.Name)
+		}
+		seen[p.Name] = true
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestKernelRejectsEmptyProgram(t *testing.T) {
+	p := &Program{Name: "empty", Arrays: []ArrayDecl{{Name: "A", Dims: []Extent{Fixed(4)}, Input: true}}}
+	if _, err := p.Kernel(8); err == nil {
+		t.Error("program with no writes accepted")
+	}
+}

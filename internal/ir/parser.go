@@ -1,0 +1,447 @@
+package ir
+
+// A line-oriented parser for the Fortran-flavored surface syntax the
+// renderer (Program.String) emits, closing the loop: programs can be
+// written by hand, parsed, converted to single assignment, classified
+// and executed. Grammar (case-insensitive keywords):
+//
+//	PROGRAM name
+//	ARRAY X(n+1) OUTPUT            extents: k | n | s*n | n+k | s*n+k
+//	ARRAY Y(n+1, 8) INPUT
+//	ARRAY Z(n+2) OUTPUT INIT 1     first k linear cells pre-defined
+//	DO i = 1, n [, step]           bounds: affine in n and loop vars
+//	  X(i) = 0.5 + Y(i) + 0.25*Z(i+1) + G(IX(i))
+//	END DO
+//	END
+//
+// Subscripts are affine expressions (sums of k, v, k*v) or a nested
+// 1-D reference (indirection). Right-hand sides are linear
+// combinations: an optional constant bias plus coef*Ref terms.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError locates a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string { return fmt.Sprintf("ir: line %d: %s", e.Line, e.Msg) }
+
+type parser struct {
+	lines []string
+	pos   int
+	prog  *Program
+}
+
+// Parse parses the surface syntax into a Program and validates it.
+func Parse(src string) (*Program, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	if err := p.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next non-empty, non-comment line, trimmed.
+func (p *parser) next() (string, bool) {
+	for p.pos < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.pos])
+		p.pos++
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (p *parser) peek() (string, bool) {
+	save := p.pos
+	line, ok := p.next()
+	p.pos = save
+	return line, ok
+}
+
+func keyword(line, kw string) (rest string, ok bool) {
+	if len(line) >= len(kw) && strings.EqualFold(line[:len(kw)], kw) {
+		r := line[len(kw):]
+		if r == "" || r[0] == ' ' || r[0] == '\t' {
+			return strings.TrimSpace(r), true
+		}
+	}
+	return "", false
+}
+
+func (p *parser) parseProgram() error {
+	line, ok := p.next()
+	if !ok {
+		return p.errf("empty input")
+	}
+	name, ok := keyword(line, "PROGRAM")
+	if !ok || name == "" {
+		return p.errf("expected 'PROGRAM <name>', got %q", line)
+	}
+	p.prog = &Program{Name: name}
+	for {
+		line, ok := p.peek()
+		if !ok {
+			return p.errf("missing END")
+		}
+		if _, isEnd := keyword(line, "END"); isEnd && !startsDo(line) {
+			if rest, isEndDo := keyword(line, "END"); isEndDo && strings.EqualFold(rest, "DO") {
+				return p.errf("unmatched END DO")
+			}
+			p.next()
+			return nil
+		}
+		if rest, isArr := keyword(line, "ARRAY"); isArr {
+			p.next()
+			if err := p.parseArray(rest); err != nil {
+				return err
+			}
+			continue
+		}
+		stmt, err := p.parseStmt()
+		if err != nil {
+			return err
+		}
+		p.prog.Body = append(p.prog.Body, stmt)
+	}
+}
+
+func startsDo(line string) bool {
+	_, ok := keyword(line, "DO")
+	return ok
+}
+
+// parseArray parses `X(n+1, 8) INPUT|OUTPUT [INIT k]`.
+func (p *parser) parseArray(rest string) error {
+	open := strings.Index(rest, "(")
+	closeIdx := strings.Index(rest, ")")
+	if open < 1 || closeIdx < open {
+		return p.errf("malformed array declaration %q", rest)
+	}
+	decl := ArrayDecl{Name: strings.TrimSpace(rest[:open])}
+	for _, dim := range strings.Split(rest[open+1:closeIdx], ",") {
+		ext, err := parseExtent(strings.TrimSpace(dim))
+		if err != nil {
+			return p.errf("array %s: %v", decl.Name, err)
+		}
+		decl.Dims = append(decl.Dims, ext)
+	}
+	tail := strings.Fields(rest[closeIdx+1:])
+	if len(tail) == 0 {
+		return p.errf("array %s: missing INPUT/OUTPUT role", decl.Name)
+	}
+	switch strings.ToUpper(tail[0]) {
+	case "INPUT":
+		decl.Input = true
+	case "OUTPUT":
+	default:
+		return p.errf("array %s: role must be INPUT or OUTPUT, got %q", decl.Name, tail[0])
+	}
+	if len(tail) >= 2 {
+		if !strings.EqualFold(tail[1], "INIT") || len(tail) < 3 {
+			return p.errf("array %s: expected 'INIT <count>'", decl.Name)
+		}
+		k, err := strconv.Atoi(tail[2])
+		if err != nil || k < 0 {
+			return p.errf("array %s: bad INIT count %q", decl.Name, tail[2])
+		}
+		decl.InitLowCount = k
+	}
+	p.prog.Arrays = append(p.prog.Arrays, decl)
+	return nil
+}
+
+// parseExtent parses k | n | s*n | n+k | s*n+k.
+func parseExtent(s string) (Extent, error) {
+	e, err := parseAffine(s)
+	if err != nil {
+		return Extent{}, err
+	}
+	if e.Indirect != nil {
+		return Extent{}, fmt.Errorf("extent %q may not be indirect", s)
+	}
+	ext := Extent{Offset: e.Const}
+	for v, c := range e.Coeffs {
+		if v != "n" {
+			return Extent{}, fmt.Errorf("extent %q may only reference n", s)
+		}
+		ext.Scale = c
+	}
+	return ext, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	line, _ := p.next()
+	if rest, ok := keyword(line, "DO"); ok {
+		return p.parseLoop(rest)
+	}
+	return p.parseAssign(line)
+}
+
+// parseLoop parses `DO v = lo, hi [, step]` up to its END DO.
+func (p *parser) parseLoop(rest string) (Stmt, error) {
+	eq := strings.Index(rest, "=")
+	if eq < 1 {
+		return nil, p.errf("malformed DO header %q", rest)
+	}
+	l := &Loop{Var: strings.TrimSpace(rest[:eq]), Step: 1}
+	parts := strings.Split(rest[eq+1:], ",")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, p.errf("DO needs 'lo, hi [, step]', got %q", rest)
+	}
+	var err error
+	if l.Lo, err = parseAffine(strings.TrimSpace(parts[0])); err != nil {
+		return nil, p.errf("DO lower bound: %v", err)
+	}
+	if l.Hi, err = parseAffine(strings.TrimSpace(parts[1])); err != nil {
+		return nil, p.errf("DO upper bound: %v", err)
+	}
+	if len(parts) == 3 {
+		step, err := strconv.Atoi(strings.TrimSpace(parts[2]))
+		if err != nil {
+			return nil, p.errf("DO step: %v", err)
+		}
+		l.Step = step
+	}
+	for {
+		line, ok := p.peek()
+		if !ok {
+			return nil, p.errf("DO %s: missing END DO", l.Var)
+		}
+		if rest, isEnd := keyword(line, "END"); isEnd && strings.EqualFold(strings.TrimSpace(rest), "DO") {
+			p.next()
+			return l, nil
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		l.Body = append(l.Body, body)
+	}
+}
+
+// parseAssign parses `Ref = rhs`.
+func (p *parser) parseAssign(line string) (Stmt, error) {
+	eq := findTopLevelEq(line)
+	if eq < 0 {
+		return nil, p.errf("expected assignment, got %q", line)
+	}
+	lhs, err := parseRef(strings.TrimSpace(line[:eq]))
+	if err != nil {
+		return nil, p.errf("left-hand side: %v", err)
+	}
+	rhs, err := parseRHS(strings.TrimSpace(line[eq+1:]))
+	if err != nil {
+		return nil, p.errf("right-hand side: %v", err)
+	}
+	return &Assign{LHS: lhs, RHS: rhs}, nil
+}
+
+// findTopLevelEq locates the assignment '=' outside parentheses.
+func findTopLevelEq(s string) int {
+	depth := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '=':
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// splitTopLevel splits on sep outside parentheses.
+func splitTopLevel(s string, sep rune) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// parseRHS parses a linear combination: bias and coef*Ref terms joined
+// by top-level '+' (use `+ -2*X(i)` for subtraction).
+func parseRHS(s string) (RHS, error) {
+	var rhs RHS
+	for _, raw := range splitTopLevel(s, '+') {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			return rhs, fmt.Errorf("empty term in %q", s)
+		}
+		// coef*Ref?
+		if star := topLevelStar(part); star >= 0 {
+			coef, err := strconv.ParseFloat(strings.TrimSpace(part[:star]), 64)
+			if err != nil {
+				return rhs, fmt.Errorf("bad coefficient in %q", part)
+			}
+			ref, err := parseRef(strings.TrimSpace(part[star+1:]))
+			if err != nil {
+				return rhs, err
+			}
+			rhs.Terms = append(rhs.Terms, Term{Coef: coef, Read: ref})
+			continue
+		}
+		// Bare Ref (coef 1)?
+		if strings.Contains(part, "(") {
+			ref, err := parseRef(part)
+			if err != nil {
+				return rhs, err
+			}
+			rhs.Terms = append(rhs.Terms, Term{Coef: 1, Read: ref})
+			continue
+		}
+		// Constant bias.
+		bias, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return rhs, fmt.Errorf("bad constant %q", part)
+		}
+		rhs.Bias += bias
+	}
+	return rhs, nil
+}
+
+func topLevelStar(s string) int {
+	depth := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '*':
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseRef parses `Name(sub, sub, ...)`.
+func parseRef(s string) (Ref, error) {
+	open := strings.Index(s, "(")
+	if open < 1 || !strings.HasSuffix(s, ")") {
+		return Ref{}, fmt.Errorf("malformed reference %q", s)
+	}
+	ref := Ref{Array: strings.TrimSpace(s[:open])}
+	inner := s[open+1 : len(s)-1]
+	for _, sub := range splitTopLevel(inner, ',') {
+		e, err := parseSubscript(strings.TrimSpace(sub))
+		if err != nil {
+			return Ref{}, fmt.Errorf("%s: %v", ref.Array, err)
+		}
+		ref.Index = append(ref.Index, e)
+	}
+	if len(ref.Index) == 0 {
+		return Ref{}, fmt.Errorf("reference %q has no subscripts", s)
+	}
+	return ref, nil
+}
+
+// parseSubscript parses either an affine expression or a nested 1-D
+// reference (indirection).
+func parseSubscript(s string) (Expr, error) {
+	if open := strings.Index(s, "("); open >= 1 && strings.HasSuffix(s, ")") {
+		// Nested reference: indirection.
+		inner, err := parseSubscript(strings.TrimSpace(s[open+1 : len(s)-1]))
+		if err != nil {
+			return Expr{}, err
+		}
+		return Ind(strings.TrimSpace(s[:open]), inner), nil
+	}
+	return parseAffine(s)
+}
+
+// parseAffine parses sums of: INT | var | INT*var | -term.
+func parseAffine(s string) (Expr, error) {
+	out := Expr{Coeffs: map[string]int{}}
+	// Normalize binary minus into +- so we can split on '+'.
+	norm := strings.ReplaceAll(s, "-", "+-")
+	if strings.HasPrefix(norm, "+-") {
+		norm = norm[1:] // leading unary minus
+	}
+	for _, raw := range strings.Split(norm, "+") {
+		part := strings.TrimSpace(raw)
+		if part == "" {
+			return Expr{}, fmt.Errorf("empty term in %q", s)
+		}
+		sign := 1
+		if strings.HasPrefix(part, "-") {
+			sign = -1
+			part = strings.TrimSpace(part[1:])
+		}
+		if star := strings.Index(part, "*"); star >= 0 {
+			k, err := strconv.Atoi(strings.TrimSpace(part[:star]))
+			if err != nil {
+				return Expr{}, fmt.Errorf("bad coefficient in %q", part)
+			}
+			v := strings.TrimSpace(part[star+1:])
+			if !isIdent(v) {
+				return Expr{}, fmt.Errorf("bad variable %q", v)
+			}
+			out.Coeffs[v] += sign * k
+			continue
+		}
+		if isIdent(part) {
+			out.Coeffs[part] += sign
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil {
+			return Expr{}, fmt.Errorf("bad term %q in %q", part, s)
+		}
+		out.Const += sign * k
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+)
+
+const hydroSrc = `
+PROGRAM hydro
+  ARRAY X(n+1) OUTPUT
+  ARRAY Y(n+1) INPUT
+  ARRAY ZX(n+12) INPUT
+  DO k = 1, n
+    X(k) = 0.5 + Y(k) + 0.2*ZX(k+10) + 0.1*ZX(k+11)
+  END DO
+END
+`
+
+func TestParseHydro(t *testing.T) {
+	p, err := Parse(hydroSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "hydro" || len(p.Arrays) != 3 {
+		t.Fatalf("parsed %q with %d arrays", p.Name, len(p.Arrays))
+	}
+	if !p.Arrays[1].Input || p.Arrays[0].Input {
+		t.Error("roles wrong")
+	}
+	loop, ok := p.Body[0].(*Loop)
+	if !ok || loop.Var != "k" || loop.Step != 1 {
+		t.Fatalf("loop = %+v", p.Body[0])
+	}
+	a := loop.Body[0].(*Assign)
+	if a.RHS.Bias != 0.5 || len(a.RHS.Terms) != 3 {
+		t.Errorf("rhs = %+v", a.RHS)
+	}
+	if a.RHS.Terms[1].Coef != 0.2 {
+		t.Errorf("coef = %v", a.RHS.Terms[1].Coef)
+	}
+}
+
+func TestParsedProgramEquivalentToBuiltSample(t *testing.T) {
+	// The parsed hydro program must behave identically to the
+	// programmatically built SampleHydro.
+	parsed, err := Parse(hydroSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := parsed.Kernel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := SampleHydro().Kernel(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := loops.RunSeq(pk, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := loops.RunSeq(sk, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Checksums[0] != sr.Checksums[0] {
+		t.Errorf("parsed %+v != built %+v", pr.Checksums[0], sr.Checksums[0])
+	}
+}
+
+func TestParseRoundTripThroughRenderer(t *testing.T) {
+	// Every clean sample renders to text that parses back to an
+	// equivalent program (same checksum on the reference engine).
+	for _, p := range []*Program{SampleMatched(), SampleHydro(), SampleCyclic(), SampleIndirect()} {
+		src := p.String() + "END\n"
+		back, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\nsource:\n%s", p.Name, err, src)
+		}
+		k1, err := p.Kernel(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k2, err := back.Kernel(48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := loops.RunSeq(k1, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := loops.RunSeq(k2, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range r1.Checksums {
+			if r1.Checksums[i] != r2.Checksums[i] {
+				t.Errorf("%s: roundtrip checksum drift: %+v vs %+v",
+					p.Name, r1.Checksums[i], r2.Checksums[i])
+			}
+		}
+	}
+}
+
+func TestParseIndirection(t *testing.T) {
+	src := `
+PROGRAM gather
+  ARRAY OUT(n+1) OUTPUT
+  ARRAY G(n+2) INPUT
+  ARRAY IX(n+1) INPUT
+  DO k = 1, n
+    OUT(k) = G(IX(k))
+  END DO
+END
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Body[0].(*Loop).Body[0].(*Assign)
+	idx := a.RHS.Terms[0].Read.Index[0]
+	if idx.Indirect == nil || idx.Indirect.Array != "IX" {
+		t.Fatalf("indirection not parsed: %+v", idx)
+	}
+	if _, err := p.Kernel(32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMultiDimAndInit(t *testing.T) {
+	src := `
+PROGRAM grid
+  ARRAY Z(n+2, 8) INPUT
+  ARRAY O(n+2, 8) OUTPUT
+  ARRAY S(n+2) OUTPUT INIT 1
+  DO j = 2, n
+    DO k = 2, 6
+      O(j, k) = Z(j - 1, k + 1) + -1*Z(j, k)
+      S(j) = S(j - 1) + Z(j, k)
+    END DO
+  END DO
+END
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arrays[2].InitLowCount != 1 {
+		t.Errorf("INIT count = %d", p.Arrays[2].InitLowCount)
+	}
+	outer := p.Body[0].(*Loop)
+	inner := outer.Body[0].(*Loop)
+	a := inner.Body[0].(*Assign)
+	// Z(j-1, k+1): first subscript j-1.
+	e := a.RHS.Terms[0].Read.Index[0]
+	if e.Coeffs["j"] != 1 || e.Const != -1 {
+		t.Errorf("subscript = %+v", e)
+	}
+	// S writes inside the k loop are loop-invariant: CheckSA must flag.
+	found := false
+	for _, d := range p.CheckSA() {
+		if d.Kind == LoopInvariantWrite && d.Array == "S" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loop-invariant S write not diagnosed after parse")
+	}
+}
+
+func TestParseDescendingStep(t *testing.T) {
+	src := `
+PROGRAM down
+  ARRAY E(n+2) OUTPUT INIT 0
+  ARRAY W(n+2) INPUT
+  E(n+1) = 1.0
+  DO k = n, 1, -1
+    E(k) = 0.5*E(k+1) + W(k)
+  END DO
+END
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := p.Kernel(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loops.RunSeq(k, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no program", "ARRAY X(3) OUTPUT\nEND"},
+		{"missing end", "PROGRAM p\nARRAY X(3) OUTPUT\n"},
+		{"bad array", "PROGRAM p\nARRAY X OUTPUT\nEND"},
+		{"bad role", "PROGRAM p\nARRAY X(3) SIDEWAYS\nEND"},
+		{"bad init", "PROGRAM p\nARRAY X(3) OUTPUT INIT\nEND"},
+		{"bad extent", "PROGRAM p\nARRAY X(n*n) OUTPUT\nEND"},
+		{"extent var", "PROGRAM p\nARRAY X(2*m) OUTPUT\nEND"},
+		{"do no eq", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k 1, 2\nEND DO\nEND"},
+		{"do one bound", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1\nEND DO\nEND"},
+		{"do bad step", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2, x\nEND DO\nEND"},
+		{"unclosed do", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2\nX(k) = 1\nEND"},
+		{"bad assign", "PROGRAM p\nARRAY X(3) OUTPUT\njunk line\nEND"},
+		{"bad ref", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2\nX = 1\nEND DO\nEND"},
+		{"bad coef", "PROGRAM p\nARRAY X(3) OUTPUT\nARRAY Y(3) INPUT\nDO k = 1, 2\nX(k) = q*Y(k)\nEND DO\nEND"},
+		{"bad const", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2\nX(k) = banana\nEND DO\nEND"},
+		{"undeclared", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2\nX(k) = Y(k)\nEND DO\nEND"},
+		{"bad subscript", "PROGRAM p\nARRAY X(3) OUTPUT\nDO k = 1, 2\nX(k ^ 2) = 1\nEND DO\nEND"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	src := `
+# a comment
+PROGRAM p
+
+  ! another comment style
+  ARRAY X(n+1) OUTPUT
+  ARRAY Y(n+1) INPUT
+  DO k = 1, n
+    X(k) = Y(k)
+  END DO
+END
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("PROGRAM p\nARRAY X OUTPUT\nEND")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("message %q lacks location", err.Error())
+	}
+}

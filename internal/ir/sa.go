@@ -1,0 +1,209 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Severity grades a single-assignment diagnostic.
+type Severity int
+
+// Diagnostic severities.
+const (
+	Warning   Severity = iota // may be legal (e.g. provably disjoint writes)
+	Violation                 // definitely breaks single assignment
+)
+
+// String returns the severity name.
+func (s Severity) String() string {
+	if s == Violation {
+		return "violation"
+	}
+	return "warning"
+}
+
+// DiagKind classifies a diagnostic.
+type DiagKind int
+
+// Diagnostic kinds.
+const (
+	// LoopInvariantWrite: the write subscript ignores an enclosing loop
+	// variable, so the same cell is written on every iteration.
+	LoopInvariantWrite DiagKind = iota
+	// InPlaceUpdate: the statement reads the cell it writes (the
+	// Fortran accumulate/update idiom); under single assignment the
+	// read requires the cell to be defined, which the write then
+	// violates.
+	InPlaceUpdate
+	// MultipleWriters: two statements write the same array; legal only
+	// if their index ranges are disjoint, which the checker does not
+	// prove.
+	MultipleWriters
+	// InputOverwrite: an initialization-data (input) array is written.
+	InputOverwrite
+)
+
+// String returns the kind name.
+func (k DiagKind) String() string {
+	switch k {
+	case LoopInvariantWrite:
+		return "loop-invariant-write"
+	case InPlaceUpdate:
+		return "in-place-update"
+	case MultipleWriters:
+		return "multiple-writers"
+	case InputOverwrite:
+		return "input-overwrite"
+	default:
+		return fmt.Sprintf("DiagKind(%d)", int(k))
+	}
+}
+
+// Diagnostic is one finding of the static single-assignment checker.
+type Diagnostic struct {
+	Kind     DiagKind
+	Severity Severity
+	Array    string
+	Stmt     string // rendering of the offending assignment
+	Detail   string
+}
+
+// String renders the diagnostic.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s on %s: %s [%s]",
+		d.Severity, d.Kind, d.Array, d.Detail, strings.TrimSpace(d.Stmt))
+}
+
+// CheckSA performs the §5 "data path analysis": it reports places
+// where the program violates (or may violate) the single assignment
+// rule. A program with no Violation-severity diagnostics and no
+// overlapping multi-writers executes cleanly on the engines; the
+// convert package rewrites programs that fail.
+func (p *Program) CheckSA() []Diagnostic {
+	var diags []Diagnostic
+	writersOf := map[string][]*Assign{}
+
+	for _, info := range p.Assigns() {
+		a := info.Assign
+		var rendered strings.Builder
+		a.render("", &rendered)
+		stmtStr := rendered.String()
+
+		writersOf[a.LHS.Array] = append(writersOf[a.LHS.Array], a)
+
+		if d, ok := p.decl(a.LHS.Array); ok && d.Input {
+			diags = append(diags, Diagnostic{
+				Kind: InputOverwrite, Severity: Violation, Array: a.LHS.Array,
+				Stmt:   stmtStr,
+				Detail: "assignment to initialization data",
+			})
+		}
+
+		// Loop-invariant writes: every enclosing loop variable with a
+		// possibly multi-trip range must appear in some write subscript.
+		lhsVars := map[string]bool{}
+		for _, e := range a.LHS.Index {
+			for _, v := range e.FreeVars() {
+				lhsVars[v] = true
+			}
+		}
+		for _, l := range info.Loops {
+			if l.Var == "n" || lhsVars[l.Var] {
+				continue
+			}
+			if singleTrip(l) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Kind: LoopInvariantWrite, Severity: Violation, Array: a.LHS.Array,
+				Stmt:   stmtStr,
+				Detail: fmt.Sprintf("write subscript ignores loop variable %q", l.Var),
+			})
+		}
+
+		// In-place updates: a read of the same array at the same index.
+		for _, r := range a.RHS.Reads() {
+			if r.Array == a.LHS.Array && sameIndex(r.Index, a.LHS.Index) {
+				diags = append(diags, Diagnostic{
+					Kind: InPlaceUpdate, Severity: Violation, Array: a.LHS.Array,
+					Stmt:   stmtStr,
+					Detail: "statement reads the cell it writes",
+				})
+			}
+		}
+	}
+
+	for array, writers := range writersOf {
+		if len(writers) < 2 {
+			continue
+		}
+		var rendered strings.Builder
+		writers[1].render("", &rendered)
+		diags = append(diags, Diagnostic{
+			Kind: MultipleWriters, Severity: Warning, Array: array,
+			Stmt:   rendered.String(),
+			Detail: fmt.Sprintf("%d statements write %s; legal only if their ranges are disjoint", len(writers), array),
+		})
+	}
+	return diags
+}
+
+// Violations filters diagnostics to definite violations.
+func Violations(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == Violation {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// singleTrip reports whether the loop provably executes at most once
+// (constant equal bounds).
+func singleTrip(l *Loop) bool {
+	if l.Lo.Indirect != nil || l.Hi.Indirect != nil {
+		return false
+	}
+	if len(l.Lo.FreeVars()) != 0 || len(l.Hi.FreeVars()) != 0 {
+		return false
+	}
+	return l.Lo.Const == l.Hi.Const
+}
+
+// sameIndex reports whether two affine index vectors are syntactically
+// identical.
+func sameIndex(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !exprEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprEqual(a, b Expr) bool {
+	if (a.Indirect == nil) != (b.Indirect == nil) {
+		return false
+	}
+	if a.Indirect != nil {
+		return a.Indirect.Array == b.Indirect.Array && exprEqual(a.Indirect.Index, b.Indirect.Index)
+	}
+	if a.Const != b.Const {
+		return false
+	}
+	for v, c := range a.Coeffs {
+		if c != 0 && b.Coeffs[v] != c {
+			return false
+		}
+	}
+	for v, c := range b.Coeffs {
+		if c != 0 && a.Coeffs[v] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,223 @@
+package ir
+
+// Sample programs mirroring the paper's loop fragments, used by tests,
+// the saconv/classify tools, and the customkernel example. Each returns
+// a fresh Program so callers may mutate freely.
+
+// SampleMatched is the §7.1.1 Matched Distribution exemplar:
+//
+//	DO k = 1,n
+//	  RX(k) = XX(k) - IR(k)
+func SampleMatched() *Program {
+	return &Program{
+		Name: "matched",
+		Arrays: []ArrayDecl{
+			{Name: "RX", Dims: []Extent{NPlus(1)}},
+			{Name: "XX", Dims: []Extent{NPlus(1)}, Input: true},
+			{Name: "IR", Dims: []Extent{NPlus(1)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "k", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("RX", V("k")),
+					RHS: RHS{Terms: []Term{
+						{Coef: 1, Read: R("XX", V("k"))},
+						{Coef: -1, Read: R("IR", V("k"))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleHydro is the Hydro Fragment's access skeleton (skews 10/11);
+// the multiplicative structure is flattened to a linear combination,
+// which leaves the access pattern — the object of study — unchanged:
+//
+//	DO k = 1,n
+//	  X(k) = 0.5 + Y(k) + 0.2*ZX(k+10) + 0.1*ZX(k+11)
+func SampleHydro() *Program {
+	return &Program{
+		Name: "hydro",
+		Arrays: []ArrayDecl{
+			{Name: "X", Dims: []Extent{NPlus(1)}},
+			{Name: "Y", Dims: []Extent{NPlus(1)}, Input: true},
+			{Name: "ZX", Dims: []Extent{NPlus(12)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "k", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("X", V("k")),
+					RHS: RHS{Bias: 0.5, Terms: []Term{
+						{Coef: 1, Read: R("Y", V("k"))},
+						{Coef: 0.2, Read: R("ZX", V("k").PlusC(10))},
+						{Coef: 0.1, Read: R("ZX", V("k").PlusC(11))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleCyclic reads at twice the write rate, the ICCG signature:
+//
+//	DO k = 1,n
+//	  XO(k) = X(2*k) - X(2*k+1)
+func SampleCyclic() *Program {
+	return &Program{
+		Name: "cyclic",
+		Arrays: []ArrayDecl{
+			{Name: "XO", Dims: []Extent{NPlus(1)}},
+			{Name: "X", Dims: []Extent{{Scale: 2, Offset: 2}}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "k", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("XO", V("k")),
+					RHS: RHS{Terms: []Term{
+						{Coef: 1, Read: R("X", V("k").Times(2))},
+						{Coef: -1, Read: R("X", V("k").Times(2).PlusC(1))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleIndirect gathers through a permutation, the §7.1.4 Random
+// Distribution signature:
+//
+//	DO k = 1,n
+//	  OUT(k) = G(IX(k))
+func SampleIndirect() *Program {
+	return &Program{
+		Name: "indirect",
+		Arrays: []ArrayDecl{
+			{Name: "OUT", Dims: []Extent{NPlus(1)}},
+			{Name: "G", Dims: []Extent{NPlus(2)}, Input: true},
+			{Name: "IX", Dims: []Extent{NPlus(1)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "k", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("OUT", V("k")),
+					RHS: RHS{Terms: []Term{
+						{Coef: 1, Read: R("G", Ind("IX", V("k")))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleInPlace is the classic conventional-Fortran update the §5
+// converter exists for:
+//
+//	DO i = 1,n
+//	  A(i) = A(i) + B(i)     (A is input data)
+func SampleInPlace() *Program {
+	return &Program{
+		Name: "inplace",
+		Arrays: []ArrayDecl{
+			{Name: "A", Dims: []Extent{NPlus(1)}, Input: true},
+			{Name: "B", Dims: []Extent{NPlus(1)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "i", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("A", V("i")),
+					RHS: RHS{Terms: []Term{
+						{Coef: 1, Read: R("A", V("i"))},
+						{Coef: 1, Read: R("B", V("i"))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleCarriedScalar accumulates into a fixed cell — the carried
+// scalar that conversion expands over the loop variable:
+//
+//	DO i = 1,n
+//	  S(0) = S(0) + X(i)
+func SampleCarriedScalar() *Program {
+	return &Program{
+		Name: "carried",
+		Arrays: []ArrayDecl{
+			{Name: "S", Dims: []Extent{Fixed(1)}, Input: true},
+			{Name: "X", Dims: []Extent{NPlus(1)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "i", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("S", C(0)),
+					RHS: RHS{Terms: []Term{
+						{Coef: 1, Read: R("S", C(0))},
+						{Coef: 1, Read: R("X", V("i"))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleGaussSeidel sweeps a 1-D relaxation in place, reading the
+// already-updated left neighbour and the not-yet-updated right
+// neighbour:
+//
+//	DO i = 1,n
+//	  A(i) = 0.25*A(i-1) + 0.25*A(i+1) + 0.5*A(i)
+func SampleGaussSeidel() *Program {
+	return &Program{
+		Name: "gaussseidel",
+		Arrays: []ArrayDecl{
+			{Name: "A", Dims: []Extent{NPlus(2)}, Input: true},
+		},
+		Body: []Stmt{
+			&Loop{Var: "i", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+				&Assign{
+					LHS: R("A", V("i")),
+					RHS: RHS{Terms: []Term{
+						{Coef: 0.25, Read: R("A", V("i").PlusC(-1))},
+						{Coef: 0.25, Read: R("A", V("i").PlusC(1))},
+						{Coef: 0.5, Read: R("A", V("i"))},
+					}},
+				},
+			}},
+		},
+	}
+}
+
+// SampleTwoPhase writes an array and then updates it in a second
+// phase, the multi-writer pattern of the LFK hydro codes:
+//
+//	DO i = 1,n:  T(i) = U(i) + V(i)
+//	DO i = 1,n:  T(i) = T(i) + U(i)
+func SampleTwoPhase() *Program {
+	mk := func(terms []Term) *Loop {
+		return &Loop{Var: "i", Lo: C(1), Hi: N(), Step: 1, Body: []Stmt{
+			&Assign{LHS: R("T", V("i")), RHS: RHS{Terms: terms}},
+		}}
+	}
+	return &Program{
+		Name: "twophase",
+		Arrays: []ArrayDecl{
+			{Name: "T", Dims: []Extent{NPlus(1)}},
+			{Name: "U", Dims: []Extent{NPlus(1)}, Input: true},
+			{Name: "V", Dims: []Extent{NPlus(1)}, Input: true},
+		},
+		Body: []Stmt{
+			mk([]Term{{Coef: 1, Read: R("U", V("i"))}, {Coef: 1, Read: R("V", V("i"))}}),
+			mk([]Term{{Coef: 1, Read: R("T", V("i"))}, {Coef: 1, Read: R("U", V("i"))}}),
+		},
+	}
+}
+
+// Samples returns every sample program.
+func Samples() []*Program {
+	return []*Program{
+		SampleMatched(), SampleHydro(), SampleCyclic(), SampleIndirect(),
+		SampleInPlace(), SampleCarriedScalar(), SampleGaussSeidel(), SampleTwoPhase(),
+	}
+}

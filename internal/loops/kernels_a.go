@@ -1,0 +1,477 @@
+package loops
+
+// Kernels 1-12 of the Livermore Loops, in single-assignment form, plus
+// the fragments the paper uses as class exemplars. Indexing follows the
+// Fortran sources (1-based); arrays carry one extra leading element so
+// the transcription stays literal. Where the original kernel reuses an
+// array (violating single assignment) the conversion to a fresh output
+// array is noted in Notes, mirroring the paper's §5 "automatic
+// conversion tool" whose translations "increase the amount of memory
+// used for array storage".
+
+// kernel1 is the Hydro Fragment (paper §7.1.2, Figure 1): a skewed
+// distribution with skew 10/11.
+//
+//	DO 1 k = 1,n
+//	1 X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))
+func kernel1() *Kernel {
+	const q, r, t = 0.5, 0.2, 0.1
+	return &Kernel{
+		ID: 1, Key: "k1", Name: "hydro fragment", Class: SD,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "ZX", Dims: []int{n + 12}, Init: InitAll(inB)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, y, zx := c.A("X"), c.A("Y"), c.A("ZX")
+			for k := 1; k <= n; k++ {
+				k := k
+				x.Set(func() float64 {
+					return q + y.Get(k)*(r*zx.Get(k+10)+t*zx.Get(k+11))
+				}, k)
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}
+
+// iccgPlan precomputes kernel 2's write set and the array size it
+// needs. The loop skips one cell between passes (i starts at IPNTP+2
+// while the previous pass ended below that); the skipped cells are read
+// but never written, so — like the Fortran original, which found stale
+// data there — they must be initialization data under single
+// assignment.
+func iccgPlan(n int) (writes map[int]bool, size int) {
+	writes = make(map[int]bool)
+	maxIdx := n
+	ii, ipntp := n, 0
+	for {
+		ipnt := ipntp
+		ipntp += ii
+		ii /= 2
+		i := ipntp + 1
+		for k := ipnt + 2; k <= ipntp; k += 2 {
+			i++
+			writes[i] = true
+			if i > maxIdx {
+				maxIdx = i
+			}
+			if k+1 > maxIdx {
+				maxIdx = k + 1
+			}
+		}
+		if ii <= 1 {
+			break
+		}
+	}
+	return writes, maxIdx + 1
+}
+
+// kernel2 is the Incomplete Cholesky - Conjugate Gradient excerpt
+// (paper §7.1.3, Figure 2): a cyclic distribution. The write index i
+// advances half as fast as the read index k, so a fixed set of pages is
+// revisited cyclically. The loop is single-assignment as published
+// (i > k+1 throughout); X outside the write set is initialization data.
+func kernel2() *Kernel {
+	return &Kernel{
+		ID: 2, Key: "k2", Name: "incomplete cholesky - conjugate gradient", Class: CD,
+		DefaultN: 1024, MinN: 4,
+		Arrays: func(n int) []Spec {
+			writes, sz := iccgPlan(n)
+			return []Spec{
+				{Name: "X", Dims: []int{sz}, Init: func(i int) (float64, bool) {
+					if writes[i] {
+						return 0, false
+					}
+					return inA(i), true
+				}},
+				{Name: "V", Dims: []int{sz}, Init: InitAll(inSmall)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, v := c.A("X"), c.A("V")
+			ii := n
+			ipntp := 0
+			for {
+				ipnt := ipntp
+				ipntp += ii
+				ii /= 2
+				i := ipntp + 1
+				for k := ipnt + 2; k <= ipntp; k += 2 {
+					i++
+					i, k := i, k
+					x.Set(func() float64 {
+						return x.Get(k) - v.Get(k)*x.Get(k-1) - v.Get(k+1)*x.Get(k+1)
+					}, i)
+				}
+				if ii <= 1 {
+					break
+				}
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}
+
+// kernel3 is the Inner Product: Q = sum Z(k)*X(k). The vector-to-scalar
+// collection uses the host-processor mechanism of §9; the element reads
+// are matched, so the gather itself incurs no remote reads.
+func kernel3() *Kernel {
+	return &Kernel{
+		ID: 3, Key: "k3", Name: "inner product", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Notes: "scalar result collected via host-processor reduction (§9) and stored in QOUT",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "Z", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "X", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "QOUT", Dims: []int{1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			z, x, qout := c.A("Z"), c.A("X"), c.A("QOUT")
+			q := c.ReduceSum(z, 1, n+1, func(k int) float64 {
+				return z.Get(k) * x.Get(k)
+			})
+			qout.Set(func() float64 { return q }, 0)
+		},
+		Outputs: []string{"QOUT"},
+	}
+}
+
+// kernel4 is Banded Linear Equations: three long dot products, each
+// written to one element. The original reads and then overwrites
+// X(k-1); the single-assignment form writes the results to XO.
+func kernel4() *Kernel {
+	return &Kernel{
+		ID: 4, Key: "k4", Name: "banded linear equations", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 15,
+		Notes: "X(k-1) update redirected to output XO (SA conversion); only three elements are written, so the load is inherently unbalanced",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{2*n + 2}, Init: InitAll(inA)},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "XO", Dims: []int{n + 2}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, y, xo := c.A("X"), c.A("Y"), c.A("XO")
+			m := (n - 7) / 2
+			if m < 1 {
+				m = 1
+			}
+			for k := 7; k <= n; k += m {
+				k := k
+				xo.Set(func() float64 {
+					lw := k - 6
+					temp := x.Get(k - 1)
+					for j := 5; j <= n; j += 5 {
+						temp -= x.Get(lw) * y.Get(j)
+						lw++
+					}
+					return y.Get(5) * temp
+				}, k-1)
+			}
+		},
+		Outputs: []string{"XO"},
+	}
+}
+
+// kernel5 is Tri-Diagonal Elimination, below diagonal (paper §7.1.2,
+// skewed class): X(i) = Z(i)*(Y(i) - X(i-1)), a first-order linear
+// recurrence that is naturally single-assignment with X(1) as
+// initialization data.
+func kernel5() *Kernel {
+	return &Kernel{
+		ID: 5, Key: "k5", Name: "tri-diagonal elimination, below diagonal", Class: SD,
+		DefaultN: 1000, MinN: 2,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}, Init: InitRange(1, 2, inA)},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "Z", Dims: []int{n + 1}, Init: InitAll(inSmall)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, y, z := c.A("X"), c.A("Y"), c.A("Z")
+			for i := 2; i <= n; i++ {
+				i := i
+				x.Set(func() float64 {
+					return z.Get(i) * (y.Get(i) - x.Get(i-1))
+				}, i)
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}
+
+// kernel6 is General Linear Recurrence Equations (paper §7.1.4,
+// Figure 4): the paper's random-distribution exemplar. The original
+// accumulates into W(i); the single-assignment form computes the full
+// sum in the producer:
+//
+//	W(i) = 0.01 + sum_{k=1..i-1} B(k,i)*W(i-k)
+//
+// B is linearized row-major over its Fortran subscripts (k,i) per the
+// paper's §7 convention, so the inner k-walk of B jumps a full row per
+// step — a page per read, a cycle far larger than the cache.
+func kernel6() *Kernel {
+	return &Kernel{
+		ID: 6, Key: "k6", Name: "general linear recurrence equations", Class: RD,
+		DefaultN: 300, MinN: 2,
+		Notes: "accumulation into W(i) folded into a single producer assignment (SA conversion)",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "W", Dims: []int{n + 1}, Init: InitRange(1, 2, inA)},
+				{Name: "B", Dims: []int{n + 1, n + 1}, Init: InitAll(inSmall)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			w, b := c.A("W"), c.A("B")
+			for i := 2; i <= n; i++ {
+				i := i
+				w.Set(func() float64 {
+					s := 0.01
+					for k := 1; k <= i-1; k++ {
+						s += b.Get(k, i) * w.Get(i-k)
+					}
+					return s
+				}, i)
+			}
+		},
+		Outputs: []string{"W"},
+	}
+}
+
+// kernel7 is the Equation of State Fragment (paper §7.1.2, skewed
+// class): skews of 1..6 on U.
+func kernel7() *Kernel {
+	const q, r, t = 0.5, 0.2, 0.1
+	return &Kernel{
+		ID: 7, Key: "k7", Name: "equation of state fragment", Class: SD,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}},
+				{Name: "U", Dims: []int{n + 7}, Init: InitAll(inA)},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "Z", Dims: []int{n + 1}, Init: InitAll(inA)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, u, y, z := c.A("X"), c.A("U"), c.A("Y"), c.A("Z")
+			for k := 1; k <= n; k++ {
+				k := k
+				x.Set(func() float64 {
+					return u.Get(k) + r*(z.Get(k)+r*y.Get(k)) +
+						t*(u.Get(k+3)+r*(u.Get(k+2)+r*u.Get(k+1))+
+							t*(u.Get(k+6)+q*(u.Get(k+5)+q*u.Get(k+4))))
+				}, k)
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}
+
+// kernel8 is A.D.I. Integration (paper §7.1.4, random class): 3-D
+// arrays combined with ±1 skews in the slow dimension scatter reads
+// over a page working set much larger than the cache. The original
+// writes DU1(ky) once per kx (a double write); the single-assignment
+// form makes the DU arrays two-dimensional.
+func kernel8() *Kernel {
+	const (
+		a11, a12, a13 = 0.10, 0.15, 0.20
+		a21, a22, a23 = 0.12, 0.18, 0.14
+		a31, a32, a33 = 0.16, 0.11, 0.13
+		sig           = 0.25
+	)
+	return &Kernel{
+		ID: 8, Key: "k8", Name: "a.d.i. integration", Class: RD,
+		DefaultN: 500, MinN: 3,
+		Notes: "DU1..DU3 expanded to (kx,ky) to restore single assignment; U planes: nl1=1 is initialization data, nl2=2 is produced",
+		Arrays: func(n int) []Spec {
+			// U arrays: (kx, ky, l) with kx in 1..4 read, l in {1,2}.
+			uDims := []int{5, n + 2, 3}
+			initPlane1 := func(f func(int) float64) func(int) (float64, bool) {
+				return func(lin int) (float64, bool) {
+					if lin%3 == 1 { // l == 1 plane
+						return f(lin), true
+					}
+					return 0, false
+				}
+			}
+			return []Spec{
+				{Name: "U1", Dims: uDims, Init: initPlane1(inA)},
+				{Name: "U2", Dims: uDims, Init: initPlane1(inB)},
+				{Name: "U3", Dims: uDims, Init: initPlane1(inA)},
+				{Name: "DU1", Dims: []int{4, n + 2}},
+				{Name: "DU2", Dims: []int{4, n + 2}},
+				{Name: "DU3", Dims: []int{4, n + 2}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			u1, u2, u3 := c.A("U1"), c.A("U2"), c.A("U3")
+			du1, du2, du3 := c.A("DU1"), c.A("DU2"), c.A("DU3")
+			const nl1, nl2 = 1, 2
+			for kx := 2; kx <= 3; kx++ {
+				for ky := 2; ky <= n; ky++ {
+					kx, ky := kx, ky
+					du1.Set(func() float64 {
+						return u1.Get(kx, ky+1, nl1) - u1.Get(kx, ky-1, nl1)
+					}, kx, ky)
+					du2.Set(func() float64 {
+						return u2.Get(kx, ky+1, nl1) - u2.Get(kx, ky-1, nl1)
+					}, kx, ky)
+					du3.Set(func() float64 {
+						return u3.Get(kx, ky+1, nl1) - u3.Get(kx, ky-1, nl1)
+					}, kx, ky)
+					u1.Set(func() float64 {
+						return u1.Get(kx, ky, nl1) +
+							a11*du1.Get(kx, ky) + a12*du2.Get(kx, ky) + a13*du3.Get(kx, ky) +
+							sig*(u1.Get(kx+1, ky, nl1)-2*u1.Get(kx, ky, nl1)+u1.Get(kx-1, ky, nl1))
+					}, kx, ky, nl2)
+					u2.Set(func() float64 {
+						return u2.Get(kx, ky, nl1) +
+							a21*du1.Get(kx, ky) + a22*du2.Get(kx, ky) + a23*du3.Get(kx, ky) +
+							sig*(u2.Get(kx+1, ky, nl1)-2*u2.Get(kx, ky, nl1)+u2.Get(kx-1, ky, nl1))
+					}, kx, ky, nl2)
+					u3.Set(func() float64 {
+						return u3.Get(kx, ky, nl1) +
+							a31*du1.Get(kx, ky) + a32*du2.Get(kx, ky) + a33*du3.Get(kx, ky) +
+							sig*(u3.Get(kx+1, ky, nl1)-2*u3.Get(kx, ky, nl1)+u3.Get(kx-1, ky, nl1))
+					}, kx, ky, nl2)
+				}
+			}
+		},
+		Outputs: []string{"U1", "U2", "U3"},
+	}
+}
+
+// kernel9 is Integrate Predictors: one write per column reading eleven
+// fixed rows of PX. Row 1 is produced; rows 2..13 are initialization
+// data.
+func kernel9() *Kernel {
+	coef := []float64{0, 0, 0, 1.0, 0, 0.0521, 0.0521, 0.0525, 0.0508, 0.1607, 0.1719, 0.4812, 1.1203, 2.1850}
+	return &Kernel{
+		ID: 9, Key: "k9", Name: "integrate predictors", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			width := n + 1
+			return []Spec{
+				{Name: "PX", Dims: []int{14, width}, Init: func(lin int) (float64, bool) {
+					if lin/width >= 2 { // rows 2..13 are inputs
+						return inA(lin), true
+					}
+					return 0, false
+				}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			px := c.A("PX")
+			c0 := coef[4+1]
+			for i := 1; i <= n; i++ {
+				i := i
+				px.Set(func() float64 {
+					s := px.Get(3, i) + c0*(px.Get(5, i)+px.Get(6, i))
+					for j := 7; j <= 13; j++ {
+						s += coef[j] * px.Get(j, i)
+					}
+					return s
+				}, 1, i)
+			}
+		},
+		Outputs: []string{"PX"},
+	}
+}
+
+// kernel10 is Difference Predictors: the original chains temporaries
+// through in-place updates of PX rows 5..14; the single-assignment form
+// writes the new values to PX2, with each producer recomputing the
+// difference chain prefix it needs (the screened RHS of §3 evaluates
+// only on the owner, so replication of the chain is the SA-conversion
+// cost).
+func kernel10() *Kernel {
+	return &Kernel{
+		ID: 10, Key: "k10", Name: "difference predictors", Class: ClassUnknown,
+		DefaultN: 600, MinN: 1,
+		Notes: "in-place PX row updates redirected to PX2; difference chain recomputed per producer",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "CX", Dims: []int{15, n + 1}, Init: InitAll(inA)},
+				{Name: "PX", Dims: []int{15, n + 1}, Init: InitAll(inB)},
+				{Name: "PX2", Dims: []int{15, n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			cx, px, px2 := c.A("CX"), c.A("PX"), c.A("PX2")
+			// chain(j, i) is the j-th difference: chain(4,i) = CX(5,i),
+			// chain(j,i) = chain(j-1,i) - PX(j,i) for j in 5..13.
+			chain := func(j, i int) float64 {
+				v := cx.Get(5, i)
+				for t := 5; t <= j; t++ {
+					v -= px.Get(t, i)
+				}
+				return v
+			}
+			for i := 1; i <= n; i++ {
+				i := i
+				for j := 5; j <= 14; j++ {
+					j := j
+					px2.Set(func() float64 { return chain(j-1, i) }, j, i)
+				}
+			}
+		},
+		Outputs: []string{"PX2"},
+	}
+}
+
+// kernel11 is First Sum (paper §7.1.2, skewed class): the running sum
+// X(k) = X(k-1) + Y(k), naturally single-assignment.
+func kernel11() *Kernel {
+	return &Kernel{
+		ID: 11, Key: "k11", Name: "first sum", Class: SD,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inA)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, y := c.A("X"), c.A("Y")
+			x.Set(func() float64 { return y.Get(1) }, 1)
+			for k := 2; k <= n; k++ {
+				k := k
+				x.Set(func() float64 { return x.Get(k-1) + y.Get(k) }, k)
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}
+
+// kernel12 is First Difference (paper §7.1.2, skewed class):
+// X(k) = Y(k+1) - Y(k).
+func kernel12() *Kernel {
+	return &Kernel{
+		ID: 12, Key: "k12", Name: "first difference", Class: SD,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}},
+				{Name: "Y", Dims: []int{n + 2}, Init: InitAll(inA)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, y := c.A("X"), c.A("Y")
+			for k := 1; k <= n; k++ {
+				k := k
+				x.Set(func() float64 { return y.Get(k+1) - y.Get(k) }, k)
+			}
+		},
+		Outputs: []string{"X"},
+	}
+}

@@ -1,0 +1,606 @@
+package loops
+
+// Kernels 13-24 plus the two fragments the paper uses as class
+// exemplars (1-D Particle-in-Cell fragment for Matched Distribution,
+// Explicit Hydrodynamics fragment for Skewed Distribution).
+
+// kernel13 is 2-D Particle in Cell, single-assignment form: the
+// original gathers grid values through particle-position indirection
+// and scatters charge increments into H. The gathers (the random page
+// accesses) are preserved; the scatter, an accumulation that violates
+// single assignment, becomes a per-particle contribution record (the
+// histogram would be folded by the host processor, §9).
+func kernel13() *Kernel {
+	const grid = 64
+	return &Kernel{
+		ID: 13, Key: "k13", Name: "2-d particle in cell", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Notes: "H-scatter converted to per-particle contributions P3O/P4O/HC (SA conversion); gathers preserve the random access pattern",
+		Arrays: func(n int) []Spec {
+			width := n + 1
+			return []Spec{
+				{Name: "P", Dims: []int{5, width}, Init: func(lin int) (float64, bool) {
+					row := lin / width
+					switch row {
+					case 1, 2: // particle coordinates in [1, grid]
+						return float64(pseudoIdx(lin, grid)), true
+					case 3, 4: // particle values
+						return inA(lin), true
+					}
+					return 0, false
+				}},
+				{Name: "B", Dims: []int{grid + 2, grid + 2}, Init: InitAll(inA)},
+				{Name: "C", Dims: []int{grid + 2, grid + 2}, Init: InitAll(inB)},
+				{Name: "P3O", Dims: []int{width}},
+				{Name: "P4O", Dims: []int{width}},
+				{Name: "HC", Dims: []int{width}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			p, b, cc := c.A("P"), c.A("B"), c.A("C")
+			p3o, p4o, hc := c.A("P3O"), c.A("P4O"), c.A("HC")
+			for ip := 1; ip <= n; ip++ {
+				ip := ip
+				p3o.Set(func() float64 {
+					i1 := int(p.Get(1, ip))
+					j1 := int(p.Get(2, ip))
+					return p.Get(3, ip) + b.Get(i1, j1)
+				}, ip)
+				p4o.Set(func() float64 {
+					i2 := 1 + (int(p.Get(1, ip))+7)%grid
+					j2 := 1 + (int(p.Get(2, ip))+3)%grid
+					return p.Get(4, ip) + cc.Get(i2, j2)
+				}, ip)
+				hc.Set(func() float64 {
+					i2 := 1 + (int(p.Get(1, ip))+7)%grid
+					j2 := 1 + (int(p.Get(2, ip))+3)%grid
+					return float64(i2*grid + j2) // deposited cell id
+				}, ip)
+			}
+		},
+		Outputs: []string{"P3O", "P4O", "HC"},
+	}
+}
+
+// kernel14 is 1-D Particle in Cell: the matched first statements
+// followed by the indirect gathers EX(IX(k)), DEX(IX(k)) through the
+// particle grid position.
+func kernel14() *Kernel {
+	return &Kernel{
+		ID: 14, Key: "k14", Name: "1-d particle in cell", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 2,
+		Notes: "gathers through GRD positions preserved; VX/XX zero-fill statements folded into the final expressions",
+		Arrays: func(n int) []Spec {
+			half := n/2 + 2
+			return []Spec{
+				{Name: "GRD", Dims: []int{n + 1}, Init: InitAll(func(i int) float64 {
+					return float64(pseudoIdx(i, half-1))
+				})},
+				{Name: "EX", Dims: []int{half}, Init: InitAll(inA)},
+				{Name: "DEX", Dims: []int{half}, Init: InitAll(inB)},
+				{Name: "IXO", Dims: []int{n + 1}},
+				{Name: "EX1", Dims: []int{n + 1}},
+				{Name: "DEX1", Dims: []int{n + 1}},
+				{Name: "VX", Dims: []int{n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			grd, ex, dex := c.A("GRD"), c.A("EX"), c.A("DEX")
+			ixo, ex1, dex1, vx := c.A("IXO"), c.A("EX1"), c.A("DEX1"), c.A("VX")
+			for k := 1; k <= n; k++ {
+				k := k
+				ixo.Set(func() float64 { return float64(int(grd.Get(k))) }, k)
+				ex1.Set(func() float64 { return ex.Get(int(grd.Get(k))) }, k)
+				dex1.Set(func() float64 { return dex.Get(int(grd.Get(k))) }, k)
+				vx.Set(func() float64 {
+					ix := int(grd.Get(k))
+					return ex1.Get(k) + (grd.Get(k)-float64(ix))*dex1.Get(k)
+				}, k)
+			}
+		},
+		Outputs: []string{"IXO", "EX1", "DEX1", "VX"},
+	}
+}
+
+// kernel14frag is the paper's Matched Distribution exemplar (§7.1.1):
+//
+//	DO 1 k = 1,n
+//	1 RX(k) = XX(k) - IR(k)
+//
+// Every index is identical, so the remote-read ratio is exactly zero at
+// any PE count.
+func kernel14frag() *Kernel {
+	return &Kernel{
+		ID: 0, Key: "k14frag", Name: "1-d particle in cell (fragment)", Class: MD,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "RX", Dims: []int{n + 1}},
+				{Name: "XX", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "IR", Dims: []int{n + 1}, Init: InitAll(inB)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			rx, xx, ir := c.A("RX"), c.A("XX"), c.A("IR")
+			for k := 1; k <= n; k++ {
+				k := k
+				rx.Set(func() float64 { return xx.Get(k) - ir.Get(k) }, k)
+			}
+		},
+		Outputs: []string{"RX"},
+	}
+}
+
+// kernel15 is Casual Fortran: a conditional star stencil over a narrow
+// 2-D strip. The original's GOTO ladder is expressed as value selection
+// inside the producers; the in-place updates write to fresh output
+// arrays.
+func kernel15() *Kernel {
+	return &Kernel{
+		ID: 15, Key: "k15", Name: "casual fortran, development version", Class: ClassUnknown,
+		DefaultN: 400, MinN: 2,
+		Notes: "GOTO ladder rendered as conditional expressions; VY/VH updates redirected to VY2/VH2 (SA conversion)",
+		Arrays: func(n int) []Spec {
+			d := []int{n + 2, 9}
+			return []Spec{
+				{Name: "VF", Dims: d, Init: InitAll(inA)},
+				{Name: "VG", Dims: d, Init: InitAll(inB)},
+				{Name: "VH", Dims: d, Init: InitAll(inA)},
+				{Name: "VS", Dims: d, Init: InitAll(inB)},
+				{Name: "VY2", Dims: d},
+				{Name: "VH2", Dims: d},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			vf, vg, vh, vs := c.A("VF"), c.A("VG"), c.A("VH"), c.A("VS")
+			vy2, vh2 := c.A("VY2"), c.A("VH2")
+			for j := 2; j <= n; j++ {
+				for k := 2; k <= 7; k++ {
+					j, k := j, k
+					vy2.Set(func() float64 {
+						t := vh.Get(j, k)
+						if vh.Get(j, k+1) > t {
+							t = vh.Get(j, k+1)
+						}
+						s := vf.Get(j, k)
+						if vg.Get(j, k) < s {
+							s = vg.Get(j, k)
+						}
+						return t * s / vs.Get(j, k)
+					}, j, k)
+					vh2.Set(func() float64 {
+						if vf.Get(j-1, k) < vg.Get(j, k-1) {
+							return vg.Get(j, k+1) * vf.Get(j-1, k)
+						}
+						return vh.Get(j+1, k) - vs.Get(j, k)
+					}, j, k)
+				}
+			}
+		},
+		Outputs: []string{"VY2", "VH2"},
+	}
+}
+
+// kernel16 is the Monte Carlo Search Loop: probes walk the zone and
+// plane tables in a data-dependent order. The deterministic variant
+// keeps the bounded multi-table probing (strided, effectively random
+// page accesses) and records each probe's verdict.
+func kernel16() *Kernel {
+	return &Kernel{
+		ID: 16, Key: "k16", Name: "monte carlo search loop", Class: ClassUnknown,
+		DefaultN: 300, MinN: 3,
+		Notes: "GOTO search restructured into a bounded deterministic probe per m (documented simplification; preserves multi-table strided probing)",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "ZONE", Dims: []int{3*n + 2}, Init: InitAll(inA)},
+				{Name: "PLAN", Dims: []int{3*n + 2}, Init: InitAll(inB)},
+				{Name: "D", Dims: []int{n + 2}, Init: InitAll(inA)},
+				{Name: "FOUND", Dims: []int{n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			zone, plan, d, found := c.A("ZONE"), c.A("PLAN"), c.A("D"), c.A("FOUND")
+			for m := 1; m <= n; m++ {
+				m := m
+				found.Set(func() float64 {
+					acc := 0.0
+					for t := 0; t < 8; t++ {
+						j := 1 + (m*7+t*ctxStride)%(3*n)
+						if plan.Get(j) < d.Get(1+(m+t)%n) {
+							acc += zone.Get(j)
+						} else {
+							acc -= zone.Get(j)
+						}
+					}
+					return acc
+				}, m)
+			}
+		},
+		Outputs: []string{"FOUND"},
+	}
+}
+
+// ctxStride spreads kernel16 probes across the tables.
+const ctxStride = 131
+
+// kernel17 is Implicit, Conditional Computation: a descending
+// conditional recurrence. The scalar carried across iterations becomes
+// the array E6 (SA conversion of the paper's §5 kind), read at skew -1.
+func kernel17() *Kernel {
+	return &Kernel{
+		ID: 17, Key: "k17", Name: "implicit, conditional computation", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 2,
+		Notes: "carried scalar E6 expanded into an array indexed by k (SA conversion); conditional select preserved",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "ZR", Dims: []int{n + 2}, Init: InitAll(inA)},
+				{Name: "ZT", Dims: []int{n + 2}, Init: InitAll(inSmall)},
+				{Name: "ZW", Dims: []int{n + 2}, Init: InitAll(inB)},
+				{Name: "E6", Dims: []int{n + 2}, Init: InitRange(n+1, n+2, inA)},
+				{Name: "VXNE", Dims: []int{n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			zr, zt, zw := c.A("ZR"), c.A("ZT"), c.A("ZW")
+			e6, vxne := c.A("E6"), c.A("VXNE")
+			const scale, xnm = 5.0 / 3.0, 1.0 / 3.0
+			for k := n; k >= 1; k-- {
+				k := k
+				e6.Set(func() float64 {
+					t := zw.Get(k) * zr.Get(k)
+					if t > zt.Get(k) {
+						return xnm*e6.Get(k+1) + t - zt.Get(k)
+					}
+					return xnm*e6.Get(k+1) + t + zt.Get(k)
+				}, k)
+				vxne.Set(func() float64 { return scale * e6.Get(k) }, k)
+			}
+		},
+		Outputs: []string{"E6", "VXNE"},
+	}
+}
+
+// kernel18 is 2-D Explicit Hydrodynamics (paper §7.1.3, Figure 3 and
+// the Figure 5 load-balance subject): three stencil phases over a
+// 7-column strip. Phases 2 and 3 of the original update ZU/ZV/ZR/ZZ in
+// place; the single-assignment form produces ZU2/ZV2/ZR2/ZZ2 and reads
+// the phase-1 outputs ZA/ZB through real cross-PE dataflow. Cells the
+// loop reads but never writes — ZA column j=1, ZB row k=7 — are
+// initialization data, as the original relied on their pre-loop
+// contents.
+func kernel18() *Kernel {
+	const s, t = 0.002, 0.004
+	return &Kernel{
+		ID: 18, Key: "k18", Name: "2-d explicit hydrodynamics fragment", Class: CD,
+		// At n=100 the per-PE page working set crosses the 256-element
+		// cache capacity within the paper's 4..32-PE sweep, which is
+		// where Figure 3's declining curve comes from; larger n just
+		// shifts the knee to higher PE counts.
+		DefaultN: 100, MinN: 3,
+		Notes: "in-place phase-2/3 updates redirected to ZU2/ZV2/ZR2/ZZ2 (SA conversion)",
+		Arrays: func(n int) []Spec {
+			d := []int{n + 2, 8}
+			cols := 8
+			return []Spec{
+				{Name: "ZP", Dims: d, Init: InitAll(inA)},
+				{Name: "ZQ", Dims: d, Init: InitAll(inA)},
+				{Name: "ZR", Dims: d, Init: InitAll(inB)},
+				{Name: "ZM", Dims: d, Init: InitAll(inB)},
+				{Name: "ZZ", Dims: d, Init: InitAll(inA)},
+				{Name: "ZU", Dims: d, Init: InitAll(inA)},
+				{Name: "ZV", Dims: d, Init: InitAll(inA)},
+				// ZA: column j=1 is boundary input; j>=2 produced.
+				{Name: "ZA", Dims: d, Init: func(lin int) (float64, bool) {
+					if lin/cols == 1 {
+						return inA(lin), true
+					}
+					return 0, false
+				}},
+				// ZB: row k=7 is boundary input; k in 2..6 produced.
+				{Name: "ZB", Dims: d, Init: func(lin int) (float64, bool) {
+					if lin%cols == 7 {
+						return inA(lin), true
+					}
+					return 0, false
+				}},
+				{Name: "ZU2", Dims: d},
+				{Name: "ZV2", Dims: d},
+				{Name: "ZR2", Dims: d},
+				{Name: "ZZ2", Dims: d},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			zp, zq, zr, zm, zz := c.A("ZP"), c.A("ZQ"), c.A("ZR"), c.A("ZM"), c.A("ZZ")
+			zu, zv := c.A("ZU"), c.A("ZV")
+			za, zb := c.A("ZA"), c.A("ZB")
+			zu2, zv2, zr2, zz2 := c.A("ZU2"), c.A("ZV2"), c.A("ZR2"), c.A("ZZ2")
+			for k := 2; k <= 6; k++ {
+				for j := 2; j <= n; j++ {
+					j, k := j, k
+					za.Set(func() float64 {
+						return (zp.Get(j-1, k+1) + zq.Get(j-1, k+1) - zp.Get(j-1, k) - zq.Get(j-1, k)) *
+							(zr.Get(j, k) + zr.Get(j-1, k)) /
+							(zm.Get(j-1, k) + zm.Get(j-1, k+1))
+					}, j, k)
+					zb.Set(func() float64 {
+						return (zp.Get(j-1, k) + zq.Get(j-1, k) - zp.Get(j, k) - zq.Get(j, k)) *
+							(zr.Get(j, k) + zr.Get(j, k-1)) /
+							(zm.Get(j, k) + zm.Get(j-1, k))
+					}, j, k)
+				}
+			}
+			for k := 2; k <= 6; k++ {
+				for j := 2; j <= n; j++ {
+					j, k := j, k
+					zu2.Set(func() float64 {
+						return zu.Get(j, k) + s*(za.Get(j, k)*(zz.Get(j, k)-zz.Get(j+1, k))-
+							za.Get(j-1, k)*(zz.Get(j, k)-zz.Get(j-1, k))-
+							zb.Get(j, k)*(zz.Get(j, k)-zz.Get(j, k-1))+
+							zb.Get(j, k+1)*(zz.Get(j, k)-zz.Get(j, k+1)))
+					}, j, k)
+					zv2.Set(func() float64 {
+						return zv.Get(j, k) + s*(za.Get(j, k)*(zr.Get(j, k)-zr.Get(j+1, k))-
+							za.Get(j-1, k)*(zr.Get(j, k)-zr.Get(j-1, k))-
+							zb.Get(j, k)*(zr.Get(j, k)-zr.Get(j, k-1))+
+							zb.Get(j, k+1)*(zr.Get(j, k)-zr.Get(j, k+1)))
+					}, j, k)
+				}
+			}
+			for k := 2; k <= 6; k++ {
+				for j := 2; j <= n; j++ {
+					j, k := j, k
+					zr2.Set(func() float64 { return zr.Get(j, k) + t*zu2.Get(j, k) }, j, k)
+					zz2.Set(func() float64 { return zz.Get(j, k) + t*zv2.Get(j, k) }, j, k)
+				}
+			}
+		},
+		Outputs: []string{"ZA", "ZB", "ZU2", "ZV2", "ZR2", "ZZ2"},
+	}
+}
+
+// kernel18frag is the paper's "Explicit Hydrodynamics Fragment" skewed
+// exemplar: one row of the kernel-18 phase-1 stencil flattened to 1-D,
+// leaving a pure skew-1 pattern.
+func kernel18frag() *Kernel {
+	return &Kernel{
+		ID: 0, Key: "k18frag", Name: "explicit hydrodynamics fragment", Class: SD,
+		DefaultN: 1000, MinN: 2,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "ZA", Dims: []int{n + 1}},
+				{Name: "ZP", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "ZQ", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "ZR", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "ZM", Dims: []int{n + 1}, Init: InitAll(inB)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			za, zp, zq, zr, zm := c.A("ZA"), c.A("ZP"), c.A("ZQ"), c.A("ZR"), c.A("ZM")
+			for j := 2; j <= n; j++ {
+				j := j
+				za.Set(func() float64 {
+					return (zp.Get(j-1) + zq.Get(j-1)) * (zr.Get(j) + zr.Get(j-1)) /
+						(zm.Get(j) + zm.Get(j-1))
+				}, j)
+			}
+		},
+		Outputs: []string{"ZA"},
+	}
+}
+
+// kernel19 is General Linear Recurrence Equations (second form): two
+// scalar-carried sweeps, ascending then descending. The carried scalar
+// STB5 becomes the arrays S1/S2; the doubly-written B5 becomes B5 and
+// B5R.
+func kernel19() *Kernel {
+	return &Kernel{
+		ID: 19, Key: "k19", Name: "general linear recurrence equations (two sweeps)", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 2,
+		Notes: "carried scalar STB5 expanded into S1 (ascending) and S2 (descending); second B5 sweep writes B5R (SA conversion)",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "SA", Dims: []int{n + 2}, Init: InitAll(inA)},
+				{Name: "SB", Dims: []int{n + 2}, Init: InitAll(inSmall)},
+				{Name: "B5", Dims: []int{n + 1}},
+				{Name: "B5R", Dims: []int{n + 1}},
+				{Name: "S1", Dims: []int{n + 1}, Init: InitRange(0, 1, inA)},
+				{Name: "S2", Dims: []int{n + 2}, Init: InitRange(n+1, n+2, inA)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			sa, sb := c.A("SA"), c.A("SB")
+			b5, b5r := c.A("B5"), c.A("B5R")
+			s1, s2 := c.A("S1"), c.A("S2")
+			for k := 1; k <= n; k++ {
+				k := k
+				b5.Set(func() float64 { return sa.Get(k) + s1.Get(k-1)*sb.Get(k) }, k)
+				s1.Set(func() float64 { return b5.Get(k) - s1.Get(k-1) }, k)
+			}
+			for i := 1; i <= n; i++ {
+				k := n - i + 1
+				b5r.Set(func() float64 { return sa.Get(k) + s2.Get(k+1)*sb.Get(k) }, k)
+				s2.Set(func() float64 { return b5r.Get(k) - s2.Get(k+1) }, k)
+			}
+		},
+		Outputs: []string{"B5", "B5R"},
+	}
+}
+
+// kernel20 is Discrete Ordinates Transport: a conditional recurrence
+// where XX(k+1) is produced from XX(k) — single assignment as written,
+// with XX(1) as initialization data.
+func kernel20() *Kernel {
+	const dk, sLo, tHi = 0.2, 0.1, 5.0
+	return &Kernel{
+		ID: 20, Key: "k20", Name: "discrete ordinates transport", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "G", Dims: []int{n + 1}, Init: InitAll(inSmall)},
+				{Name: "U", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "V", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "W", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "Y", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "Z", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "VX", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "X", Dims: []int{n + 1}},
+				{Name: "XX", Dims: []int{n + 2}, Init: InitRange(1, 2, inA)},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			g, u, v, w := c.A("G"), c.A("U"), c.A("V"), c.A("W")
+			y, z, vx := c.A("Y"), c.A("Z"), c.A("VX")
+			x, xx := c.A("X"), c.A("XX")
+			dn := func(k int) float64 {
+				di := y.Get(k) - g.Get(k)/(xx.Get(k)+dk)
+				if di != 0 {
+					return clampF(z.Get(k)/di, sLo, tHi)
+				}
+				return 0.2
+			}
+			for k := 1; k <= n; k++ {
+				k := k
+				x.Set(func() float64 {
+					d := dn(k)
+					return ((w.Get(k)+v.Get(k)*d)*xx.Get(k) + u.Get(k)) /
+						(vx.Get(k) + v.Get(k)*d)
+				}, k)
+				xx.Set(func() float64 {
+					d := dn(k)
+					return (x.Get(k)-xx.Get(k))*d + xx.Get(k)
+				}, k+1)
+			}
+		},
+		Outputs: []string{"X", "XX"},
+	}
+}
+
+// kernel21 is Matrix * Matrix Product: the original accumulates into
+// PX over the outer k loop; the single-assignment form computes each
+// output element's full dot product in its producer:
+//
+//	OUT(i,j) = PX0(i,j) + sum_{k=1..25} VY(i,k)*CX(k,j)
+//
+// The CX(k,j) column walk strides a full row of CX per step.
+func kernel21() *Kernel {
+	const inner = 25
+	return &Kernel{
+		ID: 21, Key: "k21", Name: "matrix * matrix product", Class: ClassUnknown,
+		DefaultN: 300, MinN: 1,
+		Notes: "k-outer accumulation folded into per-element dot products (SA conversion)",
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "PX0", Dims: []int{inner + 1, n + 1}, Init: InitAll(inA)},
+				{Name: "VY", Dims: []int{inner + 1, inner + 1}, Init: InitAll(inSmall)},
+				{Name: "CX", Dims: []int{inner + 1, n + 1}, Init: InitAll(inB)},
+				{Name: "OUT", Dims: []int{inner + 1, n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			px0, vy, cx, out := c.A("PX0"), c.A("VY"), c.A("CX"), c.A("OUT")
+			for i := 1; i <= inner; i++ {
+				for j := 1; j <= n; j++ {
+					i, j := i, j
+					out.Set(func() float64 {
+						s := px0.Get(i, j)
+						for k := 1; k <= inner; k++ {
+							s += vy.Get(i, k) * cx.Get(k, j)
+						}
+						return s
+					}, i, j)
+				}
+			}
+		},
+		Outputs: []string{"OUT"},
+	}
+}
+
+// kernel22 is the Planckian Distribution: two matched-index statements
+// per iteration, the second reading the first's output at the same
+// index.
+func kernel22() *Kernel {
+	return &Kernel{
+		ID: 22, Key: "k22", Name: "planckian distribution", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "U", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "V", Dims: []int{n + 1}, Init: InitAll(inB)},
+				{Name: "X", Dims: []int{n + 1}, Init: InitAll(inA)},
+				{Name: "Y", Dims: []int{n + 1}},
+				{Name: "W", Dims: []int{n + 1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			u, v, x, y, w := c.A("U"), c.A("V"), c.A("X"), c.A("Y"), c.A("W")
+			for k := 1; k <= n; k++ {
+				k := k
+				y.Set(func() float64 { return u.Get(k) / v.Get(k) }, k)
+				w.Set(func() float64 { return x.Get(k) / (expm1Safe(y.Get(k))) }, k)
+			}
+		},
+		Outputs: []string{"Y", "W"},
+	}
+}
+
+// kernel23 is 2-D Implicit Hydrodynamics: the original is a
+// Gauss-Seidel sweep updating ZA in place; the single-assignment form
+// is the Jacobi step producing ZA2 from the previous iterate.
+func kernel23() *Kernel {
+	return &Kernel{
+		ID: 23, Key: "k23", Name: "2-d implicit hydrodynamics fragment", Class: ClassUnknown,
+		DefaultN: 400, MinN: 3,
+		Notes: "Gauss-Seidel in-place update converted to a Jacobi step into ZA2 (SA conversion)",
+		Arrays: func(n int) []Spec {
+			d := []int{n + 2, 8}
+			return []Spec{
+				{Name: "ZA", Dims: d, Init: InitAll(inA)},
+				{Name: "ZB", Dims: d, Init: InitAll(inSmall)},
+				{Name: "ZR", Dims: d, Init: InitAll(inSmall)},
+				{Name: "ZU", Dims: d, Init: InitAll(inSmall)},
+				{Name: "ZV", Dims: d, Init: InitAll(inSmall)},
+				{Name: "ZZ", Dims: d, Init: InitAll(inA)},
+				{Name: "ZA2", Dims: d},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			za, zb, zr, zu, zv, zz := c.A("ZA"), c.A("ZB"), c.A("ZR"), c.A("ZU"), c.A("ZV"), c.A("ZZ")
+			za2 := c.A("ZA2")
+			for j := 2; j <= 6; j++ {
+				for k := 2; k <= n; k++ {
+					j, k := j, k
+					za2.Set(func() float64 {
+						qa := za.Get(k, j+1)*zr.Get(k, j) + za.Get(k, j-1)*zb.Get(k, j) +
+							za.Get(k+1, j)*zu.Get(k, j) + za.Get(k-1, j)*zv.Get(k, j) +
+							zz.Get(k, j)
+						return za.Get(k, j) + 0.175*(qa-za.Get(k, j))
+					}, k, j)
+				}
+			}
+		},
+		Outputs: []string{"ZA2"},
+	}
+}
+
+// kernel24 is Location of First Minimum: a matched scan collected by
+// the host processor (§9 vector-to-scalar mechanism).
+func kernel24() *Kernel {
+	return &Kernel{
+		ID: 24, Key: "k24", Name: "location of first minimum in array", Class: ClassUnknown,
+		DefaultN: 1000, MinN: 1,
+		Arrays: func(n int) []Spec {
+			return []Spec{
+				{Name: "X", Dims: []int{n + 1}, Init: InitAll(func(i int) float64 {
+					return inA(i*3 + 1)
+				})},
+				{Name: "MOUT", Dims: []int{1}},
+			}
+		},
+		Run: func(c *Ctx, n int) {
+			x, mout := c.A("X"), c.A("MOUT")
+			_, at := c.ReduceMin(x, 1, n+1, func(k int) float64 { return x.Get(k) })
+			mout.Set(func() float64 { return float64(at) }, 0)
+		},
+		Outputs: []string{"MOUT"},
+	}
+}

@@ -1,0 +1,77 @@
+package loops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// expm1Safe returns exp(y)-1 bounded away from zero so kernel 22's
+// division is always defined for the bland positive inputs used here.
+func expm1Safe(y float64) float64 {
+	v := math.Expm1(y)
+	if v < 1e-9 && v >= 0 {
+		return 1e-9
+	}
+	if v > -1e-9 && v < 0 {
+		return -1e-9
+	}
+	return v
+}
+
+var registry = buildRegistry()
+
+func buildRegistry() []*Kernel {
+	ks := []*Kernel{
+		kernel1(), kernel2(), kernel3(), kernel4(), kernel5(), kernel6(),
+		kernel7(), kernel8(), kernel9(), kernel10(), kernel11(), kernel12(),
+		kernel13(), kernel14(), kernel14frag(), kernel15(), kernel16(),
+		kernel17(), kernel18(), kernel18frag(), kernel19(), kernel20(),
+		kernel21(), kernel22(), kernel23(), kernel24(),
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		if ks[i].ID != ks[j].ID {
+			// Fragments (ID 0) sort after the numbered kernels.
+			a, b := ks[i].ID, ks[j].ID
+			if a == 0 {
+				a = 1000
+			}
+			if b == 0 {
+				b = 1000
+			}
+			return a < b
+		}
+		return ks[i].Key < ks[j].Key
+	})
+	return ks
+}
+
+// All returns every registered kernel in Livermore order, fragments
+// last. The returned slice is shared; callers must not modify it.
+func All() []*Kernel { return registry }
+
+// ByKey returns the kernel with the given key ("k1".."k24", "k14frag",
+// "k18frag").
+func ByKey(key string) (*Kernel, error) {
+	for _, k := range registry {
+		if k.Key == key {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("loops: unknown kernel %q", key)
+}
+
+// PaperSet returns the kernels the paper's evaluation discusses, keyed
+// by their §7 classes.
+func PaperSet() []*Kernel {
+	keys := []string{"k14frag", "k1", "k5", "k7", "k18frag", "k11", "k12", "k2", "k18", "k6", "k8"}
+	out := make([]*Kernel, 0, len(keys))
+	for _, key := range keys {
+		k, err := ByKey(key)
+		if err != nil {
+			panic(err) // registry invariant
+		}
+		out = append(out, k)
+	}
+	return out
+}

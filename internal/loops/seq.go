@@ -1,0 +1,216 @@
+package loops
+
+import (
+	"fmt"
+
+	"repro/internal/samem"
+)
+
+// SeqEngine is the sequential reference back end: a single PE, dense
+// storage, full single-assignment validation. It defines the ground
+// truth values that the counting simulator and the concurrent machine
+// must reproduce.
+type SeqEngine struct {
+	vals     [][]float64
+	defined  [][]bool
+	trackers []*samem.Tracker
+	inAssign bool
+	err      error
+}
+
+// NewSeqEngine allocates storage for the given specs and applies their
+// initialization data.
+func NewSeqEngine(specs []Spec) (*SeqEngine, *Ctx, error) {
+	e := &SeqEngine{}
+	ctx, err := Bind(e, specs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, a := range ctx.Arrays() {
+		n := a.Len()
+		e.vals = append(e.vals, make([]float64, n))
+		e.defined = append(e.defined, make([]bool, n))
+		e.trackers = append(e.trackers, samem.NewTracker(a.Name, n))
+		if init := specs[i].Init; init != nil {
+			for j := 0; j < n; j++ {
+				if v, ok := init(j); ok {
+					e.vals[i][j] = v
+					e.defined[i][j] = true
+					// Initialization marks the tracker too: initialized
+					// cells may not be rewritten (§3).
+					if err := e.trackers[i].Mark(j); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+	}
+	return e, ctx, nil
+}
+
+// Err returns the first single-assignment or read-before-write violation
+// encountered, or nil.
+func (e *SeqEngine) Err() error { return e.err }
+
+func (e *SeqEngine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// BeginAssign implements Engine. The sequential engine owns everything,
+// so every right-hand side is evaluated.
+func (e *SeqEngine) BeginAssign(a *Arr, lin int) bool {
+	if e.inAssign {
+		e.fail(fmt.Errorf("loops: nested assignment on %s[%d]", a.Name, lin))
+		return false
+	}
+	e.inAssign = true
+	return true
+}
+
+// FinishAssign implements Engine.
+func (e *SeqEngine) FinishAssign(a *Arr, lin int, v float64) {
+	e.inAssign = false
+	if err := e.trackers[a.ID].Mark(lin); err != nil {
+		e.fail(err)
+		return
+	}
+	e.vals[a.ID][lin] = v
+	e.defined[a.ID][lin] = true
+}
+
+// Read implements Engine, flagging reads of never-written cells: in the
+// paper's machine such a read would block forever (a deadlocked deferred
+// read), so in the sequential reference it is an error.
+func (e *SeqEngine) Read(a *Arr, lin int) float64 {
+	if !e.defined[a.ID][lin] {
+		e.fail(fmt.Errorf("loops: read of undefined %s[%d]", a.Name, lin))
+		return 0
+	}
+	return e.vals[a.ID][lin]
+}
+
+// Reduce implements Engine by direct evaluation.
+func (e *SeqEngine) Reduce(op Op, driver *Arr, lo, hi int, term func(i int) float64) (float64, int) {
+	return reduceSerial(op, lo, hi, term)
+}
+
+// reduceSerial evaluates a reduction over [lo, hi) in index order; it is
+// shared by back ends that evaluate terms locally.
+func reduceSerial(op Op, lo, hi int, term func(i int) float64) (float64, int) {
+	switch op {
+	case OpSum:
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += term(i)
+		}
+		return s, -1
+	case OpMin:
+		best, at := 0.0, -1
+		for i := lo; i < hi; i++ {
+			v := term(i)
+			if at == -1 || v < best {
+				best, at = v, i
+			}
+		}
+		return best, at
+	case OpMax:
+		best, at := 0.0, -1
+		for i := lo; i < hi; i++ {
+			v := term(i)
+			if at == -1 || v > best {
+				best, at = v, i
+			}
+		}
+		return best, at
+	default:
+		panic(fmt.Sprintf("loops: unknown reduce op %d", int(op)))
+	}
+}
+
+// CombineReduce merges two partial reduction results (value/index
+// pairs), preferring the earlier index on ties. Engines that distribute
+// reductions across PEs use it to fold partials at the host.
+func CombineReduce(op Op, v1 float64, i1 int, v2 float64, i2 int) (float64, int) {
+	switch op {
+	case OpSum:
+		return v1 + v2, -1
+	case OpMin:
+		if i1 == -1 {
+			return v2, i2
+		}
+		if i2 == -1 {
+			return v1, i1
+		}
+		if v2 < v1 || (v2 == v1 && i2 < i1) {
+			return v2, i2
+		}
+		return v1, i1
+	case OpMax:
+		if i1 == -1 {
+			return v2, i2
+		}
+		if i2 == -1 {
+			return v1, i1
+		}
+		if v2 > v1 || (v2 == v1 && i2 < i1) {
+			return v2, i2
+		}
+		return v1, i1
+	default:
+		panic(fmt.Sprintf("loops: unknown reduce op %d", int(op)))
+	}
+}
+
+// ArraySum summarizes one array's final state.
+type ArraySum struct {
+	Name    string
+	Sum     float64 // sum of defined cells
+	Defined int     // number of defined cells
+	Elems   int     // total cells
+}
+
+// SeqResult is the outcome of a reference run.
+type SeqResult struct {
+	Checksums []ArraySum           // one per output array, in Outputs order
+	Values    map[string][]float64 // dense final values per output array
+	DefinedOf map[string][]bool    // defined bits per output array
+}
+
+// RunSeq executes kernel k at problem size n on the sequential reference
+// engine and returns output checksums and values. Any single-assignment
+// violation or read-before-write in the kernel is reported as an error.
+func RunSeq(k *Kernel, n int) (*SeqResult, error) {
+	n = k.ClampN(n)
+	eng, ctx, err := NewSeqEngine(k.Arrays(n))
+	if err != nil {
+		return nil, fmt.Errorf("loops: %s: %w", k.Key, err)
+	}
+	k.Run(ctx, n)
+	if eng.Err() != nil {
+		return nil, fmt.Errorf("loops: %s: %w", k.Key, eng.Err())
+	}
+	res := &SeqResult{
+		Values:    make(map[string][]float64),
+		DefinedOf: make(map[string][]bool),
+	}
+	for _, name := range k.Outputs {
+		a := ctx.A(name)
+		cs := ArraySum{Name: name, Elems: a.Len()}
+		for j := 0; j < a.Len(); j++ {
+			if eng.defined[a.ID][j] {
+				cs.Sum += eng.vals[a.ID][j]
+				cs.Defined++
+			}
+		}
+		res.Checksums = append(res.Checksums, cs)
+		vals := make([]float64, a.Len())
+		def := make([]bool, a.Len())
+		copy(vals, eng.vals[a.ID])
+		copy(def, eng.defined[a.ID])
+		res.Values[name] = vals
+		res.DefinedOf[name] = def
+	}
+	return res, nil
+}

@@ -1,0 +1,77 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+// TestChaosSchedulesProduceIdenticalValues hammers the determinacy
+// claim: with scheduler yields injected at every memory access point,
+// the PE interleavings differ wildly between runs, yet every run of
+// every kernel must produce the sequential reference values.
+func TestChaosSchedulesProduceIdenticalValues(t *testing.T) {
+	keys := []string{"k1", "k2", "k5", "k11", "k18", "k19"}
+	for _, key := range keys {
+		key := key
+		t.Run(key, func(t *testing.T) {
+			t.Parallel()
+			k, err := loops.ByKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 96
+			seq, err := loops.RunSeq(k, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig(6, 8)
+			cfg.Chaos = true
+			for trial := 0; trial < 4; trial++ {
+				res, err := Run(k, n, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, name := range k.Outputs {
+					sv, sd := seq.Values[name], seq.DefinedOf[name]
+					mv := res.Values[name]
+					for i := range sv {
+						if sd[i] && sv[i] != mv[i] {
+							t.Fatalf("trial %d: %s[%d] = %v, want %v", trial, name, i, mv[i], sv[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDoesNotChangeAccounting verifies chaos only perturbs the
+// schedule: ownership-determined counters stay exact.
+func TestChaosDoesNotChangeAccounting(t *testing.T) {
+	k, err := loops.ByKey("k7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(k, 128, DefaultConfig(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4, 16)
+	cfg.Chaos = true
+	chaos, err := Run(k, 128, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Totals.Writes != chaos.Totals.Writes {
+		t.Errorf("writes changed: %d vs %d", base.Totals.Writes, chaos.Totals.Writes)
+	}
+	if base.Totals.LocalReads != chaos.Totals.LocalReads {
+		t.Errorf("local reads changed: %d vs %d", base.Totals.LocalReads, chaos.Totals.LocalReads)
+	}
+	baseNL := base.Totals.CachedReads + base.Totals.RemoteReads
+	chaosNL := chaos.Totals.CachedReads + chaos.Totals.RemoteReads
+	if baseNL != chaosNL {
+		t.Errorf("non-local reads changed: %d vs %d", baseNL, chaosNL)
+	}
+}

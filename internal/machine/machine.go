@@ -1,0 +1,604 @@
+// Package machine executes Livermore kernels on a simulated
+// loosely-coupled MIMD machine, making the paper's claims operational:
+// one goroutine per PE runs the replicated loop body with
+// owner-computes screening (§2), local memory is single-assignment
+// tagged storage (§3), and every remote read is a real request/reply
+// message exchange that fetches and caches a page snapshot (§4).
+//
+// No kernel contains any explicit synchronization; ordering emerges
+// entirely from the write-once/read-many memory protocol, and — the
+// point of single assignment — the computed values are deterministic
+// regardless of PE interleaving.
+package machine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/network"
+	"repro/internal/partition"
+	"repro/internal/samem"
+	"repro/internal/stats"
+)
+
+// Config selects the machine.
+type Config struct {
+	NPE        int
+	PageSize   int
+	CacheElems int            // per-PE cache capacity in elements; 0 disables caching
+	Policy     cache.Policy   // page replacement policy
+	Layout     partition.Kind // partitioning scheme
+	LayoutRun  int            // block-cyclic run length
+	Topology   Topo           // interconnect for hop accounting
+	InboxDepth int            // per-PE inbox buffering (default 64)
+	// Chaos injects scheduler yields at memory-access points to
+	// diversify PE interleavings. Single assignment guarantees the
+	// computed values are identical under any schedule; Chaos exists so
+	// tests can hammer that claim.
+	Chaos bool
+	// DeadlockTimeout bounds how long the machine may make no progress
+	// (no writes, no messages) while compute goroutines are still
+	// running. A kernel that reads a cell no one ever writes blocks its
+	// reader on a deferred read forever — on real hardware a hang, here
+	// an error after two quiet intervals. Zero selects the default
+	// (5s); negative disables the watchdog.
+	DeadlockTimeout time.Duration
+}
+
+// Topo selects the interconnect topology.
+type Topo int
+
+// Interconnect topologies.
+const (
+	TopoBus Topo = iota
+	TopoRing
+	TopoMesh
+	TopoHypercube
+)
+
+// DefaultConfig mirrors the paper's baseline machine.
+func DefaultConfig(npe, pageSize int) Config {
+	return Config{NPE: npe, PageSize: pageSize, CacheElems: 256, Policy: cache.LRU, Layout: partition.KindModulo}
+}
+
+func (c Config) topology() (network.Topology, error) {
+	switch c.Topology {
+	case TopoBus:
+		return network.Bus{N: c.NPE}, nil
+	case TopoRing:
+		return network.Ring{N: c.NPE}, nil
+	case TopoMesh:
+		return network.NewMesh2D(c.NPE), nil
+	case TopoHypercube:
+		return network.NewHypercube(c.NPE)
+	default:
+		return nil, fmt.Errorf("machine: unknown topology %d", int(c.Topology))
+	}
+}
+
+// Result reports one concurrent execution.
+type Result struct {
+	Kernel string
+	N      int
+	Config Config
+
+	PerPE  stats.PerPE
+	Totals stats.Counters
+	Cache  []cache.Stats
+
+	Net          network.Counters // network-wide traffic
+	PageRequests int64
+	PageReplies  int64
+	ReduceMsgs   int64
+
+	Checksums []loops.ArraySum
+	// Values and DefinedOf hold the final dense contents of each output
+	// array, read back from the distributed pages, for exact comparison
+	// against the sequential reference.
+	Values    map[string][]float64
+	DefinedOf map[string][]bool
+}
+
+// RemotePercent returns "% of Reads Remote" for the run.
+func (r *Result) RemotePercent() float64 { return r.Totals.RemotePercent() }
+
+// abortError unwinds a PE's compute goroutine when the machine aborts.
+type abortError struct{ cause string }
+
+func (e abortError) Error() string { return "machine: aborted: " + e.cause }
+
+// arrayState is the machine-wide descriptor of one array: geometry,
+// layout, and the distributed pages (page p conceptually resides in the
+// local memory of its owner; the access paths enforce that discipline).
+type arrayState struct {
+	geom   partition.Geometry
+	layout partition.Layout
+	pages  []*samem.Page
+	host   int // host processor for reductions and re-initialization (§5)
+}
+
+type machine struct {
+	cfg    Config
+	net    *network.Network
+	arrays []*arrayState
+
+	perPE   []stats.Counters
+	caches  []*cache.Cache
+	reduceC []chan network.Message
+
+	abortOnce sync.Once
+	abort     chan struct{}
+	errMu     sync.Mutex
+	firstErr  error
+
+	deferred sync.WaitGroup
+	progress atomic.Int64 // writes + messages, for deadlock detection
+}
+
+func (m *machine) fail(err error) {
+	m.errMu.Lock()
+	if m.firstErr == nil {
+		m.firstErr = err
+	}
+	m.errMu.Unlock()
+	m.abortOnce.Do(func() { close(m.abort) })
+}
+
+// peEngine is PE pe's view of the machine; it implements loops.Engine.
+type peEngine struct {
+	m        *machine
+	pe       int
+	inAssign bool
+	replyCh  chan network.Message
+	waitCh   chan float64
+	chaosRng uint64
+}
+
+// maybeYield perturbs the schedule under Chaos: a deterministic
+// per-PE pseudo-random stream decides where to hand the processor
+// over, so repeated runs explore different interleavings (the stream
+// interacts with the runtime's own nondeterminism).
+func (e *peEngine) maybeYield() {
+	if !e.m.cfg.Chaos {
+		return
+	}
+	e.chaosRng ^= e.chaosRng << 13
+	e.chaosRng ^= e.chaosRng >> 7
+	e.chaosRng ^= e.chaosRng << 17
+	if e.chaosRng&7 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// BeginAssign implements owner-computes screening: the RHS is evaluated
+// only when this PE owns the target element (§2/§3).
+func (e *peEngine) BeginAssign(a *loops.Arr, lin int) bool {
+	if e.inAssign {
+		panic(abortError{cause: fmt.Sprintf("nested assignment on %s[%d]", a.Name, lin)})
+	}
+	st := e.m.arrays[a.ID]
+	if st.layout.Owner(st.geom.PageOf(lin)) != e.pe {
+		return false
+	}
+	e.inAssign = true
+	return true
+}
+
+// FinishAssign implements loops.Engine: a local single-assignment write
+// that also wakes any queued remote readers.
+func (e *peEngine) FinishAssign(a *loops.Arr, lin int, v float64) {
+	e.maybeYield()
+	e.inAssign = false
+	st := e.m.arrays[a.ID]
+	page := st.geom.PageOf(lin)
+	if err := st.pages[page].Write(st.geom.Offset(lin), v); err != nil {
+		e.m.fail(err)
+		panic(abortError{cause: err.Error()})
+	}
+	e.m.perPE[e.pe].Writes++
+	e.m.progress.Add(1)
+}
+
+// Read implements loops.Engine: local reads come from the PE's own
+// pages (blocking on undefined cells), remote reads go through the
+// cache and the network.
+func (e *peEngine) Read(a *loops.Arr, lin int) float64 {
+	e.maybeYield()
+	st := e.m.arrays[a.ID]
+	page := st.geom.PageOf(lin)
+	off := st.geom.Offset(lin)
+	if st.layout.Owner(page) == e.pe {
+		e.m.perPE[e.pe].LocalReads++
+		return e.localRead(st, a, page, off)
+	}
+	key := cache.Key{Array: a.ID, Page: page}
+	if v, out := e.m.caches[e.pe].Lookup(key, off); out == cache.Hit {
+		e.m.perPE[e.pe].CachedReads++
+		return v
+	}
+	// Remote read (§4): request the page from its owner; the reply — a
+	// snapshot taken once the requested cell is defined — is cached.
+	e.m.perPE[e.pe].RemoteReads++
+	owner := st.layout.Owner(page)
+	req := network.Message{
+		Type: network.PageRequest, Src: e.pe, Dst: owner,
+		Array: a.ID, Page: page, Cell: off, Reply: e.replyCh,
+	}
+	if err := e.m.net.SendAbort(req, e.m.abort); err != nil {
+		e.m.fail(err)
+		panic(abortError{cause: err.Error()})
+	}
+	select {
+	case rep := <-e.replyCh:
+		e.m.caches[e.pe].Insert(key, rep.Payload, rep.Defined)
+		return rep.Payload[off]
+	case <-e.m.abort:
+		panic(abortError{cause: "abort while awaiting page reply"})
+	}
+}
+
+func (e *peEngine) localRead(st *arrayState, a *loops.Arr, page, off int) float64 {
+	p := st.pages[page]
+	if v, ok := p.TryRead(off); ok {
+		return v
+	}
+	// A local deferred read: queued until the (local) producer writes.
+	// In a sequentially valid kernel this PE must itself produce the
+	// cell later in its program order, so blocking here means the
+	// kernel reads ahead of its own writes — abort rather than hang.
+	if v, ok := p.ReadOrWait(off, e.waitCh); ok {
+		return v
+	}
+	err := fmt.Errorf("machine: PE %d reads own undefined cell %s[%d] (read-before-write)",
+		e.pe, a.Name, p.Base()+off)
+	e.m.fail(err)
+	panic(abortError{cause: err.Error()})
+}
+
+// Reduce implements the §9 host-processor vector-to-scalar mechanism:
+// each PE folds the terms whose driver elements it owns, every PE sends
+// its partial to the array's host, and the host broadcasts the result.
+func (e *peEngine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i int) float64) (float64, int) {
+	if e.inAssign {
+		panic(abortError{cause: "reduction inside an assignment"})
+	}
+	st := e.m.arrays[driver.ID]
+	acc, at := 0.0, -1
+	first := true
+	for i := lo; i < hi; i++ {
+		if st.layout.Owner(st.geom.PageOf(i)) != e.pe {
+			continue
+		}
+		v := term(i)
+		idx := i
+		if op == loops.OpSum {
+			idx = -1
+		}
+		if first {
+			acc, at = v, idx
+			first = false
+			continue
+		}
+		acc, at = loops.CombineReduce(op, acc, at, v, idx)
+	}
+	// A PE with no owned terms contributes the combine identity:
+	// (0, -1). CombineReduce treats index -1 as "no value" for min/max
+	// and 0 is the additive identity for sums.
+	if first {
+		acc, at = 0, -1
+	}
+	host := st.host
+	if e.pe != host {
+		msg := network.Message{
+			Type: network.ReduceSend, Src: e.pe, Dst: host,
+			Array: driver.ID, Value: acc, Cell: at,
+		}
+		if err := e.m.net.SendAbort(msg, e.m.abort); err != nil {
+			e.m.fail(err)
+			panic(abortError{cause: err.Error()})
+		}
+		select {
+		case rep := <-e.m.reduceC[e.pe]:
+			return rep.Value, rep.Cell
+		case <-e.m.abort:
+			panic(abortError{cause: "abort while awaiting reduction broadcast"})
+		}
+	}
+	// Host: collect one partial per other PE, fold them in PE-rank
+	// order so the floating-point result is deterministic regardless of
+	// message arrival order, then broadcast.
+	partialV := make([]float64, e.m.cfg.NPE)
+	partialI := make([]int, e.m.cfg.NPE)
+	for pe := range partialI {
+		partialI[pe] = -1
+	}
+	partialV[host], partialI[host] = acc, at
+	for received := 0; received < e.m.cfg.NPE-1; received++ {
+		select {
+		case msg := <-e.m.reduceC[e.pe]:
+			partialV[msg.Src], partialI[msg.Src] = msg.Value, msg.Cell
+		case <-e.m.abort:
+			panic(abortError{cause: "abort while collecting reduction partials"})
+		}
+	}
+	total, totalAt := 0.0, -1
+	haveAny := false
+	for pe := 0; pe < e.m.cfg.NPE; pe++ {
+		if op != loops.OpSum && partialI[pe] == -1 {
+			continue // identity partial
+		}
+		if !haveAny {
+			total, totalAt = partialV[pe], partialI[pe]
+			haveAny = true
+			continue
+		}
+		total, totalAt = loops.CombineReduce(op, total, totalAt, partialV[pe], partialI[pe])
+	}
+	for pe := 0; pe < e.m.cfg.NPE; pe++ {
+		if pe == host {
+			continue
+		}
+		msg := network.Message{
+			Type: network.ReduceBcast, Src: host, Dst: pe,
+			Array: driver.ID, Value: total, Cell: totalAt,
+		}
+		if err := e.m.net.SendAbort(msg, e.m.abort); err != nil {
+			e.m.fail(err)
+			panic(abortError{cause: err.Error()})
+		}
+	}
+	return total, totalAt
+}
+
+// watchdog aborts the machine if no write or reply happens for two
+// consecutive intervals while compute goroutines are still running:
+// the signature of a read that can never be satisfied.
+func (m *machine) watchdog(interval time.Duration, done <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := int64(-1)
+	strikes := 0
+	for {
+		select {
+		case <-done:
+			return
+		case <-m.abort:
+			return
+		case <-ticker.C:
+			cur := m.progress.Load()
+			if cur == last {
+				strikes++
+				if strikes >= 2 {
+					m.fail(fmt.Errorf("machine: deadlock: no progress for %v — a deferred read can never be satisfied", 2*interval))
+					return
+				}
+			} else {
+				strikes = 0
+				last = cur
+			}
+		}
+	}
+}
+
+// handler is PE pe's message server: it satisfies remote page requests
+// against the PE's local pages (queueing deferred replies for undefined
+// cells) and forwards reduction traffic to the compute goroutine.
+func (m *machine) handler(pe int) {
+	for msg := range m.net.Inbox(pe) {
+		switch msg.Type {
+		case network.PageRequest:
+			m.servePage(pe, msg)
+		case network.ReduceSend, network.ReduceBcast:
+			select {
+			case m.reduceC[pe] <- msg:
+			case <-m.abort:
+			}
+		case network.Halt:
+			return
+		}
+	}
+}
+
+func (m *machine) servePage(pe int, req network.Message) {
+	st := m.arrays[req.Array]
+	p := st.pages[req.Page]
+	if _, ok := p.TryRead(req.Cell); ok {
+		m.replySnapshot(pe, req, p)
+		return
+	}
+	// Deferred remote read (§3/§4): queue until the producer writes the
+	// requested cell, then reply with the page as it stands.
+	ch := make(chan float64, 1)
+	if _, ok := p.ReadOrWait(req.Cell, ch); ok {
+		m.replySnapshot(pe, req, p)
+		return
+	}
+	m.deferred.Add(1)
+	go func() {
+		defer m.deferred.Done()
+		select {
+		case <-ch:
+			m.replySnapshot(pe, req, p)
+		case <-m.abort:
+		}
+	}()
+}
+
+func (m *machine) replySnapshot(pe int, req network.Message, p *samem.Page) {
+	m.progress.Add(1)
+	vals, defined := p.Snapshot()
+	rep := network.Message{
+		Type: network.PageReply, Src: pe, Dst: req.Src,
+		Array: req.Array, Page: req.Page, Payload: vals, Defined: defined,
+	}
+	if err := m.net.Reply(req, rep); err != nil {
+		m.fail(err)
+	}
+}
+
+// Run executes kernel k at problem size n on the concurrent machine.
+func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
+	if cfg.NPE <= 0 {
+		return nil, fmt.Errorf("machine: NPE must be positive, got %d", cfg.NPE)
+	}
+	if cfg.PageSize <= 0 {
+		return nil, fmt.Errorf("machine: page size must be positive, got %d", cfg.PageSize)
+	}
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 64
+	}
+	n = k.ClampN(n)
+	topo, err := cfg.topology()
+	if err != nil {
+		return nil, err
+	}
+	net, err := network.New(cfg.NPE, topo, cfg.InboxDepth)
+	if err != nil {
+		return nil, err
+	}
+	m := &machine{cfg: cfg, net: net, abort: make(chan struct{})}
+
+	specs := k.Arrays(n)
+	// Build one context per PE over shared array state.
+	protoCtx, err := loops.Bind(&peEngine{m: m}, specs) // for geometry only
+	if err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", k.Key, err)
+	}
+	for i, a := range protoCtx.Arrays() {
+		g, err := partition.NewGeometry(a.Len(), cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		l, err := partition.Make(cfg.Layout, cfg.NPE, g.Pages(), cfg.LayoutRun)
+		if err != nil {
+			return nil, err
+		}
+		st := &arrayState{geom: g, layout: l, host: i % cfg.NPE}
+		for p := 0; p < g.Pages(); p++ {
+			lo, hi := g.PageBounds(p)
+			st.pages = append(st.pages, samem.NewPage(a.Name, lo, hi-lo))
+		}
+		// Initialization data is loaded before execution (§3).
+		if init := specs[i].Init; init != nil {
+			for j := 0; j < a.Len(); j++ {
+				if v, ok := init(j); ok {
+					pg := g.PageOf(j)
+					if err := st.pages[pg].Fill(g.Offset(j), v); err != nil {
+						return nil, fmt.Errorf("machine: %s: %w", k.Key, err)
+					}
+				}
+			}
+		}
+		m.arrays = append(m.arrays, st)
+	}
+
+	m.perPE = make([]stats.Counters, cfg.NPE)
+	m.reduceC = make([]chan network.Message, cfg.NPE)
+	for pe := 0; pe < cfg.NPE; pe++ {
+		c, err := cache.New(cfg.CacheElems, cfg.PageSize, cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		m.caches = append(m.caches, c)
+		m.reduceC[pe] = make(chan network.Message, cfg.NPE+1)
+	}
+
+	var handlers sync.WaitGroup
+	for pe := 0; pe < cfg.NPE; pe++ {
+		handlers.Add(1)
+		go func(pe int) {
+			defer handlers.Done()
+			m.handler(pe)
+		}(pe)
+	}
+
+	var compute sync.WaitGroup
+	for pe := 0; pe < cfg.NPE; pe++ {
+		compute.Add(1)
+		go func(pe int) {
+			defer compute.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if ae, ok := r.(abortError); ok {
+						m.fail(ae)
+						return
+					}
+					m.fail(fmt.Errorf("machine: PE %d panic: %v", pe, r))
+				}
+			}()
+			eng := &peEngine{
+				m: m, pe: pe,
+				replyCh:  make(chan network.Message, 1),
+				waitCh:   make(chan float64, 1),
+				chaosRng: 0x9e3779b97f4a7c15 ^ uint64(pe+1),
+			}
+			ctx, err := loops.Bind(eng, specs)
+			if err != nil {
+				m.fail(err)
+				return
+			}
+			k.Run(ctx, n)
+		}(pe)
+	}
+	watchdogDone := make(chan struct{})
+	if cfg.DeadlockTimeout >= 0 {
+		interval := cfg.DeadlockTimeout
+		if interval == 0 {
+			interval = 5 * time.Second
+		}
+		go m.watchdog(interval, watchdogDone)
+	}
+	compute.Wait()
+	close(watchdogDone)
+	m.deferred.Wait()
+	m.abortOnce.Do(func() { close(m.abort) })
+	m.net.CloseInboxes()
+	handlers.Wait()
+
+	if m.firstErr != nil {
+		return nil, fmt.Errorf("machine: %s: %w", k.Key, m.firstErr)
+	}
+
+	res := &Result{
+		Kernel: k.Key, N: n, Config: cfg,
+		PerPE:        m.perPE,
+		Net:          net.Totals(),
+		PageRequests: net.CountByType(network.PageRequest),
+		PageReplies:  net.CountByType(network.PageReply),
+		ReduceMsgs:   net.CountByType(network.ReduceSend) + net.CountByType(network.ReduceBcast),
+	}
+	res.Totals = stats.PerPE(m.perPE).Totals()
+	for pe := 0; pe < cfg.NPE; pe++ {
+		res.Cache = append(res.Cache, m.caches[pe].Stats())
+	}
+	res.Values = make(map[string][]float64)
+	res.DefinedOf = make(map[string][]bool)
+	for _, name := range k.Outputs {
+		a := protoCtx.A(name)
+		st := m.arrays[a.ID]
+		cs := loops.ArraySum{Name: name, Elems: a.Len()}
+		dense := make([]float64, a.Len())
+		denseDef := make([]bool, a.Len())
+		for p, pg := range st.pages {
+			vals, defined := pg.Snapshot()
+			lo, _ := st.geom.PageBounds(p)
+			for off, d := range defined {
+				if d {
+					cs.Sum += vals[off]
+					cs.Defined++
+					dense[lo+off] = vals[off]
+					denseDef[lo+off] = true
+				}
+			}
+		}
+		res.Checksums = append(res.Checksums, cs)
+		res.Values[name] = dense
+		res.DefinedOf[name] = denseDef
+	}
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+)
+
+// CostModel prices the access classes in abstract machine cycles. The
+// paper's §9 lists "a more sophisticated simulation will better
+// explore the problems of execution time and network contention" as
+// the next step; this is that model, deliberately simple and fully
+// parameterized. Defaults reflect the era's loosely-coupled machines:
+// local memory ~1 cycle, a cache probe ~2, a remote page round trip
+// tens of cycles of software overhead plus per-hop wire time.
+type CostModel struct {
+	WriteCycles  float64 // per local write
+	LocalCycles  float64 // per local read
+	CachedCycles float64 // per cache-hit read
+	RemoteCycles float64 // software overhead per remote read (request+reply handling)
+	SendCycles   float64 // per outgoing message (occupancy on the sender)
+	HopCycles    float64 // per network hop traversed by a message
+	MsgService   float64 // link service time per message, for contention
+}
+
+// DefaultCostModel returns the baseline pricing.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WriteCycles:  1,
+		LocalCycles:  1,
+		CachedCycles: 2,
+		RemoteCycles: 40,
+		SendCycles:   4,
+		HopCycles:    2,
+		MsgService:   4,
+	}
+}
+
+// Timing is the execution-time estimate for one simulated run.
+type Timing struct {
+	PerPECycles []float64 // busy cycles per PE (compute + messaging)
+	Makespan    float64   // max over PEs
+	SerialWork  float64   // the same workload priced on one PE (all local)
+	Speedup     float64   // SerialWork / Makespan
+	Efficiency  float64   // Speedup / NPE
+}
+
+// String renders the headline numbers.
+func (t Timing) String() string {
+	return fmt.Sprintf("makespan=%.0f cycles, speedup=%.2fx, efficiency=%.1f%%",
+		t.Makespan, t.Speedup, 100*t.Efficiency)
+}
+
+// Estimate prices the run under a cost model and a topology. Each PE
+// pays for its own accesses, for every message it originates (requests
+// it sends and replies it serves), and for the hops those messages
+// traverse. SerialWork prices the identical access volume on one PE
+// where every read is local — the quantity the paper's "potential for
+// large-scale parallelism" implicitly compares against.
+func (r *Result) Estimate(cm CostModel, topo network.Topology) Timing {
+	npe := r.Config.NPE
+	t := Timing{PerPECycles: make([]float64, npe)}
+	for pe, c := range r.PerPE {
+		busy := float64(c.Writes)*cm.WriteCycles +
+			float64(c.LocalReads)*cm.LocalCycles +
+			float64(c.CachedReads)*cm.CachedCycles +
+			float64(c.RemoteReads)*cm.RemoteCycles
+		if r.Traffic != nil {
+			for dst, msgs := range r.Traffic[pe] {
+				if msgs == 0 {
+					continue
+				}
+				busy += float64(msgs) * (cm.SendCycles + cm.HopCycles*float64(topo.Hops(pe, dst)))
+			}
+		}
+		t.PerPECycles[pe] = busy
+		if busy > t.Makespan {
+			t.Makespan = busy
+		}
+	}
+	tot := r.Totals
+	t.SerialWork = float64(tot.Writes)*cm.WriteCycles + float64(tot.Reads())*cm.LocalCycles
+	if t.Makespan > 0 {
+		t.Speedup = t.SerialWork / t.Makespan
+	}
+	if npe > 0 {
+		t.Efficiency = t.Speedup / float64(npe)
+	}
+	return t
+}
+
+// Contention routes the run's implied message matrix over the topology
+// and reports hottest-link utilization under an M/M/1 approximation,
+// with the run's makespan as the observation window. The paper's
+// abstract claims "the degradation in network performance due to
+// multiprocessing is minimal" because so few accesses are remote —
+// this makes that claim measurable.
+func (r *Result) Contention(cm CostModel, topo network.Topology) network.ContentionReport {
+	timing := r.Estimate(cm, topo)
+	serviceOverDuration := 0.0
+	if timing.Makespan > 0 {
+		serviceOverDuration = cm.MsgService / timing.Makespan
+	}
+	return network.EstimateContention(topo, r.Traffic, serviceOverDuration)
+}

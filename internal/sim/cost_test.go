@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTrafficMatrixSymmetryOfRequestsAndReplies(t *testing.T) {
+	// Every remote fetch is a request pe->owner plus a reply owner->pe,
+	// so the traffic matrix restricted to page traffic is symmetric.
+	k := mustKernel(t, "k1")
+	res, err := Run(k, 1000, NoCacheConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for s := range res.Traffic {
+		for d := range res.Traffic[s] {
+			if res.Traffic[s][d] != res.Traffic[d][s] {
+				t.Fatalf("traffic[%d][%d]=%d != traffic[%d][%d]=%d",
+					s, d, res.Traffic[s][d], d, s, res.Traffic[d][s])
+			}
+			if s == d && res.Traffic[s][d] != 0 {
+				t.Fatalf("self-traffic recorded at PE %d", s)
+			}
+			total += res.Traffic[s][d]
+		}
+	}
+	// Two messages per remote read.
+	if total != 2*res.Totals.RemoteReads {
+		t.Errorf("traffic total = %d, want %d", total, 2*res.Totals.RemoteReads)
+	}
+}
+
+func TestTrafficIncludesReduceMessages(t *testing.T) {
+	k := mustKernel(t, "k3")
+	res, err := Run(k, 1000, PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for s := range res.Traffic {
+		for d := range res.Traffic[s] {
+			total += res.Traffic[s][d]
+		}
+	}
+	// All reads are local in k3: traffic is purely reduction messages.
+	// 7 sends to the host plus 7 broadcasts (the host's own send and
+	// receive are local).
+	if total != 14 {
+		t.Errorf("reduce traffic = %d, want 14", total)
+	}
+}
+
+func TestEstimateSinglePEIsSerial(t *testing.T) {
+	k := mustKernel(t, "k1")
+	res, err := Run(k, 1000, PaperConfig(1, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Estimate(DefaultCostModel(), network.Bus{N: 1})
+	if tm.Speedup < 0.999 || tm.Speedup > 1.001 {
+		t.Errorf("1-PE speedup = %v, want 1", tm.Speedup)
+	}
+	if tm.Makespan != tm.SerialWork {
+		t.Errorf("makespan %v != serial work %v", tm.Makespan, tm.SerialWork)
+	}
+}
+
+func TestEstimateMatchedScalesNearLinearly(t *testing.T) {
+	k := mustKernel(t, "k14frag")
+	res, err := Run(k, 1024, PaperConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Estimate(DefaultCostModel(), network.NewMesh2D(16))
+	if tm.Speedup < 12 {
+		t.Errorf("MD speedup at 16 PEs = %.2f, want near-linear", tm.Speedup)
+	}
+	if tm.Efficiency < 0.75 || tm.Efficiency > 1.01 {
+		t.Errorf("efficiency = %.2f", tm.Efficiency)
+	}
+	if len(tm.PerPECycles) != 16 {
+		t.Errorf("per-PE cycles length = %d", len(tm.PerPECycles))
+	}
+	if tm.String() == "" {
+		t.Error("timing rendering empty")
+	}
+}
+
+func TestEstimateRemoteCostsHurt(t *testing.T) {
+	// The same kernel with vs without cache: fewer remote reads must
+	// mean a shorter makespan under any positive cost model.
+	k := mustKernel(t, "k2")
+	wc, err := Run(k, 1024, PaperConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := Run(k, 1024, NoCacheConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	topo := network.NewMesh2D(16)
+	if wcT, ncT := wc.Estimate(cm, topo), nc.Estimate(cm, topo); wcT.Makespan >= ncT.Makespan {
+		t.Errorf("cache should shorten the run: %v vs %v", wcT.Makespan, ncT.Makespan)
+	}
+}
+
+func TestContentionReport(t *testing.T) {
+	k := mustKernel(t, "k6")
+	res, err := Run(k, 300, PaperConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := DefaultCostModel()
+	mesh := res.Contention(cm, network.NewMesh2D(16))
+	bus := res.Contention(cm, network.Bus{N: 16})
+	if mesh.TotalMsgs == 0 {
+		t.Fatal("no messages routed")
+	}
+	if mesh.TotalMsgs != bus.TotalMsgs {
+		t.Errorf("topology changed message count: %d vs %d", mesh.TotalMsgs, bus.TotalMsgs)
+	}
+	if bus.MaxLinkLoad < mesh.MaxLinkLoad {
+		t.Errorf("bus hottest link %d below mesh %d", bus.MaxLinkLoad, mesh.MaxLinkLoad)
+	}
+	if mesh.Utilization <= 0 || mesh.Utilization >= 1 {
+		t.Errorf("utilization = %v", mesh.Utilization)
+	}
+}
+
+func TestContentionMinimalForSD(t *testing.T) {
+	// The abstract's claim: so few accesses are remote that network
+	// degradation is minimal. For the SD exemplar at the paper's
+	// machine size, the hottest mesh link stays well under 10% busy.
+	k := mustKernel(t, "k1")
+	res, err := Run(k, 1000, PaperConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Contention(DefaultCostModel(), network.NewMesh2D(16))
+	if rep.Utilization > 0.1 {
+		t.Errorf("SD utilization = %.4f, want < 0.1", rep.Utilization)
+	}
+}

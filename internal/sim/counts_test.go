@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/loops"
+)
+
+// TestAccessCountFormulas pins the exact read/write counts of the
+// transcribed kernels: any change to a kernel's loop structure or its
+// SA conversion shows up here as a formula mismatch.
+func TestAccessCountFormulas(t *testing.T) {
+	const n = 200
+	cfg := NoCacheConfig(4, 32)
+	cases := []struct {
+		key    string
+		writes int64
+		reads  int64
+	}{
+		// k1: n writes; per k reads Y, ZX(k+10), ZX(k+11).
+		{"k1", n, 3 * n},
+		// k3: one scalar write; per k reads Z and X.
+		{"k3", 1, 2 * n},
+		// k5: writes 2..n; per i reads Z, Y, X(i-1).
+		{"k5", n - 1, 3 * (n - 1)},
+		// k6: writes 2..n; per i reads (i-1) B's and (i-1) W's.
+		{"k6", n - 1, 2 * (n - 1) * n / 2},
+		// k7: n writes; per k reads U x7, Z, Y.
+		{"k7", n, 9 * n},
+		// k9: n writes; per i reads rows 3,5,6,7..13 = 10 reads.
+		{"k9", n, 10 * n},
+		// k11: n writes; read Y(1) + per k>=2 reads X(k-1), Y(k).
+		{"k11", n, 1 + 2*(n-1)},
+		// k12: n writes; per k reads Y(k+1), Y(k).
+		{"k12", n, 2 * n},
+		// k22: 2n writes; Y reads U,V; W reads X, Y(k).
+		{"k22", 2 * n, 4 * n},
+		// k24: one scalar write; n reduction term reads.
+		{"k24", 1, n},
+	}
+	for _, c := range cases {
+		k, err := loops.ByKey(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(k, n, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		if res.Totals.Writes != c.writes {
+			t.Errorf("%s: writes = %d, want %d", c.key, res.Totals.Writes, c.writes)
+		}
+		if res.Totals.Reads() != c.reads {
+			t.Errorf("%s: reads = %d, want %d", c.key, res.Totals.Reads(), c.reads)
+		}
+	}
+}
+
+// TestICCGCountFormula pins kernel 2's structure: every write reads
+// X(k), X(k-1), X(k+1), V(k), V(k+1).
+func TestICCGCountFormula(t *testing.T) {
+	const n = 256
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(k, n, NoCacheConfig(4, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.Reads() != 5*res.Totals.Writes {
+		t.Errorf("reads = %d, want 5x writes (%d)", res.Totals.Reads(), 5*res.Totals.Writes)
+	}
+}
+
+// TestKernel18CountFormula pins the three-phase structure: per (j,k)
+// cell, phase 1 writes ZA+ZB with 8+8 reads, phase 2 writes ZU2+ZV2
+// with 13+13 reads, phase 3 writes ZR2+ZZ2 with 4 reads.
+func TestKernel18CountFormula(t *testing.T) {
+	const n = 100
+	k, err := loops.ByKey("k18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(k, n, NoCacheConfig(4, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := int64(5 * (n - 1)) // k = 2..6, j = 2..n
+	if res.Totals.Writes != 6*cells {
+		t.Errorf("writes = %d, want %d", res.Totals.Writes, 6*cells)
+	}
+	if res.Totals.Reads() != (16+26+4)*cells {
+		t.Errorf("reads = %d, want %d", res.Totals.Reads(), (16+26+4)*cells)
+	}
+}
+
+// TestCountsScaleLinearly verifies that doubling n doubles the access
+// volume for the linear kernels (guards against accidental quadratic
+// transcriptions).
+func TestCountsScaleLinearly(t *testing.T) {
+	cfg := NoCacheConfig(4, 32)
+	for _, key := range []string{"k1", "k5", "k7", "k12", "k20", "k22"} {
+		k, err := loops.ByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(k, 200, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(k, 400, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ra, rb := a.Totals.Accesses(), b.Totals.Accesses()
+		if rb < 19*ra/10 || rb > 21*ra/10 {
+			t.Errorf("%s: accesses %d -> %d, not ~2x", key, ra, rb)
+		}
+	}
+}

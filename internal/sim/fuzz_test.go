@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/loops"
+	"repro/internal/partition"
+)
+
+func TestPropertySimMatchesSeqOnRandomAffinePrograms(t *testing.T) {
+	f := func(seed []byte, npeRaw, psRaw, ceRaw uint8) bool {
+		p := ir.FuzzAffineProgram(seed)
+		k, err := p.Kernel(96)
+		if err != nil {
+			return false
+		}
+		npe := 1 + int(npeRaw)%16
+		ps := []int{4, 8, 16, 32, 64}[int(psRaw)%5]
+		ce := []int{0, 64, 256}[int(ceRaw)%3]
+		cfg := PaperConfig(npe, ps)
+		cfg.CacheElems = ce
+
+		seq, err := loops.RunSeq(k, 96)
+		if err != nil {
+			return false
+		}
+		res, err := Run(k, 96, cfg)
+		if err != nil {
+			return false
+		}
+		// Values identical.
+		for i := range seq.Checksums {
+			if seq.Checksums[i] != res.Checksums[i] {
+				return false
+			}
+		}
+		// Accounting invariants.
+		tot := res.Totals
+		if tot.LocalReads+tot.CachedReads+tot.RemoteReads != tot.Reads() {
+			return false
+		}
+		if npe == 1 && (tot.RemoteReads != 0 || tot.CachedReads != 0) {
+			return false
+		}
+		var perSum int64
+		for _, c := range res.PerPE {
+			perSum += c.Accesses()
+		}
+		if perSum != tot.Accesses() {
+			return false
+		}
+		// Traffic consistency: two messages per remote read, symmetric.
+		var traffic int64
+		for s := range res.Traffic {
+			for d := range res.Traffic[s] {
+				traffic += res.Traffic[s][d]
+			}
+		}
+		return traffic == 2*tot.RemoteReads
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCacheMonotoneOnRandomPrograms(t *testing.T) {
+	// Property: for any generated program, growing the cache never
+	// increases remote reads.
+	f := func(seed []byte, npeRaw uint8) bool {
+		p := ir.FuzzAffineProgram(seed)
+		k, err := p.Kernel(96)
+		if err != nil {
+			return false
+		}
+		npe := 2 + int(npeRaw)%8
+		prev := int64(math.MaxInt64)
+		for _, ce := range []int{0, 64, 256, 1024} {
+			cfg := PaperConfig(npe, 16)
+			cfg.CacheElems = ce
+			res, err := Run(k, 96, cfg)
+			if err != nil {
+				return false
+			}
+			if res.Totals.RemoteReads > prev {
+				return false
+			}
+			prev = res.Totals.RemoteReads
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLayoutsPreserveTotals(t *testing.T) {
+	// Property: changing the layout never changes what is read or
+	// written, only where it lands.
+	f := func(seed []byte) bool {
+		p := ir.FuzzAffineProgram(seed)
+		k, err := p.Kernel(64)
+		if err != nil {
+			return false
+		}
+		base, err := Run(k, 64, NoCacheConfig(4, 8))
+		if err != nil {
+			return false
+		}
+		blk := NoCacheConfig(4, 8)
+		blk.Layout = partition.KindBlock
+		res, err := Run(k, 64, blk)
+		if err != nil {
+			return false
+		}
+		return res.Totals.Reads() == base.Totals.Reads() &&
+			res.Totals.Writes == base.Totals.Writes &&
+			res.Checksums[0] == base.Checksums[0]
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

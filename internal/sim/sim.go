@@ -1,0 +1,361 @@
+// Package sim is the reproduction of the paper's simulator (§6): it
+// executes a Livermore kernel once in program order, applies the
+// automatic partitioning rules to every assignment, and classifies each
+// array access as write / local read / cached read / remote read,
+// per PE.
+//
+// The counting model is exactly equivalent to per-PE execution with
+// owner-computes screening: the PE that owns an assignment's target
+// element evaluates its right-hand side, so each read is charged to
+// that owner; a PE's subsequence of the global program order is its own
+// program order, so its private cache sees the same reference stream
+// either way.
+//
+// Values are computed alongside the counts from dense ground-truth
+// storage, so the counting simulator also validates single assignment
+// and reproduces the sequential engine's results bit-for-bit.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/partition"
+	"repro/internal/samem"
+	"repro/internal/stats"
+)
+
+// Config selects the simulated machine (§6: "the parameters that we
+// varied were: number of processors, page size").
+type Config struct {
+	NPE        int            // number of processing elements
+	PageSize   int            // elements per page
+	CacheElems int            // per-PE cache capacity in elements; 0 disables caching
+	Policy     cache.Policy   // replacement policy (paper: LRU)
+	Layout     partition.Kind // partitioning scheme (paper: modulo)
+	LayoutRun  int            // run length for block-cyclic layouts
+	// ModelPartialFill, when set, snapshots the defined bits at fetch
+	// time so a cached page that was only partially filled forces a
+	// re-fetch when an undefined cell is touched (§4/§8 note on
+	// partially filled pages). The paper's published counts ignore this;
+	// it is provided as an ablation.
+	ModelPartialFill bool
+	// Tracer, when non-nil, receives every classified access in
+	// program order (see internal/trace).
+	Tracer Tracer
+}
+
+// Tracer receives the classified access stream of a run.
+type Tracer interface {
+	// Event reports one access: the PE it was charged to, its class,
+	// the array, the linear element index, and the page.
+	Event(pe int, kind stats.Access, array, lin, page int)
+}
+
+// PaperConfig returns the paper's baseline: modulo layout, LRU, and the
+// fixed 256-element cache of §6.
+func PaperConfig(npe, pageSize int) Config {
+	return Config{NPE: npe, PageSize: pageSize, CacheElems: 256, Policy: cache.LRU, Layout: partition.KindModulo}
+}
+
+// NoCacheConfig returns the paper's cache-less comparison point.
+func NoCacheConfig(npe, pageSize int) Config {
+	c := PaperConfig(npe, pageSize)
+	c.CacheElems = 0
+	return c
+}
+
+func (c Config) validate() error {
+	if c.NPE <= 0 {
+		return fmt.Errorf("sim: NPE must be positive, got %d", c.NPE)
+	}
+	if c.PageSize <= 0 {
+		return fmt.Errorf("sim: page size must be positive, got %d", c.PageSize)
+	}
+	if c.CacheElems < 0 {
+		return fmt.Errorf("sim: negative cache size %d", c.CacheElems)
+	}
+	return nil
+}
+
+// Result reports one simulated run.
+type Result struct {
+	Kernel string
+	N      int
+	Config Config
+
+	PerPE  stats.PerPE // per-PE access counters
+	Totals stats.Counters
+	Cache  []cache.Stats // per-PE cache statistics
+
+	// ReduceSends and ReduceBcasts count the host-processor reduction
+	// messages (§9 mechanism) implied by the run.
+	ReduceSends  int64
+	ReduceBcasts int64
+
+	// Traffic is the implied message matrix: Traffic[src][dst] counts
+	// the messages PE src sends to PE dst (page requests to owners,
+	// page replies back, reduction sends/broadcasts). It feeds the §9
+	// network-contention analysis.
+	Traffic [][]int64
+
+	Checksums []loops.ArraySum // output checksums (must match RunSeq)
+}
+
+// RemotePercent returns the run's "% of Reads Remote".
+func (r *Result) RemotePercent() float64 { return r.Totals.RemotePercent() }
+
+type engine struct {
+	cfg     Config
+	geoms   []partition.Geometry
+	layouts []partition.Layout
+	vals    [][]float64
+	defined [][]bool
+	track   []*samem.Tracker
+	caches  []*cache.Cache
+	perPE   stats.PerPE
+	traffic [][]int64
+	reduceS int64
+	reduceB int64
+	curPE   int // owner of the open assignment; -1 outside
+	err     error
+}
+
+// message accounts one implied interconnect message from src to dst.
+func (e *engine) message(src, dst int) {
+	if src != dst {
+		e.traffic[src][dst]++
+	}
+}
+
+func (e *engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// BeginAssign implements loops.Engine: the counting simulator evaluates
+// every assignment once, attributing it to the owning PE.
+func (e *engine) BeginAssign(a *loops.Arr, lin int) bool {
+	if e.curPE != -1 {
+		e.fail(fmt.Errorf("sim: nested assignment on %s[%d]", a.Name, lin))
+		return false
+	}
+	e.curPE = e.ownerOf(a, lin)
+	return true
+}
+
+// FinishAssign implements loops.Engine.
+func (e *engine) FinishAssign(a *loops.Arr, lin int, v float64) {
+	pe := e.curPE
+	e.curPE = -1
+	if err := e.track[a.ID].Mark(lin); err != nil {
+		e.fail(err)
+		return
+	}
+	e.vals[a.ID][lin] = v
+	e.defined[a.ID][lin] = true
+	e.perPE[pe].Writes++ // writes are always local (§7)
+	e.trace(pe, stats.Write, a.ID, lin, e.geoms[a.ID].PageOf(lin))
+}
+
+// Read implements loops.Engine. Inside an assignment the read is
+// classified for the owning PE; outside (a control read, executed by
+// the replicated loop body on every PE) it is classified for all PEs.
+func (e *engine) Read(a *loops.Arr, lin int) float64 {
+	if !e.defined[a.ID][lin] {
+		e.fail(fmt.Errorf("sim: read of undefined %s[%d]", a.Name, lin))
+		return 0
+	}
+	if e.curPE >= 0 {
+		e.classify(e.curPE, a, lin)
+	} else {
+		for pe := 0; pe < e.cfg.NPE; pe++ {
+			e.classify(pe, a, lin)
+		}
+	}
+	return e.vals[a.ID][lin]
+}
+
+// classify charges one read of a[lin] to PE pe.
+func (e *engine) classify(pe int, a *loops.Arr, lin int) {
+	g := e.geoms[a.ID]
+	page := g.PageOf(lin)
+	if e.layouts[a.ID].Owner(page) == pe {
+		e.perPE[pe].LocalReads++
+		e.trace(pe, stats.LocalRead, a.ID, lin, page)
+		return
+	}
+	key := cache.Key{Array: a.ID, Page: page}
+	off := g.Offset(lin)
+	switch _, out := e.caches[pe].Lookup(key, off); out {
+	case cache.Hit:
+		e.perPE[pe].CachedReads++
+		e.trace(pe, stats.CachedRead, a.ID, lin, page)
+	case cache.Miss, cache.PartialMiss:
+		// Remote fetch: the owner sends back the page, which is cached
+		// locally (§4). A partial miss is the §4 re-fetch of a page that
+		// was incomplete when first requested.
+		e.perPE[pe].RemoteReads++
+		e.trace(pe, stats.RemoteRead, a.ID, lin, page)
+		owner := e.layouts[a.ID].Owner(page)
+		e.message(pe, owner) // page request
+		e.message(owner, pe) // page reply
+		e.insertSnapshot(pe, a, key, page)
+	}
+}
+
+func (e *engine) trace(pe int, kind stats.Access, array, lin, page int) {
+	if e.cfg.Tracer != nil {
+		e.cfg.Tracer.Event(pe, kind, array, lin, page)
+	}
+}
+
+func (e *engine) insertSnapshot(pe int, a *loops.Arr, key cache.Key, page int) {
+	g := e.geoms[a.ID]
+	lo, hi := g.PageBounds(page)
+	vals := make([]float64, hi-lo)
+	copy(vals, e.vals[a.ID][lo:hi])
+	var def []bool
+	if e.cfg.ModelPartialFill {
+		def = make([]bool, hi-lo)
+		copy(def, e.defined[a.ID][lo:hi])
+	}
+	e.caches[pe].Insert(key, vals, def)
+}
+
+func (e *engine) ownerOf(a *loops.Arr, lin int) int {
+	return e.layouts[a.ID].Owner(e.geoms[a.ID].PageOf(lin))
+}
+
+// Reduce implements loops.Engine via the host-processor collection
+// mechanism (§9): each PE evaluates the terms whose driver elements it
+// owns; PEs holding at least one term send a partial to the host and
+// the host broadcasts the combined scalar.
+func (e *engine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i int) float64) (float64, int) {
+	if e.curPE != -1 {
+		e.fail(fmt.Errorf("sim: reduction inside an assignment"))
+		return 0, -1
+	}
+	participated := make([]bool, e.cfg.NPE)
+	acc, at := 0.0, -1
+	first := true
+	for i := lo; i < hi; i++ {
+		pe := e.ownerOf(driver, i)
+		e.curPE = pe
+		v := term(i)
+		e.curPE = -1
+		participated[pe] = true
+		if first {
+			acc, at = v, i
+			if op == loops.OpSum {
+				at = -1
+			}
+			first = false
+			continue
+		}
+		idx := i
+		if op == loops.OpSum {
+			idx = -1
+		}
+		acc, at = loops.CombineReduce(op, acc, at, v, idx)
+	}
+	host := driver.ID % e.cfg.NPE // hostproc convention: arrays spread over PEs
+	for pe, p := range participated {
+		if p {
+			e.reduceS++
+			e.message(pe, host)
+		}
+	}
+	if !first {
+		e.reduceB += int64(e.cfg.NPE - 1) // host broadcasts the result
+		for pe := 0; pe < e.cfg.NPE; pe++ {
+			if pe != host {
+				e.message(host, pe)
+			}
+		}
+	}
+	return acc, at
+}
+
+// Run simulates kernel k at problem size n under cfg and returns the
+// access-distribution result.
+func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n = k.ClampN(n)
+	specs := k.Arrays(n)
+	e := &engine{cfg: cfg, curPE: -1, perPE: make(stats.PerPE, cfg.NPE)}
+	e.traffic = make([][]int64, cfg.NPE)
+	for i := range e.traffic {
+		e.traffic[i] = make([]int64, cfg.NPE)
+	}
+	ctx, err := loops.Bind(e, specs)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+	}
+	for i, a := range ctx.Arrays() {
+		g, err := partition.NewGeometry(a.Len(), cfg.PageSize)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+		}
+		l, err := partition.Make(cfg.Layout, cfg.NPE, g.Pages(), cfg.LayoutRun)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+		}
+		e.geoms = append(e.geoms, g)
+		e.layouts = append(e.layouts, l)
+		e.vals = append(e.vals, make([]float64, a.Len()))
+		e.defined = append(e.defined, make([]bool, a.Len()))
+		e.track = append(e.track, samem.NewTracker(a.Name, a.Len()))
+		if init := specs[i].Init; init != nil {
+			for j := 0; j < a.Len(); j++ {
+				if v, ok := init(j); ok {
+					e.vals[i][j] = v
+					e.defined[i][j] = true
+					if err := e.track[i].Mark(j); err != nil {
+						return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+					}
+				}
+			}
+		}
+	}
+	for pe := 0; pe < cfg.NPE; pe++ {
+		c, err := cache.New(cfg.CacheElems, cfg.PageSize, cfg.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+		}
+		e.caches = append(e.caches, c)
+	}
+
+	k.Run(ctx, n)
+	if e.err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", k.Key, e.err)
+	}
+
+	res := &Result{
+		Kernel: k.Key, N: n, Config: cfg,
+		PerPE:        e.perPE,
+		Totals:       e.perPE.Totals(),
+		ReduceSends:  e.reduceS,
+		ReduceBcasts: e.reduceB,
+		Traffic:      e.traffic,
+	}
+	for pe := 0; pe < cfg.NPE; pe++ {
+		res.Cache = append(res.Cache, e.caches[pe].Stats())
+	}
+	for _, name := range k.Outputs {
+		a := ctx.A(name)
+		cs := loops.ArraySum{Name: name, Elems: a.Len()}
+		for j := 0; j < a.Len(); j++ {
+			if e.defined[a.ID][j] {
+				cs.Sum += e.vals[a.ID][j]
+				cs.Defined++
+			}
+		}
+		res.Checksums = append(res.Checksums, cs)
+	}
+	return res, nil
+}

@@ -1,0 +1,506 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/partition"
+)
+
+func mustKernel(t *testing.T, key string) *loops.Kernel {
+	t.Helper()
+	k, err := loops.ByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestConfigValidation(t *testing.T) {
+	k := mustKernel(t, "k1")
+	bad := []Config{
+		{NPE: 0, PageSize: 32},
+		{NPE: 4, PageSize: 0},
+		{NPE: 4, PageSize: 32, CacheElems: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Run(k, 100, cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestSinglePEAllLocal(t *testing.T) {
+	// §7: with one PE nothing is remote, cache or not.
+	for _, key := range []string{"k1", "k2", "k6", "k18"} {
+		k := mustKernel(t, key)
+		res, err := Run(k, 200, PaperConfig(1, 32))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if res.Totals.RemoteReads != 0 || res.Totals.CachedReads != 0 {
+			t.Errorf("%s on 1 PE: %+v", key, res.Totals)
+		}
+	}
+}
+
+func TestMatchedDistributionZeroRemote(t *testing.T) {
+	// §7.1.1: "access patterns that fall into this class will always
+	// achieve a 0%% remote access ratio", and "caching has no effect".
+	k := mustKernel(t, "k14frag")
+	for _, npe := range []int{1, 4, 8, 16, 64} {
+		for _, cached := range []bool{true, false} {
+			cfg := PaperConfig(npe, 32)
+			if !cached {
+				cfg.CacheElems = 0
+			}
+			res, err := Run(k, 1000, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Totals.RemoteReads != 0 {
+				t.Errorf("MD kernel npe=%d cached=%v: %d remote reads",
+					npe, cached, res.Totals.RemoteReads)
+			}
+		}
+	}
+}
+
+func TestHydroFragmentMatchesPaperArithmetic(t *testing.T) {
+	// Figure 1 and §8: Hydro Fragment (skew 10/11) at page size 32 has
+	// 21 boundary-crossing reads per 96 (21.9%) without cache, and one
+	// remote fetch per owned page (≈1%) with the 256-element cache.
+	k := mustKernel(t, "k1")
+	n := 1000
+	noCache, err := Run(k, n, NoCacheConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := noCache.RemotePercent(); math.Abs(p-21.875) > 1.0 {
+		t.Errorf("no-cache remote%% = %.3f, want ~21.9 (paper: 22%%)", p)
+	}
+	withCache, err := Run(k, n, PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := withCache.RemotePercent(); p > 1.5 || p <= 0 {
+		t.Errorf("cached remote%% = %.3f, want ~1 (paper: 1%%)", p)
+	}
+	// Page size 64 halves the boundary fraction.
+	noCache64, err := Run(k, n, NoCacheConfig(8, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := noCache64.RemotePercent(); math.Abs(p-10.9) > 1.0 {
+		t.Errorf("no-cache ps64 remote%% = %.3f, want ~10.9", p)
+	}
+}
+
+func TestConservationAcrossConfigs(t *testing.T) {
+	// Total reads and writes are invariant under caching, page size and
+	// layout; caching can only convert remote reads into cached reads.
+	for _, key := range []string{"k1", "k2", "k5", "k6", "k12", "k18", "k21"} {
+		k := mustKernel(t, key)
+		base, err := Run(k, 150, NoCacheConfig(8, 32))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		if base.Totals.Reads() == 0 {
+			t.Fatalf("%s: no reads recorded", key)
+		}
+		configs := []Config{
+			PaperConfig(8, 32),
+			PaperConfig(8, 64),
+			NoCacheConfig(8, 64),
+			{NPE: 8, PageSize: 32, CacheElems: 1024, Policy: cache.LRU, Layout: partition.KindBlock},
+		}
+		for _, cfg := range configs {
+			res, err := Run(k, 150, cfg)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", key, cfg, err)
+			}
+			if res.Totals.Reads() != base.Totals.Reads() {
+				t.Errorf("%s %+v: reads %d != base %d", key, cfg, res.Totals.Reads(), base.Totals.Reads())
+			}
+			if res.Totals.Writes != base.Totals.Writes {
+				t.Errorf("%s %+v: writes %d != base %d", key, cfg, res.Totals.Writes, base.Totals.Writes)
+			}
+			// Per-PE counters sum to totals.
+			var sum int64
+			for _, c := range res.PerPE {
+				sum += c.Reads() + c.Writes
+			}
+			if sum != res.Totals.Reads()+res.Totals.Writes {
+				t.Errorf("%s: per-PE sum %d != totals %d", key, sum, res.Totals.Reads()+res.Totals.Writes)
+			}
+		}
+	}
+}
+
+func TestCacheNeverIncreasesRemote(t *testing.T) {
+	for _, key := range []string{"k1", "k2", "k6", "k8", "k18"} {
+		k := mustKernel(t, key)
+		for _, npe := range []int{4, 16} {
+			nc, err := Run(k, 200, NoCacheConfig(npe, 32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc, err := Run(k, 200, PaperConfig(npe, 32))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wc.Totals.RemoteReads > nc.Totals.RemoteReads {
+				t.Errorf("%s npe=%d: cache increased remote reads %d -> %d",
+					key, npe, nc.Totals.RemoteReads, wc.Totals.RemoteReads)
+			}
+		}
+	}
+}
+
+func TestChecksumsMatchSequentialReference(t *testing.T) {
+	// The counting simulator must not perturb values: checksums equal
+	// the sequential reference bit-for-bit.
+	for _, k := range loops.All() {
+		n := k.DefaultN
+		if n > 200 {
+			n = 200
+		}
+		seq, err := loops.RunSeq(k, n)
+		if err != nil {
+			t.Fatalf("%s seq: %v", k.Key, err)
+		}
+		res, err := Run(k, n, PaperConfig(8, 32))
+		if err != nil {
+			t.Fatalf("%s sim: %v", k.Key, err)
+		}
+		if len(res.Checksums) != len(seq.Checksums) {
+			t.Fatalf("%s: checksum count mismatch", k.Key)
+		}
+		for i := range res.Checksums {
+			if res.Checksums[i] != seq.Checksums[i] {
+				t.Errorf("%s: checksum[%d] sim=%+v seq=%+v",
+					k.Key, i, res.Checksums[i], seq.Checksums[i])
+			}
+		}
+	}
+}
+
+func TestICCGCyclicBehaviour(t *testing.T) {
+	// Figure 2: without a cache ICCG is mostly remote; with the cache
+	// the remote percentage falls sharply and keeps falling as PEs are
+	// added (total cache capacity grows with the machine).
+	k := mustKernel(t, "k2")
+	n := 1024
+	nc, err := Run(k, n, NoCacheConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := nc.RemotePercent(); p < 50 {
+		t.Errorf("ICCG no-cache remote%% = %.1f, want high (paper: ->100%%)", p)
+	}
+	wc8, err := Run(k, n, PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc32, err := Run(k, n, PaperConfig(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache collapses the CD pattern to a few percent at every PE
+	// count ("caching and page size can reduce the percentage of remote
+	// reads significantly", Figure 2 caption).
+	if p := wc8.RemotePercent(); p > 5 {
+		t.Errorf("ICCG cached remote%% at 8 PEs = %.1f, want < 5", p)
+	}
+	if p := wc32.RemotePercent(); p > 5 {
+		t.Errorf("ICCG cached remote%% at 32 PEs = %.1f, want < 5", p)
+	}
+	// Doubling the page size halves the boundary-crossing fraction.
+	wc32ps64, err := Run(k, n, PaperConfig(32, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc32ps64.RemotePercent() >= wc32.RemotePercent() {
+		t.Errorf("larger pages should cut ICCG cached remote%%: ps64=%.1f ps32=%.1f",
+			wc32ps64.RemotePercent(), wc32.RemotePercent())
+	}
+}
+
+func TestHydro2DFigure3Decline(t *testing.T) {
+	// Figure 3: 2-D Explicit Hydrodynamics, cached, ps 32 — the remote
+	// percentage declines as PEs are added once the per-PE working set
+	// fits the cache, while the no-cache series stays flat.
+	k := mustKernel(t, "k18")
+	n := k.DefaultN
+	get := func(npe int, cached bool) float64 {
+		cfg := PaperConfig(npe, 32)
+		if !cached {
+			cfg.CacheElems = 0
+		}
+		res, err := Run(k, n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RemotePercent()
+	}
+	c8, c32 := get(8, true), get(32, true)
+	if c32 >= c8 {
+		t.Errorf("cached remote%% should decline 8->32 PEs: %.2f -> %.2f", c8, c32)
+	}
+	n8, n32 := get(8, false), get(32, false)
+	if math.Abs(n8-n32) > 0.5 {
+		t.Errorf("no-cache series should be flat: %.2f vs %.2f", n8, n32)
+	}
+	if n8 > 10 || n8 < 4 {
+		t.Errorf("no-cache remote%% = %.2f, want in the paper's 0-8%% band (±)", n8)
+	}
+}
+
+func TestRandomDistributionCacheResistant(t *testing.T) {
+	// Figure 4: RD loops show large remote ratios "regardless of the
+	// presence or absence of caching" at the paper's 256-element cache.
+	k := mustKernel(t, "k6")
+	nc, err := Run(k, 300, NoCacheConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := Run(k, 300, PaperConfig(16, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := wc.RemotePercent(); p < 20 {
+		t.Errorf("GLR cached remote%% = %.1f, want large (paper: 20-70%%)", p)
+	}
+	if nc.RemotePercent() < wc.RemotePercent() {
+		t.Errorf("no-cache below cached: %.1f < %.1f", nc.RemotePercent(), wc.RemotePercent())
+	}
+	// §7.1.4/§8: a much larger cache rescues RD.
+	big := PaperConfig(16, 32)
+	big.CacheElems = 16384
+	bc, err := Run(k, 300, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.RemotePercent() >= wc.RemotePercent()/2 {
+		t.Errorf("large cache should rescue RD: 256-elem=%.1f 16k-elem=%.1f",
+			wc.RemotePercent(), bc.RemotePercent())
+	}
+}
+
+func TestLoadBalanceTypicalLoop(t *testing.T) {
+	// Figure 5: on the 2-D hydro loop each of 64 PEs performs a
+	// comparable number of local and remote reads.
+	k := mustKernel(t, "k18")
+	res, err := Run(k, 400, PaperConfig(64, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := res.PerPE.Extract(0) // placeholder, replaced below
+	_ = local
+	locals := make([]int64, len(res.PerPE))
+	remotes := make([]int64, len(res.PerPE))
+	for i, c := range res.PerPE {
+		locals[i] = c.LocalReads
+		remotes[i] = c.RemoteReads
+	}
+	lb := balanceCV(locals)
+	if lb > 0.35 {
+		t.Errorf("local-read balance CV = %.3f, want < 0.35", lb)
+	}
+	var minW, maxW int64 = 1 << 62, 0
+	for _, c := range res.PerPE {
+		if c.Writes < minW {
+			minW = c.Writes
+		}
+		if c.Writes > maxW {
+			maxW = c.Writes
+		}
+	}
+	if minW == 0 {
+		t.Error("some PE performed no writes on a 64-PE run of k18")
+	}
+	if float64(maxW) > 2.0*float64(minW) {
+		t.Errorf("write imbalance: min=%d max=%d", minW, maxW)
+	}
+}
+
+func balanceCV(vals []int64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(vals))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range vals {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(vals))) / mean
+}
+
+func TestModelPartialFillRefetches(t *testing.T) {
+	// Producer fills the first half of A's page 0, a remote consumer
+	// fetches the page (half-defined snapshot), the producer completes
+	// the page, and the consumer then reads the second half: with
+	// partial-fill modeling this is a PartialMiss and a re-fetch.
+	k := &loops.Kernel{
+		Key: "pfill", Name: "partial-fill synthetic", DefaultN: 64, MinN: 64,
+		Arrays: func(n int) []loops.Spec {
+			return []loops.Spec{
+				{Name: "A", Dims: []int{32}}, // exactly one page at ps 32
+				{Name: "B", Dims: []int{64}}, // page 1 owned by PE 1
+			}
+		},
+		Run: func(c *loops.Ctx, n int) {
+			a, b := c.A("A"), c.A("B")
+			for i := 0; i < 16; i++ {
+				i := i
+				a.Set(func() float64 { return float64(i) }, i)
+			}
+			for i := 0; i < 16; i++ {
+				i := i
+				b.Set(func() float64 { return a.Get(i) }, 32+i) // PE 1 fetches half-filled page
+			}
+			for i := 16; i < 32; i++ {
+				i := i
+				a.Set(func() float64 { return float64(i) }, i)
+			}
+			for i := 16; i < 32; i++ {
+				i := i
+				b.Set(func() float64 { return a.Get(i) }, 32+i) // hits stale snapshot
+			}
+		},
+		Outputs: []string{"B"},
+	}
+	cfg := PaperConfig(2, 32)
+	cfg.ModelPartialFill = true
+	res, err := Run(k, 64, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var partials, refreshes int64
+	for _, cs := range res.Cache {
+		partials += cs.PartialMisses
+		refreshes += cs.Refreshes
+	}
+	if partials == 0 || refreshes == 0 {
+		t.Errorf("expected partial-fill re-fetch: partials=%d refreshes=%d", partials, refreshes)
+	}
+	// Without the flag the same run records no partial misses and fewer
+	// remote reads.
+	res2, err := Run(k, 64, PaperConfig(2, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range res2.Cache {
+		if cs.PartialMisses != 0 {
+			t.Error("partial misses recorded with modeling disabled")
+		}
+	}
+	if res2.Totals.RemoteReads >= res.Totals.RemoteReads {
+		t.Errorf("partial-fill modeling should add remote reads: %d vs %d",
+			res.Totals.RemoteReads, res2.Totals.RemoteReads)
+	}
+	// Values are exact either way.
+	seq, err := loops.RunSeq(k, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksums[0] != seq.Checksums[0] {
+		t.Error("partial-fill modeling perturbed values")
+	}
+}
+
+func TestReduceMessagesCounted(t *testing.T) {
+	k := mustKernel(t, "k3") // inner product via host reduction
+	res, err := Run(k, 1000, PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReduceSends != 8 {
+		t.Errorf("ReduceSends = %d, want 8 (one per participating PE)", res.ReduceSends)
+	}
+	if res.ReduceBcasts != 7 {
+		t.Errorf("ReduceBcasts = %d, want 7", res.ReduceBcasts)
+	}
+	// The matched gather itself is all local.
+	if res.Totals.RemoteReads != 0 {
+		t.Errorf("inner product should have 0 remote reads, got %d", res.Totals.RemoteReads)
+	}
+}
+
+func TestBlockLayoutChangesDistribution(t *testing.T) {
+	// §9: modulo vs division ("block") partitioning differ per loop; for
+	// the skew-1 recurrence, block keeps neighbouring pages on the same
+	// PE so there are strictly fewer boundary crossings than modulo.
+	k := mustKernel(t, "k5")
+	mod, err := Run(k, 1000, NoCacheConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := NoCacheConfig(8, 32)
+	blk.Layout = partition.KindBlock
+	blkRes, err := Run(k, 1000, blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blkRes.Totals.RemoteReads >= mod.Totals.RemoteReads {
+		t.Errorf("block layout should reduce k5 boundary remotes: block=%d modulo=%d",
+			blkRes.Totals.RemoteReads, mod.Totals.RemoteReads)
+	}
+}
+
+func TestAllKernelsAllConfigsRun(t *testing.T) {
+	// Smoke: every kernel under a grid of configurations runs without
+	// SA violations and with consistent accounting.
+	configs := []Config{
+		PaperConfig(4, 32),
+		NoCacheConfig(16, 64),
+		{NPE: 8, PageSize: 16, CacheElems: 128, Policy: cache.FIFO, Layout: partition.KindBlockCyclic, LayoutRun: 2},
+	}
+	for _, k := range loops.All() {
+		n := k.DefaultN
+		if n > 120 {
+			n = 120
+		}
+		for _, cfg := range configs {
+			res, err := Run(k, n, cfg)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", k.Key, cfg, err)
+			}
+			tot := res.Totals
+			if tot.LocalReads+tot.CachedReads+tot.RemoteReads != tot.Reads() {
+				t.Fatalf("%s: read classes do not sum", k.Key)
+			}
+		}
+	}
+}
+
+func TestPageSizeTooLargeDisablesCache(t *testing.T) {
+	// Paper §7.1.2: "if the page size is too large, the work will not
+	// spread over a sufficient number of PEs" — and a page larger than
+	// the cache leaves zero frames, so caching silently degrades to
+	// no-cache behaviour.
+	k := mustKernel(t, "k1")
+	cfg := PaperConfig(8, 512) // 512 > 256-element cache
+	res, err := Run(k, 1000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := Run(k, 1000, NoCacheConfig(8, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.CachedReads != 0 {
+		t.Errorf("cached reads with zero frames: %d", res.Totals.CachedReads)
+	}
+	if res.Totals.RemoteReads != nc.Totals.RemoteReads {
+		t.Errorf("zero-frame cache should equal no-cache: %d vs %d",
+			res.Totals.RemoteReads, nc.Totals.RemoteReads)
+	}
+}

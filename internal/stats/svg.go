@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVG renders the figure as a self-contained SVG line chart — axes,
+// tick labels, one polyline with point markers per series, and a
+// legend. Pure standard library; suitable for embedding the
+// regenerated paper figures in reports.
+func (f *Figure) SVG(width, height int) string {
+	if width < 160 {
+		width = 160
+	}
+	if height < 120 {
+		height = 120
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 28
+		marginB = 40
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xs := unionX(f.Series)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", marginL, escapeXML(f.Title))
+
+	if len(xs) == 0 {
+		fmt.Fprintf(&b, `<text x="%d" y="%d">(no data)</text>`+"\n", marginL, height/2)
+		b.WriteString("</svg>\n")
+		return b.String()
+	}
+
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, y := range s.Y {
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if ymin > ymax {
+		ymin, ymax = 0, 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the Y range slightly so extreme points are not clipped.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 { return float64(marginL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(marginT) + (ymax-y)/(ymax-ymin)*plotH }
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		marginL+int(plotW)/2, height-8, escapeXML(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		marginT+int(plotH)/2, marginT+int(plotH)/2, escapeXML(f.YLabel))
+
+	// Y ticks (4 divisions).
+	for i := 0; i <= 4; i++ {
+		yv := ymin + (ymax-ymin)*float64(i)/4
+		y := py(yv)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.4g</text>`+"\n", marginL-6, y+4, yv)
+	}
+	// X ticks at data points.
+	for _, x := range xs {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%g</text>`+"\n",
+			px(x), height-marginB+14, x)
+	}
+
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"}
+	for si, s := range f.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		if len(pts) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 14*si
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			width-marginR-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n",
+			width-marginR-136, ly+9, escapeXML(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,206 @@
+// Package trace records the classified access stream of a simulated
+// run (one event per array access, in program order), serializes it in
+// a compact binary format, and replays the read stream through
+// alternative cache configurations — trace-driven cache simulation, the
+// standard methodology of the era the paper belongs to.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// Event is one recorded access.
+type Event struct {
+	PE    int32
+	Kind  stats.Access
+	Array int32
+	Lin   int64
+	Page  int64
+}
+
+// Buffer accumulates events in memory; it implements sim.Tracer.
+type Buffer struct {
+	Events []Event
+}
+
+// Event implements the simulator's Tracer interface.
+func (b *Buffer) Event(pe int, kind stats.Access, array, lin, page int) {
+	b.Events = append(b.Events, Event{
+		PE: int32(pe), Kind: kind, Array: int32(array),
+		Lin: int64(lin), Page: int64(page),
+	})
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Counters recomputes the access counters implied by the trace.
+func (b *Buffer) Counters() stats.Counters {
+	var c stats.Counters
+	for _, ev := range b.Events {
+		c.Count(ev.Kind)
+	}
+	return c
+}
+
+// Binary format: magic, version, event count, then fixed-width records.
+const (
+	magic   = uint32(0x53415452) // "SATR"
+	version = uint16(1)
+)
+
+// Write serializes the trace.
+func (b *Buffer) Write(w io.Writer) error {
+	hdr := struct {
+		Magic   uint32
+		Version uint16
+		_       uint16
+		Count   uint64
+	}{Magic: magic, Version: version, Count: uint64(len(b.Events))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for i := range b.Events {
+		rec := record{
+			PE: b.Events[i].PE, Kind: uint8(b.Events[i].Kind),
+			Array: b.Events[i].Array, Lin: b.Events[i].Lin, Page: b.Events[i].Page,
+		}
+		if err := binary.Write(w, binary.LittleEndian, rec); err != nil {
+			return fmt.Errorf("trace: writing event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+type record struct {
+	PE    int32
+	Kind  uint8
+	_     [3]byte
+	Array int32
+	Lin   int64
+	Page  int64
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Buffer, error) {
+	var hdr struct {
+		Magic   uint32
+		Version uint16
+		_       uint16
+		Count   uint64
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr.Magic != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr.Magic)
+	}
+	if hdr.Version != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr.Version)
+	}
+	if hdr.Count > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible event count %d", hdr.Count)
+	}
+	b := &Buffer{Events: make([]Event, hdr.Count)}
+	for i := range b.Events {
+		var rec record
+		if err := binary.Read(r, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		b.Events[i] = Event{
+			PE: rec.PE, Kind: stats.Access(rec.Kind),
+			Array: rec.Array, Lin: rec.Lin, Page: rec.Page,
+		}
+	}
+	return b, nil
+}
+
+// ReplayCache re-classifies the trace's non-local reads under a
+// different per-PE cache configuration, without re-running the kernel.
+// Local reads and writes keep their class (ownership is a property of
+// the layout, which the trace was recorded under); every read the
+// original run classified as cached or remote is replayed through the
+// new caches. It returns the recomputed counters.
+func ReplayCache(b *Buffer, npe, cacheElems, pageSize int, policy cache.Policy) (stats.Counters, error) {
+	if npe <= 0 {
+		return stats.Counters{}, fmt.Errorf("trace: NPE must be positive, got %d", npe)
+	}
+	caches := make([]*cache.Cache, npe)
+	for pe := range caches {
+		c, err := cache.New(cacheElems, pageSize, policy)
+		if err != nil {
+			return stats.Counters{}, err
+		}
+		caches[pe] = c
+	}
+	var out stats.Counters
+	for _, ev := range b.Events {
+		switch ev.Kind {
+		case stats.Write, stats.LocalRead:
+			out.Count(ev.Kind)
+		case stats.CachedRead, stats.RemoteRead:
+			if int(ev.PE) >= npe {
+				return stats.Counters{}, fmt.Errorf("trace: event PE %d out of range for %d PEs", ev.PE, npe)
+			}
+			key := cache.Key{Array: int(ev.Array), Page: int(ev.Page)}
+			off := int(ev.Lin) % pageSize
+			if _, o := caches[ev.PE].Lookup(key, off); o == cache.Hit {
+				out.CachedReads++
+			} else {
+				out.RemoteReads++
+				caches[ev.PE].Insert(key, make([]float64, pageSize), nil)
+			}
+		}
+	}
+	return out, nil
+}
+
+// PageJumpStats measures how often consecutive reads by the same PE
+// land on a different page of the same array — the signature that
+// separates skewed (rare jumps), cyclic (regular jumps over a fixed
+// set) and random (constant jumping) distributions.
+type PageJumpStats struct {
+	Reads       int64
+	Jumps       int64   // consecutive same-array reads on different pages
+	JumpPercent float64 // 100 * Jumps / max(1, comparable pairs)
+	DistinctPg  int     // distinct (array, page) pairs read
+}
+
+// Jumpiness computes PageJumpStats over the trace. The last page seen
+// is tracked per (PE, array) stream so interleaved reads of several
+// arrays do not mask each stream's behaviour.
+func Jumpiness(b *Buffer) PageJumpStats {
+	type streamKey struct {
+		pe    int32
+		array int32
+	}
+	lastPage := map[streamKey]int64{}
+	distinct := map[[2]int64]bool{}
+	var st PageJumpStats
+	var pairs int64
+	for _, ev := range b.Events {
+		if ev.Kind == stats.Write {
+			continue
+		}
+		st.Reads++
+		distinct[[2]int64{int64(ev.Array), ev.Page}] = true
+		key := streamKey{pe: ev.PE, array: ev.Array}
+		if prev, ok := lastPage[key]; ok {
+			pairs++
+			if prev != ev.Page {
+				st.Jumps++
+			}
+		}
+		lastPage[key] = ev.Page
+	}
+	if pairs > 0 {
+		st.JumpPercent = 100 * float64(st.Jumps) / float64(pairs)
+	}
+	st.DistinctPg = len(distinct)
+	return st
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func recordRun(t *testing.T, key string, n int, cfg sim.Config) (*Buffer, *sim.Result) {
+	t.Helper()
+	k, err := loops.ByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := &Buffer{}
+	cfg.Tracer = buf
+	res, err := sim.Run(k, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf, res
+}
+
+func TestTraceMatchesCounters(t *testing.T) {
+	buf, res := recordRun(t, "k1", 500, sim.PaperConfig(8, 32))
+	if buf.Len() == 0 {
+		t.Fatal("no events recorded")
+	}
+	if got := buf.Counters(); got != res.Totals {
+		t.Errorf("trace counters %+v != run totals %+v", got, res.Totals)
+	}
+}
+
+func TestRoundTripSerialization(t *testing.T) {
+	buf, _ := recordRun(t, "k5", 300, sim.PaperConfig(4, 32))
+	var bb bytes.Buffer
+	if err := buf.Write(&bb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != buf.Len() {
+		t.Fatalf("length changed: %d -> %d", buf.Len(), got.Len())
+	}
+	for i := range buf.Events {
+		if got.Events[i] != buf.Events[i] {
+			t.Fatalf("event %d changed: %+v -> %+v", i, buf.Events[i], got.Events[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Correct magic, wrong version.
+	var bb bytes.Buffer
+	(&Buffer{}).Write(&bb)
+	data := bb.Bytes()
+	data[4] = 99 // version byte
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Truncated events.
+	var bb2 bytes.Buffer
+	buf := &Buffer{}
+	buf.Event(0, stats.Write, 0, 1, 0)
+	buf.Write(&bb2)
+	trunc := bb2.Bytes()[:bb2.Len()-4]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestReplayCacheReproducesOriginal(t *testing.T) {
+	// Replaying under the same cache configuration must reproduce the
+	// original cached/remote split exactly.
+	cfg := sim.PaperConfig(8, 32)
+	buf, res := recordRun(t, "k2", 512, cfg)
+	replayed, err := ReplayCache(buf, 8, 256, 32, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != res.Totals {
+		t.Errorf("replay %+v != original %+v", replayed, res.Totals)
+	}
+}
+
+func TestReplayCacheBiggerCacheFewerRemote(t *testing.T) {
+	buf, res := recordRun(t, "k6", 200, sim.PaperConfig(8, 32))
+	bigger, err := ReplayCache(buf, 8, 4096, 32, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bigger.RemoteReads >= res.Totals.RemoteReads {
+		t.Errorf("bigger cache should cut remote reads: %d -> %d",
+			res.Totals.RemoteReads, bigger.RemoteReads)
+	}
+	if bigger.Reads() != res.Totals.Reads() {
+		t.Errorf("replay changed total reads: %d vs %d", bigger.Reads(), res.Totals.Reads())
+	}
+	// No cache at all: every non-local read is remote.
+	none, err := ReplayCache(buf, 8, 0, 32, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.CachedReads != 0 {
+		t.Errorf("cacheless replay has %d cached reads", none.CachedReads)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	buf := &Buffer{}
+	buf.Event(5, stats.RemoteRead, 0, 0, 0)
+	if _, err := ReplayCache(buf, 2, 256, 32, cache.LRU); err == nil {
+		t.Error("out-of-range PE accepted")
+	}
+	if _, err := ReplayCache(buf, 0, 256, 32, cache.LRU); err == nil {
+		t.Error("zero PEs accepted")
+	}
+	if _, err := ReplayCache(buf, 8, -1, 32, cache.LRU); err == nil {
+		t.Error("negative cache accepted")
+	}
+}
+
+func TestJumpinessSeparatesClasses(t *testing.T) {
+	// The skewed Hydro Fragment hugs its pages; the random GLR jumps
+	// constantly. Jumpiness should separate them by a wide margin.
+	sd, _ := recordRun(t, "k1", 500, sim.NoCacheConfig(8, 32))
+	rd, _ := recordRun(t, "k6", 200, sim.NoCacheConfig(8, 32))
+	sdJ := Jumpiness(sd)
+	rdJ := Jumpiness(rd)
+	if sdJ.Reads == 0 || rdJ.Reads == 0 {
+		t.Fatal("no reads in traces")
+	}
+	if sdJ.JumpPercent >= rdJ.JumpPercent/2 {
+		t.Errorf("jumpiness failed to separate SD (%.1f%%) from RD (%.1f%%)",
+			sdJ.JumpPercent, rdJ.JumpPercent)
+	}
+	if sdJ.DistinctPg == 0 || rdJ.DistinctPg == 0 {
+		t.Error("distinct page counts missing")
+	}
+}
+
+func TestJumpinessEmptyTrace(t *testing.T) {
+	st := Jumpiness(&Buffer{})
+	if st.Reads != 0 || st.Jumps != 0 || st.JumpPercent != 0 {
+		t.Errorf("empty trace stats = %+v", st)
+	}
+}

@@ -1,0 +1,33 @@
+# Build/test/docs pipeline for the reproduction. The generated
+# artifacts (EXPERIMENTS.md, BENCH_sweep.json) are committed; `make
+# docs` / `make bench` regenerate them and `make test` verifies
+# EXPERIMENTS.md is fresh.
+
+GO ?= go
+
+.PHONY: all build test race bench docs clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 suite plus a race-detector pass over the concurrent layers.
+test:
+	$(GO) test ./...
+	$(GO) test -race ./internal/sweep ./internal/core
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate BENCH_sweep.json: suite + standard-grid timings, serial
+# vs parallel, with per-point allocation counts.
+bench:
+	$(GO) run ./cmd/lfksim -bench -o BENCH_sweep.json
+
+# Regenerate EXPERIMENTS.md from the experiment outcomes.
+docs:
+	$(GO) run ./cmd/lfksim -docs -o EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

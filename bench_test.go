@@ -10,6 +10,7 @@ package repro
 //	go test -bench=Engine
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/samem"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -227,6 +229,73 @@ func BenchmarkAblationPartialFill(b *testing.B) {
 			benchSim(b, "k2", 1024, cfg)
 		})
 	}
+}
+
+// --- sweep-engine benchmarks ---
+// `go run ./cmd/lfksim -bench -o BENCH_sweep.json` records the same
+// serial-vs-parallel comparison as a committed artifact.
+
+// sweepGrid is the benchmark grid: the paper's loop set across its PE
+// axis, both page sizes, cache on and off.
+func sweepGrid(b *testing.B) []sweep.Point {
+	b.Helper()
+	return sweep.Grid{
+		Kernels:    loops.PaperSet(),
+		PageSizes:  []int{32, 64},
+		CacheElems: []int{0, 256},
+	}.Points()
+}
+
+// BenchmarkSweepGridSerial sweeps the standard grid with one worker:
+// the baseline the parallel engine is measured against.
+func BenchmarkSweepGridSerial(b *testing.B) {
+	pts := sweepGrid(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.RunN(context.Background(), 1, pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepGridParallel sweeps the same grid over GOMAXPROCS
+// workers; compare points/s against the serial baseline.
+func BenchmarkSweepGridParallel(b *testing.B) {
+	pts := sweepGrid(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(context.Background(), pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepScratchReuse isolates the per-point allocation savings
+// of the worker-owned sim.Scratch against fresh sim.Run calls.
+func BenchmarkSweepScratchReuse(b *testing.B) {
+	k := benchKernel(b, "k18")
+	cfg := sim.PaperConfig(16, 32)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(k, 400, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		s := sim.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Run(k, 400, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- engine micro-benchmarks ---

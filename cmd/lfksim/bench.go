@@ -1,0 +1,136 @@
+package main
+
+// The -bench mode: times the full experiment suite and the standard
+// paper grid, serial (GOMAXPROCS=1, single-worker pools) versus
+// parallel (all cores), and emits the measurements as JSON —
+// BENCH_sweep.json in the repository root is this program's output.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/loops"
+	"repro/internal/sweep"
+)
+
+type benchReport struct {
+	GeneratedBy string     `json:"generated_by"`
+	GoVersion   string     `json:"go_version"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	Suite       benchSuite `json:"suite"`
+	Grid        benchGrid  `json:"grid"`
+}
+
+// benchSuite times every experiment (each already sweeping its own
+// grid): serial pins GOMAXPROCS to 1 so every pool degenerates to one
+// worker; parallel restores the full core count and fans experiments
+// out via core.RunAll.
+type benchSuite struct {
+	Experiments int     `json:"experiments"`
+	Checks      int     `json:"checks"`
+	SerialSec   float64 `json:"serial_sec"`
+	ParallelSec float64 `json:"parallel_sec"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type benchGrid struct {
+	Points   int      `json:"points"`
+	Serial   benchLeg `json:"serial"`
+	Parallel benchLeg `json:"parallel"`
+	Speedup  float64  `json:"speedup"`
+}
+
+type benchLeg struct {
+	Sec            float64 `json:"sec"`
+	SecPerPoint    float64 `json:"sec_per_point"`
+	PointsPerSec   float64 `json:"points_per_sec"`
+	AllocsPerPoint float64 `json:"allocs_per_point"`
+	BytesPerPoint  float64 `json:"bytes_per_point"`
+}
+
+// standardGrid is the grid the benchmark sweeps: every paper-studied
+// kernel across the paper's PE axis, both page sizes, cache on/off.
+func standardGrid() []sweep.Point {
+	return sweep.Grid{
+		Kernels:    loops.PaperSet(),
+		PageSizes:  []int{32, 64},
+		CacheElems: []int{0, 256},
+	}.Points()
+}
+
+func runBench(out string) error {
+	ctx := context.Background()
+	procs := runtime.GOMAXPROCS(0)
+	rep := benchReport{
+		GeneratedBy: "go run ./cmd/lfksim -bench",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  procs,
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	// Suite, serial: GOMAXPROCS=1 makes every sweep pool single-worker
+	// and removes goroutine parallelism, the honest serial baseline.
+	runtime.GOMAXPROCS(1)
+	start := time.Now()
+	for _, e := range core.Experiments() {
+		o, err := e.Run()
+		if err != nil {
+			runtime.GOMAXPROCS(procs)
+			return fmt.Errorf("bench: %s (serial): %w", e.ID, err)
+		}
+		rep.Suite.Experiments++
+		rep.Suite.Checks += len(o.Checks)
+	}
+	rep.Suite.SerialSec = time.Since(start).Seconds()
+	runtime.GOMAXPROCS(procs)
+
+	// Suite, parallel: experiments fan out and each sweeps concurrently.
+	start = time.Now()
+	if _, err := core.RunAll(ctx); err != nil {
+		return fmt.Errorf("bench: parallel suite: %w", err)
+	}
+	rep.Suite.ParallelSec = time.Since(start).Seconds()
+	rep.Suite.Speedup = rep.Suite.SerialSec / rep.Suite.ParallelSec
+
+	// Grid: one homogeneous sweep, the engine's raw throughput.
+	pts := standardGrid()
+	rep.Grid.Points = len(pts)
+	leg := func(workers int) (benchLeg, error) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := sweep.RunN(ctx, workers, pts); err != nil {
+			return benchLeg{}, err
+		}
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		n := float64(len(pts))
+		return benchLeg{
+			Sec:            sec,
+			SecPerPoint:    sec / n,
+			PointsPerSec:   n / sec,
+			AllocsPerPoint: float64(after.Mallocs-before.Mallocs) / n,
+			BytesPerPoint:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		}, nil
+	}
+	var err error
+	if rep.Grid.Serial, err = leg(1); err != nil {
+		return fmt.Errorf("bench: serial grid: %w", err)
+	}
+	if rep.Grid.Parallel, err = leg(0); err != nil {
+		return fmt.Errorf("bench: parallel grid: %w", err)
+	}
+	rep.Grid.Speedup = rep.Grid.Serial.Sec / rep.Grid.Parallel.Sec
+
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return emit(out, append(payload, '\n'))
+}

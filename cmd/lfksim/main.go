@@ -1,22 +1,32 @@
 // Command lfksim regenerates every figure and table of Bic, Nagel &
 // Roy (1989) from the counting simulator, runs the ablations, and
-// supports one-off kernel simulations.
+// supports one-off kernel simulations. Experiments execute on the
+// parallel sweep engine (internal/sweep); -all fans the experiments
+// themselves out as well, and output order stays deterministic.
 //
 // Usage:
 //
-//	lfksim -all                 run every experiment
+//	lfksim -all                 run every experiment (concurrently)
 //	lfksim -exp fig1            one experiment (fig1..fig5, tableA, tableB, ablation-*)
 //	lfksim -exp fig2 -chart     include an ASCII chart of the figure
+//	lfksim -docs -o EXPERIMENTS.md
+//	                            regenerate the experiments document
+//	lfksim -bench -o BENCH_sweep.json
+//	                            time the suite and the standard grid,
+//	                            serial vs parallel, and emit JSON
+//	lfksim -workers 4           cap the worker pools (0 = GOMAXPROCS)
 //	lfksim -list                list experiments and kernels
 //	lfksim -kernel k1 -npe 8 -ps 32 -cache 256 -n 1000
 //	                            one-off simulation of a kernel
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/loops"
@@ -26,26 +36,48 @@ import (
 
 func main() {
 	var (
-		all    = flag.Bool("all", false, "run every experiment")
-		exp    = flag.String("exp", "", "run one experiment by id")
-		chart  = flag.Bool("chart", false, "render ASCII charts for figures")
-		csvDir = flag.String("csv", "", "also write each figure's series as CSV into this directory")
-		svgDir = flag.String("svg", "", "also render each figure as SVG into this directory")
-		list   = flag.Bool("list", false, "list experiments and kernels")
-		kernel = flag.String("kernel", "", "simulate one kernel")
-		npe    = flag.Int("npe", 8, "number of PEs")
-		ps     = flag.Int("ps", 32, "page size (elements)")
-		cache  = flag.Int("cache", 256, "per-PE cache size in elements (0 = none)")
-		n      = flag.Int("n", 0, "problem size (0 = kernel default)")
+		all     = flag.Bool("all", false, "run every experiment")
+		exp     = flag.String("exp", "", "run one experiment by id")
+		chart   = flag.Bool("chart", false, "render ASCII charts for figures")
+		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		svgDir  = flag.String("svg", "", "also render each figure as SVG into this directory")
+		docs    = flag.Bool("docs", false, "regenerate the EXPERIMENTS.md document")
+		bench   = flag.Bool("bench", false, "benchmark the suite and standard grid, emit JSON")
+		out     = flag.String("o", "", "output file for -docs/-bench (default stdout)")
+		workers = flag.Int("workers", 0, "worker-pool size for sweeps (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiments and kernels")
+		kernel  = flag.String("kernel", "", "simulate one kernel")
+		npe     = flag.Int("npe", 8, "number of PEs")
+		ps      = flag.Int("ps", 32, "page size (elements)")
+		cache   = flag.Int("cache", 256, "per-PE cache size in elements (0 = none)")
+		n       = flag.Int("n", 0, "problem size (0 = kernel default)")
 	)
 	flag.Parse()
+
+	// The sweep engine sizes its default pools from GOMAXPROCS, so a
+	// single knob caps every fan-out level at once.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	switch {
 	case *list:
 		listAll()
+	case *docs:
+		if err := runDocs(*out); err != nil {
+			fail(err)
+		}
+	case *bench:
+		if err := runBench(*out); err != nil {
+			fail(err)
+		}
 	case *all:
-		for _, e := range core.Experiments() {
-			if err := runExperiment(e, *chart, *csvDir, *svgDir); err != nil {
+		outs, err := core.RunAll(context.Background())
+		if err != nil {
+			fail(err)
+		}
+		for i, e := range core.Experiments() {
+			if err := emitOutcome(e, outs[i], *chart, *csvDir, *svgDir); err != nil {
 				fail(err)
 			}
 		}
@@ -54,7 +86,11 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := runExperiment(e, *chart, *csvDir, *svgDir); err != nil {
+		o, err := e.Run()
+		if err != nil {
+			fail(err)
+		}
+		if err := emitOutcome(e, o, *chart, *csvDir, *svgDir); err != nil {
 			fail(err)
 		}
 	case *kernel != "":
@@ -72,6 +108,27 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// emit writes the payload to path, or stdout when path is empty.
+func emit(path string, payload []byte) error {
+	if path == "" {
+		_, err := os.Stdout.Write(payload)
+		return err
+	}
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func runDocs(out string) error {
+	outs, err := core.RunAll(context.Background())
+	if err != nil {
+		return err
+	}
+	return emit(out, []byte(core.RenderMarkdown(outs)))
+}
+
 func listAll() {
 	fmt.Println("Experiments:")
 	for _, e := range core.Experiments() {
@@ -83,11 +140,7 @@ func listAll() {
 	}
 }
 
-func runExperiment(e core.Experiment, chart bool, csvDir, svgDir string) error {
-	o, err := e.Run()
-	if err != nil {
-		return err
-	}
+func emitOutcome(e core.Experiment, o *core.Outcome, chart bool, csvDir, svgDir string) error {
 	fmt.Printf("==== %s ====\n", e.Title)
 	fmt.Printf("paper: %s\n\n", o.Paper)
 	fmt.Println(o.Text)

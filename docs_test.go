@@ -1,0 +1,29 @@
+package repro
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestExperimentsDocFresh regenerates the EXPERIMENTS.md document and
+// requires the committed file to match byte-for-byte. The document is a
+// deterministic function of the experiment outcomes, so any drift means
+// either the experiments changed without regenerating the doc, or the
+// doc was edited by hand.
+func TestExperimentsDocFresh(t *testing.T) {
+	committed, err := os.ReadFile("EXPERIMENTS.md")
+	if err != nil {
+		t.Fatalf("read committed doc: %v", err)
+	}
+	outs, err := core.RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.RenderMarkdown(outs)
+	if string(committed) != want {
+		t.Errorf("EXPERIMENTS.md is stale; regenerate it with:\n\t%s\n(or `make docs`)", core.DocsCommand)
+	}
+}

@@ -90,6 +90,10 @@ type entry struct {
 	// Intrusive list links (LRU/FIFO order). head side = most recent.
 	prev, next *entry
 	ref        bool // Clock reference bit
+	// Slot-mode fields (see slots.go).
+	slot   int32  // dense page id currently cached in this frame
+	frame  int32  // this frame's index in Cache.frames
+	defBuf []bool // retained buffer backing defined, recycled on reuse
 }
 
 func (e *entry) definedAt(off int) bool {
@@ -109,6 +113,13 @@ type Cache struct {
 	head, tail *entry
 	clockHand  *entry
 	rng        uint64
+
+	// Slot-mode index (see slots.go): dense page id -> frame index in
+	// frames, -1 when absent. nil in Key mode and in frameless caches.
+	slots      []int32
+	frames     []*entry
+	freeFrames []int32
+	used       int // resident pages in slot mode
 
 	stats Stats
 }
@@ -136,7 +147,7 @@ func New(capElems, pageSize int, policy Policy) (*Cache, error) {
 		maxPages: capElems / pageSize,
 		policy:   policy,
 		entries:  make(map[Key]*entry),
-		rng:      0x9e3779b97f4a7c15,
+		rng:      rngSeed,
 	}
 	c.head = &entry{}
 	c.tail = &entry{}
@@ -149,7 +160,12 @@ func New(capElems, pageSize int, policy Policy) (*Cache, error) {
 func (c *Cache) MaxPages() int { return c.maxPages }
 
 // Len returns the number of cached pages.
-func (c *Cache) Len() int { return len(c.entries) }
+func (c *Cache) Len() int {
+	if c.entries == nil {
+		return c.used
+	}
+	return len(c.entries)
+}
 
 // Stats returns a copy of the activity counters.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -225,7 +241,20 @@ func normalizeDefined(defined []bool) []bool {
 
 // Flush empties the cache, preserving statistics.
 func (c *Cache) Flush() {
-	c.entries = make(map[Key]*entry)
+	if c.entries != nil {
+		c.entries = make(map[Key]*entry)
+	} else {
+		for i := range c.slots {
+			c.slots[i] = -1
+		}
+		c.freeFrames = c.freeFrames[:0]
+		for i, e := range c.frames {
+			e.prev, e.next = nil, nil
+			e.defined = nil
+			c.freeFrames = append(c.freeFrames, int32(i))
+		}
+		c.used = 0
+	}
 	c.head.next = c.tail
 	c.tail.prev = c.head
 	c.clockHand = nil
@@ -286,7 +315,14 @@ func (c *Cache) evict() {
 		return
 	}
 	c.remove(victim)
-	delete(c.entries, victim.key)
+	if c.entries != nil {
+		delete(c.entries, victim.key)
+	} else {
+		c.slots[victim.slot] = -1
+		c.freeFrames = append(c.freeFrames, victim.frame)
+		c.used--
+		victim.defined = nil
+	}
 	c.stats.Evictions++
 }
 
@@ -294,7 +330,7 @@ func (c *Cache) clockSweep() *entry {
 	if c.clockHand == nil || c.clockHand == c.head || c.clockHand == c.tail {
 		c.clockHand = c.tail.prev
 	}
-	for i := 0; i < 2*len(c.entries)+2; i++ {
+	for i := 0; i < 2*c.Len()+2; i++ {
 		e := c.clockHand
 		if e == c.head || e == c.tail {
 			c.clockHand = c.tail.prev
@@ -317,7 +353,7 @@ func (c *Cache) randomEntry() *entry {
 	c.rng ^= c.rng << 13
 	c.rng ^= c.rng >> 7
 	c.rng ^= c.rng << 17
-	n := len(c.entries)
+	n := c.Len()
 	if n == 0 {
 		return nil
 	}
@@ -330,11 +366,16 @@ func (c *Cache) randomEntry() *entry {
 }
 
 // Keys returns the cached page keys in recency order (most recent
-// first). Intended for tests and diagnostics.
+// first). Intended for tests and diagnostics. In slot mode the dense
+// page id is reported as Key.Page.
 func (c *Cache) Keys() []Key {
-	keys := make([]Key, 0, len(c.entries))
+	keys := make([]Key, 0, c.Len())
 	for e := c.head.next; e != c.tail; e = e.next {
-		keys = append(keys, e.key)
+		if c.entries == nil {
+			keys = append(keys, Key{Page: int(e.slot)})
+		} else {
+			keys = append(keys, e.key)
+		}
 	}
 	return keys
 }

@@ -17,12 +17,14 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ir"
 	"repro/internal/loops"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // StmtClass is the classification of one assignment.
@@ -196,21 +198,22 @@ type Report struct {
 	Evidence Evidence
 }
 
-// Kernels classifies a set of kernels dynamically.
+// Kernels classifies a set of kernels dynamically. The kernels are
+// classified concurrently over the sweep engine's bounded worker pool;
+// reports come back in input order.
 func Kernels(ks []*loops.Kernel, n int) ([]Report, error) {
-	var out []Report
-	for _, k := range ks {
-		size := n
-		if size <= 0 {
-			size = k.DefaultN
-		}
-		cls, ev, err := Dynamic(k, size)
-		if err != nil {
-			return nil, fmt.Errorf("classify: %s: %w", k.Key, err)
-		}
-		out = append(out, Report{
-			Key: k.Key, Name: k.Name, Paper: k.Class, Measured: cls, Evidence: ev,
+	return sweep.Map(context.Background(), 0, ks,
+		func(_ context.Context, _ int, k *loops.Kernel) (Report, error) {
+			size := n
+			if size <= 0 {
+				size = k.DefaultN
+			}
+			cls, ev, err := Dynamic(k, size)
+			if err != nil {
+				return Report{}, fmt.Errorf("classify: %s: %w", k.Key, err)
+			}
+			return Report{
+				Key: k.Key, Name: k.Name, Paper: k.Class, Measured: cls, Evidence: ev,
+			}, nil
 		})
-	}
-	return out, nil
 }

@@ -1,12 +1,12 @@
-// Package core orchestrates the reproduction experiments: one
-// Experiment per figure and table in the paper's evaluation (§7), plus
-// the ablations its §9 future-work section calls for. Every experiment
-// carries machine-checkable shape criteria ("who wins, by roughly what
-// factor, where crossovers fall") so that `go test` certifies the
-// reproduction and EXPERIMENTS.md can be regenerated from source.
 package core
 
+// The paper-figure and table experiments. Every parameter grid is
+// expanded into sweep.Points up front and executed on the parallel
+// sweep engine; result slices come back in grid order, so the rendered
+// tables are identical to the historical serial implementation.
+
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -16,114 +16,59 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
-// PESweep is the PE axis used by the paper's figures.
-var PESweep = []int{1, 2, 4, 8, 16, 32, 64}
-
-// Check is one machine-verified shape criterion.
-type Check struct {
-	Name   string
-	Pass   bool
-	Detail string
+// runPoints sweeps pts over the bounded worker pool and returns
+// results in grid order.
+func runPoints(pts []sweep.Point) ([]*sim.Result, error) {
+	return sweep.Run(context.Background(), pts)
 }
 
-// Outcome is the result of running one experiment.
-type Outcome struct {
-	ID     string
-	Title  string
-	Paper  string // what the paper reports
-	Figure *stats.Figure
-	Text   string // rendered table or report
-	Checks []Check
-}
-
-// Pass reports whether every check passed.
-func (o *Outcome) Pass() bool {
-	for _, c := range o.Checks {
-		if !c.Pass {
-			return false
-		}
-	}
-	return true
-}
-
-// Experiment is one reproducible unit of the evaluation.
-type Experiment struct {
-	ID    string
-	Title string
-	Run   func() (*Outcome, error)
-}
-
-// Experiments returns every experiment in presentation order.
-func Experiments() []Experiment {
-	return []Experiment{
-		{ID: "fig1", Title: "Figure 1: skewed access pattern (Hydro Fragment, skew 11)", Run: Figure1},
-		{ID: "fig2", Title: "Figure 2: cyclic access pattern (ICCG)", Run: Figure2},
-		{ID: "fig3", Title: "Figure 3: cyclic+skewed combination (2-D Explicit Hydrodynamics)", Run: Figure3},
-		{ID: "fig4", Title: "Figure 4: random access pattern (General Linear Recurrence)", Run: Figure4},
-		{ID: "fig5", Title: "Figure 5: remote-access load balance (64 PEs)", Run: Figure5},
-		{ID: "tableA", Title: "Table A: access-distribution classification (§7.1)", Run: TableA},
-		{ID: "tableB", Title: "Table B: conclusions summary (§8)", Run: TableB},
-		{ID: "ablation-layout", Title: "Ablation α: modulo vs division partitioning (§9)", Run: AblationLayout},
-		{ID: "ablation-cache", Title: "Ablation β: cache size rescues RD (§7.1.4/§8)", Run: AblationCacheSize},
-		{ID: "ablation-pagesize", Title: "Ablation γ: page-size selectability (§9)", Run: AblationPageSize},
-		{ID: "ablation-policy", Title: "Ablation δ: replacement policy (LRU vs alternatives)", Run: AblationPolicy},
-		{ID: "ext-speedup", Title: "Extension: execution-time model and speedup per class (§9)", Run: ExtSpeedup},
-		{ID: "ext-contention", Title: "Extension: network contention per class and topology (§9)", Run: ExtContention},
-		{ID: "ext-advisor", Title: "Extension: class-driven partitioning advisor (§9)", Run: ExtAdvisor},
-	}
-}
-
-// ByID returns the experiment with the given ID.
-func ByID(id string) (Experiment, error) {
-	for _, e := range Experiments() {
-		if e.ID == id {
-			return e, nil
-		}
-	}
-	return Experiment{}, fmt.Errorf("core: unknown experiment %q", id)
-}
-
-// remoteSeries sweeps "% of reads remote" over PE counts for one
-// kernel/page-size/cache setting.
-func remoteSeries(k *loops.Kernel, n int, pageSize, cacheElems int, label string) (stats.Series, error) {
-	s := stats.Series{Label: label}
-	for _, npe := range PESweep {
-		cfg := sim.PaperConfig(npe, pageSize)
-		cfg.CacheElems = cacheElems
-		res, err := sim.Run(k, n, cfg)
-		if err != nil {
-			return s, err
-		}
-		s.X = append(s.X, float64(npe))
-		s.Y = append(s.Y, res.RemotePercent())
-	}
-	return s, nil
+// pePoint builds one paper-baseline grid point.
+func pePoint(k *loops.Kernel, n, npe, ps, ce int) sweep.Point {
+	cfg := sim.PaperConfig(npe, ps)
+	cfg.CacheElems = ce
+	return sweep.Point{Kernel: k, N: n, Config: cfg}
 }
 
 // paperFigure builds the paper's standard four series (cache/no-cache
-// x page size 32/64) for a kernel.
+// x page size 32/64) for a kernel, sweeping all 4*len(PESweep) points
+// concurrently.
 func paperFigure(key string, n int, title string) (*stats.Figure, error) {
 	k, err := loops.ByKey(key)
 	if err != nil {
 		return nil, err
 	}
-	fig := &stats.Figure{Title: title, XLabel: "PEs", YLabel: "% of reads remote"}
+	type spec struct {
+		label string
+		ps    int
+		ce    int
+	}
+	var specs []spec
 	for _, ps := range []int{32, 64} {
-		for _, cached := range []bool{true, false} {
-			ce := 256
-			lbl := fmt.Sprintf("Cache, ps %d", ps)
-			if !cached {
-				ce = 0
-				lbl = fmt.Sprintf("No Cache, ps %d", ps)
-			}
-			s, err := remoteSeries(k, n, ps, ce, lbl)
-			if err != nil {
-				return nil, err
-			}
-			fig.Series = append(fig.Series, s)
+		specs = append(specs,
+			spec{fmt.Sprintf("Cache, ps %d", ps), ps, 256},
+			spec{fmt.Sprintf("No Cache, ps %d", ps), ps, 0})
+	}
+	var pts []sweep.Point
+	for _, sp := range specs {
+		for _, npe := range PESweep {
+			pts = append(pts, pePoint(k, n, npe, sp.ps, sp.ce))
 		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	fig := &stats.Figure{Title: title, XLabel: "PEs", YLabel: "% of reads remote"}
+	for si, sp := range specs {
+		s := stats.Series{Label: sp.label}
+		for pi, npe := range PESweep {
+			s.X = append(s.X, float64(npe))
+			s.Y = append(s.Y, results[si*len(PESweep)+pi].RemotePercent())
+		}
+		fig.Series = append(fig.Series, s)
 	}
 	return fig, nil
 }
@@ -164,6 +109,10 @@ func Figure1() (*Outcome, error) {
 		Paper:  "no-cache ps32 ~22%; cache cuts it to ~1%; ps 64 halves the no-cache ratio",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "The no-cache ps 32 plateau is arithmetically exact: with skew 11, " +
+			"21 of every 96 reads cross a page boundary (21.875%), minus edge pages. " +
+			"One PE is always fully local, and the series is flat for 2 or more PEs " +
+			"because modulo layout makes every boundary page remote regardless of PE count.",
 	}
 	o.Checks = []Check{
 		check("no-cache ps32 ~22%", nc32 > 20 && nc32 < 23, "measured %.2f%%", nc32),
@@ -188,6 +137,14 @@ func Figure2() (*Outcome, error) {
 		Paper:  "no-cache rises toward 100%; with cache the percentage is reduced significantly",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "Deviation note: the paper's cached ICCG curve starts high (~40% at 4 PEs) " +
+			"and falls toward 0 at 32 PEs. Under a faithful per-PE LRU model the " +
+			"sequential sweep inside each pass already exploits locality at *every* PE " +
+			"count, so the curve starts near its floor; the paper's headline (\"caching " +
+			"and page size can reduce the percentage of remote reads significantly\") is " +
+			"reproduced and exceeded, but the published descending shape is not. The " +
+			"same total-cache-grows mechanism the paper describes *is* visible on " +
+			"Figure 3, where this reproduction does decline.",
 	}
 	nc16 := at(fig, "No Cache, ps 32", 16)
 	c16 := at(fig, "Cache, ps 32", 16)
@@ -219,6 +176,9 @@ func Figure3() (*Outcome, error) {
 		Paper:  "remote percentage is low (0-8%) and decreases as PEs increase, aided further by caching",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "The decline happens exactly where the per-PE boundary working set drops " +
+			"under the 256-element cache — the paper's \"each PE is more likely to " +
+			"contain all of an access cycle in its cache\".",
 	}
 	c8 := at(fig, "Cache, ps 32", 8)
 	c32 := at(fig, "Cache, ps 32", 32)
@@ -246,6 +206,9 @@ func Figure4() (*Outcome, error) {
 		Paper:  "RD exhibits large remote ratios regardless of the presence or absence of caching (20-70% band)",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "The RD mechanism is the B(k,i) row-walk: linearizing the Fortran " +
+			"subscripts row-major (the paper's §7 convention) makes the inner k-loop " +
+			"jump a full row per read — a cycle far larger than the cache.",
 	}
 	c16 := at(fig, "Cache, ps 32", 16)
 	nc16 := at(fig, "No Cache, ps 32", 16)
@@ -274,22 +237,17 @@ func Figure5() (*Outcome, error) {
 		Title:  "Figure 5: load balance, 2-D Explicit Hydrodynamics, 64 PEs, ps 32",
 		XLabel: "PE", YLabel: "reads",
 	}
+	results, err := runPoints([]sweep.Point{
+		pePoint(k, n, npe, 32, 256),
+		pePoint(k, n, npe, 32, 0),
+	})
+	if err != nil {
+		return nil, err
+	}
 	var checks []Check
-	var cachedPer stats.PerPE
-	for _, cached := range []bool{true, false} {
-		cfg := sim.PaperConfig(npe, 32)
-		lbl := "with Cache"
-		if !cached {
-			cfg.CacheElems = 0
-			lbl = "with No Cache"
-		}
-		res, err := sim.Run(k, n, cfg)
-		if err != nil {
-			return nil, err
-		}
-		if cached {
-			cachedPer = res.PerPE
-		}
+	cachedPer := results[0].PerPE
+	for ri, lbl := range []string{"with Cache", "with No Cache"} {
+		res := results[ri]
 		for _, cls := range []struct {
 			a   stats.Access
 			lbl string
@@ -355,8 +313,13 @@ func TableA() (*Outcome, error) {
 	}
 	return &Outcome{
 		ID: "tableA", Title: "Table A: access-distribution classes",
-		Paper:  "MD: 1-D PIC fragment; SD: hydro, tri-diag, EOS, hydro-frag, first sum, first diff; CD: ICCG, 2-D hydro; RD: GLR, ADI",
-		Text:   txt.String(),
+		Paper: "MD: 1-D PIC fragment; SD: hydro, tri-diag, EOS, hydro-frag, first sum, first diff; CD: ICCG, 2-D hydro; RD: GLR, ADI",
+		Text:  txt.String(),
+		Notes: "The kernels the paper does not classify are reported with " +
+			"Paper=?; notable among them: inner product, Planckian and first-min " +
+			"come out MD (matched, 0% remote); 2-D PIC, 1-D PIC with its gathers, " +
+			"matmul and Monte Carlo come out RD, consistent with the paper's " +
+			"\"permutation lookup\" criterion.",
 		Checks: checks,
 	}, nil
 }
@@ -369,19 +332,31 @@ func TableB() (*Outcome, error) {
 	for _, k := range loops.PaperSet() {
 		paperSet[k.Key] = true
 	}
+	all := loops.All()
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		return nil, err
+	}
+	var pts []sweep.Point
+	for _, k := range all {
+		pts = append(pts,
+			sweep.Point{Kernel: k, Config: sim.NoCacheConfig(16, 32)},
+			sweep.Point{Kernel: k, Config: sim.PaperConfig(16, 32)})
+	}
+	// §8's large-skew datum uses k1 at n=1000 (the Figure 1 setting).
+	pts = append(pts,
+		sweep.Point{Kernel: k1, N: 1000, Config: sim.NoCacheConfig(16, 32)},
+		sweep.Point{Kernel: k1, N: 1000, Config: sim.PaperConfig(16, 32)})
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
 	var txt strings.Builder
 	fmt.Fprintf(&txt, "%-10s %-6s %12s %12s\n", "kernel", "class", "no-cache %", "cached %")
 	var below10, total int
 	var checks []Check
-	for _, k := range loops.All() {
-		nc, err := sim.Run(k, 0, sim.NoCacheConfig(16, 32))
-		if err != nil {
-			return nil, err
-		}
-		wc, err := sim.Run(k, 0, sim.PaperConfig(16, 32))
-		if err != nil {
-			return nil, err
-		}
+	for i, k := range all {
+		nc, wc := results[2*i], results[2*i+1]
 		fmt.Fprintf(&txt, "%-10s %-6s %12.2f %12.2f\n", k.Key, k.Class, nc.RemotePercent(), wc.RemotePercent())
 		if paperSet[k.Key] {
 			total++
@@ -404,18 +379,7 @@ func TableB() (*Outcome, error) {
 		float64(below10) > 0.7*float64(total), "%d of %d", below10, total))
 	// §8: "for an SD loop with large skew, we observed a reduction from
 	// 22% remote reads to 1%".
-	k1, err := loops.ByKey("k1")
-	if err != nil {
-		return nil, err
-	}
-	nc, err := sim.Run(k1, 1000, sim.NoCacheConfig(16, 32))
-	if err != nil {
-		return nil, err
-	}
-	wc, err := sim.Run(k1, 1000, sim.PaperConfig(16, 32))
-	if err != nil {
-		return nil, err
-	}
+	nc, wc := results[2*len(all)], results[2*len(all)+1]
 	checks = append(checks, check("large-skew SD: 22% -> 1%",
 		nc.RemotePercent() > 20 && nc.RemotePercent() < 23 && wc.RemotePercent() < 1.5,
 		"measured %.2f%% -> %.2f%%", nc.RemotePercent(), wc.RemotePercent()))
@@ -434,27 +398,32 @@ func TableB() (*Outcome, error) {
 func AblationLayout() (*Outcome, error) {
 	fig := &stats.Figure{Title: "Ablation α: modulo vs block (division) layout, no cache, 16 PEs, ps 32",
 		XLabel: "kernel", YLabel: "% remote"}
-	var txt strings.Builder
-	fmt.Fprintf(&txt, "%-10s %-6s %10s %10s\n", "kernel", "class", "modulo %", "block %")
-	var checks []Check
-	var anyBlockWins bool
 	keys := []string{"k14frag", "k1", "k5", "k11", "k2", "k18", "k6", "k8"}
-	for _, key := range keys {
+	ks := make([]*loops.Kernel, len(keys))
+	var pts []sweep.Point
+	for i, key := range keys {
 		k, err := loops.ByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		mod, err := sim.Run(k, 0, sim.NoCacheConfig(16, 32))
-		if err != nil {
-			return nil, err
-		}
+		ks[i] = k
 		blkCfg := sim.NoCacheConfig(16, 32)
 		blkCfg.Layout = partition.KindBlock
-		blk, err := sim.Run(k, 0, blkCfg)
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(&txt, "%-10s %-6s %10.2f %10.2f\n", key, k.Class, mod.RemotePercent(), blk.RemotePercent())
+		pts = append(pts,
+			sweep.Point{Kernel: k, Config: sim.NoCacheConfig(16, 32)},
+			sweep.Point{Kernel: k, Config: blkCfg})
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	var txt strings.Builder
+	fmt.Fprintf(&txt, "%-10s %-6s %10s %10s\n", "kernel", "class", "modulo %", "block %")
+	var checks []Check
+	var anyBlockWins bool
+	for i, k := range ks {
+		mod, blk := results[2*i], results[2*i+1]
+		fmt.Fprintf(&txt, "%-10s %-6s %10.2f %10.2f\n", keys[i], k.Class, mod.RemotePercent(), blk.RemotePercent())
 		if blk.RemotePercent() < mod.RemotePercent()-0.5 {
 			anyBlockWins = true
 		}
@@ -462,8 +431,11 @@ func AblationLayout() (*Outcome, error) {
 	checks = append(checks, check("division beats modulo on some loops", anyBlockWins, "see table"))
 	return &Outcome{
 		ID: "ablation-layout", Title: fig.Title,
-		Paper:  "modulo performs worse for certain loops than a division scheme (§9)",
-		Text:   txt.String(),
+		Paper: "modulo performs worse for certain loops than a division scheme (§9)",
+		Text:  txt.String(),
+		Notes: "Division (block) halves k1 and k5 and helps k18, while k2 is " +
+			"indifferent and k8 slightly prefers modulo — exactly the " +
+			"\"nonintersecting set\" of loops the paper speculates about in §9.",
 		Checks: checks,
 	}, nil
 }
@@ -472,24 +444,29 @@ func AblationLayout() (*Outcome, error) {
 // "poor performance of RD can be overcome by larger cache sizes".
 func AblationCacheSize() (*Outcome, error) {
 	sizes := []int{0, 64, 256, 1024, 4096, 16384}
+	keys := []string{"k6", "k8"}
 	fig := &stats.Figure{Title: "Ablation β: cache size vs % remote (16 PEs, ps 32)",
 		XLabel: "cache elements", YLabel: "% remote"}
-	var checks []Check
-	for _, key := range []string{"k6", "k8"} {
+	var pts []sweep.Point
+	for _, key := range keys {
 		k, err := loops.ByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Series{Label: key}
 		for _, ce := range sizes {
-			cfg := sim.PaperConfig(16, 32)
-			cfg.CacheElems = ce
-			res, err := sim.Run(k, 0, cfg)
-			if err != nil {
-				return nil, err
-			}
+			pts = append(pts, pePoint(k, 0, 16, 32, ce))
+		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	var checks []Check
+	for ki, key := range keys {
+		s := stats.Series{Label: key}
+		for si, ce := range sizes {
 			s.X = append(s.X, float64(ce))
-			s.Y = append(s.Y, res.RemotePercent())
+			s.Y = append(s.Y, results[ki*len(sizes)+si].RemotePercent())
 		}
 		fig.Series = append(fig.Series, s)
 		checks = append(checks, check(
@@ -506,6 +483,9 @@ func AblationCacheSize() (*Outcome, error) {
 		Paper:  "increasing the cache size will help by allowing a complete cycle to reside in the cache (§7.1.4)",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "Both RD loops collapse once the cache covers their cycle; the knee " +
+			"position differs per loop (k8's working set is a few hundred elements, " +
+			"k6's is the full W/B row span).",
 		Checks: checks,
 	}, nil
 }
@@ -516,22 +496,28 @@ func AblationCacheSize() (*Outcome, error) {
 // pages stop spreading the work.
 func AblationPageSize() (*Outcome, error) {
 	sizes := []int{8, 16, 32, 64, 128, 256}
+	keys := []string{"k1", "k2"}
 	fig := &stats.Figure{Title: "Ablation γ: page size vs % remote (16 PEs, 256-elem cache)",
 		XLabel: "page size", YLabel: "% remote"}
-	var checks []Check
-	for _, key := range []string{"k1", "k2"} {
+	var pts []sweep.Point
+	for _, key := range keys {
 		k, err := loops.ByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		s := stats.Series{Label: key}
 		for _, ps := range sizes {
-			res, err := sim.Run(k, 0, sim.PaperConfig(16, ps))
-			if err != nil {
-				return nil, err
-			}
+			pts = append(pts, sweep.Point{Kernel: k, Config: sim.PaperConfig(16, ps)})
+		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	for ki, key := range keys {
+		s := stats.Series{Label: key}
+		for si, ps := range sizes {
 			s.X = append(s.X, float64(ps))
-			s.Y = append(s.Y, res.RemotePercent())
+			s.Y = append(s.Y, results[ki*len(sizes)+si].RemotePercent())
 		}
 		fig.Series = append(fig.Series, s)
 	}
@@ -540,6 +526,7 @@ func AblationPageSize() (*Outcome, error) {
 	// fetch). The crossover the paper warns about is visible as the
 	// curve flattening rather than falling forever.
 	k1 := fig.Series[0]
+	var checks []Check
 	checks = append(checks, check("k1 improves from ps 8 to ps 64",
 		k1.Y[3] < k1.Y[0], "%.2f%% -> %.2f%%", k1.Y[0], k1.Y[3]))
 	return &Outcome{
@@ -547,6 +534,10 @@ func AblationPageSize() (*Outcome, error) {
 		Paper:  "selecting the page size might prove useful for reducing communication overhead (§9)",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "k1 improves monotonically with page size. k2 improves until the page " +
+			"size exceeds the 256-element cache — zero cache frames — and collapses: " +
+			"the §7.1.2 warning that an over-large page size defeats the design, made " +
+			"quantitative.",
 		Checks: checks,
 	}, nil
 }
@@ -555,25 +546,33 @@ func AblationPageSize() (*Outcome, error) {
 // LRU (§4); this quantifies how much that choice matters per class.
 func AblationPolicy() (*Outcome, error) {
 	policies := []cache.Policy{cache.LRU, cache.FIFO, cache.Clock, cache.Random}
-	var txt strings.Builder
-	fmt.Fprintf(&txt, "%-10s %8s %8s %8s %8s\n", "kernel", "lru", "fifo", "clock", "random")
-	var checks []Check
-	for _, key := range []string{"k2", "k6", "k18"} {
+	keys := []string{"k2", "k6", "k18"}
+	var pts []sweep.Point
+	for _, key := range keys {
 		k, err := loops.ByKey(key)
 		if err != nil {
 			return nil, err
 		}
-		fmt.Fprintf(&txt, "%-10s", key)
-		vals := map[cache.Policy]float64{}
 		for _, pol := range policies {
 			cfg := sim.PaperConfig(16, 32)
 			cfg.Policy = pol
-			res, err := sim.Run(k, 0, cfg)
-			if err != nil {
-				return nil, err
-			}
-			vals[pol] = res.RemotePercent()
-			fmt.Fprintf(&txt, " %8.2f", res.RemotePercent())
+			pts = append(pts, sweep.Point{Kernel: k, Config: cfg})
+		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	var txt strings.Builder
+	fmt.Fprintf(&txt, "%-10s %8s %8s %8s %8s\n", "kernel", "lru", "fifo", "clock", "random")
+	var checks []Check
+	for ki, key := range keys {
+		fmt.Fprintf(&txt, "%-10s", key)
+		vals := map[cache.Policy]float64{}
+		for pi, pol := range policies {
+			rp := results[ki*len(policies)+pi].RemotePercent()
+			vals[pol] = rp
+			fmt.Fprintf(&txt, " %8.2f", rp)
 		}
 		txt.WriteString("\n")
 		worst := 0.0
@@ -589,8 +588,11 @@ func AblationPolicy() (*Outcome, error) {
 	}
 	return &Outcome{
 		ID: "ablation-policy", Title: "Ablation δ: replacement policy vs % remote (16 PEs, ps 32, 256-elem cache)",
-		Paper:  "the paper fixes LRU; this quantifies the sensitivity of that choice",
-		Text:   txt.String(),
+		Paper: "the paper fixes LRU; this quantifies the sensitivity of that choice",
+		Text:  txt.String(),
+		Notes: "LRU (the paper's choice) is within noise of FIFO/Clock/Random on CD " +
+			"loops and the best policy on the RD loop; on k18, FIFO/Clock slightly " +
+			"beat LRU. The paper's fixed choice is reasonable but not dominant.",
 		Checks: checks,
 	}, nil
 }

@@ -5,6 +5,7 @@ package core
 // says explicitly what the paper only sketches.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // ExtSpeedup estimates execution time and speedup per access class
@@ -31,19 +33,26 @@ func ExtSpeedup() (*Outcome, error) {
 	}{
 		{"k14frag", loops.MD}, {"k1", loops.SD}, {"k2", loops.CD}, {"k6", loops.RD},
 	}
-	speedupAt := map[string]map[int]float64{}
+	var pts []sweep.Point
 	for _, sub := range subjects {
 		k, err := loops.ByKey(sub.key)
 		if err != nil {
 			return nil, err
 		}
+		for _, npe := range PESweep {
+			pts = append(pts, pePoint(k, 0, npe, 32, 256))
+		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
+	speedupAt := map[string]map[int]float64{}
+	for si, sub := range subjects {
 		s := stats.Series{Label: fmt.Sprintf("%s (%s)", sub.key, sub.cls)}
 		speedupAt[sub.key] = map[int]float64{}
-		for _, npe := range PESweep {
-			res, err := sim.Run(k, 0, sim.PaperConfig(npe, 32))
-			if err != nil {
-				return nil, err
-			}
+		for pi, npe := range PESweep {
+			res := results[si*len(PESweep)+pi]
 			topo := network.NewMesh2D(npe)
 			tm := res.Estimate(cm, topo)
 			s.X = append(s.X, float64(npe))
@@ -58,6 +67,13 @@ func ExtSpeedup() (*Outcome, error) {
 		Paper:  "§9 future work: execution-time modeling; §1: MIMD has 'the greatest potential for large-scale parallelism'",
 		Figure: fig,
 		Text:   fig.Table(),
+		Notes: "Pricing accesses (local 1 cycle, cache hit 2, remote round-trip 40 " +
+			"plus per-hop wire time on a 2-D mesh) shows the paper's \"large numbers " +
+			"of processors may be utilized\" holds exactly for the classes its cache " +
+			"rescues — MD and SD scale well, CD scales once cached — and fails for " +
+			"RD, which slows down outright, compounded by k6's triangular work " +
+			"distribution (the §7.2 caveat that skewed remote-read counts skew the " +
+			"load balance).",
 	}
 	o.Checks = []Check{
 		check("MD scales near-linearly", speedupAt["k14frag"][16] > 12,
@@ -84,20 +100,28 @@ func ExtSpeedup() (*Outcome, error) {
 // multiprocessing is minimal".
 func ExtContention() (*Outcome, error) {
 	cm := sim.DefaultCostModel()
+	keys := []string{"k1", "k2", "k6"}
+	ks := make([]*loops.Kernel, len(keys))
+	var pts []sweep.Point
+	for i, key := range keys {
+		k, err := loops.ByKey(key)
+		if err != nil {
+			return nil, err
+		}
+		ks[i] = k
+		pts = append(pts, pePoint(k, 0, 16, 32, 256))
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
 	var txt strings.Builder
 	fmt.Fprintf(&txt, "%-10s %-6s %-10s %12s %12s %12s\n",
 		"kernel", "class", "topology", "msgs", "max-link", "utilization")
 	var checks []Check
 	record := map[string]float64{}
-	for _, key := range []string{"k1", "k2", "k6"} {
-		k, err := loops.ByKey(key)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(k, 0, sim.PaperConfig(16, 32))
-		if err != nil {
-			return nil, err
-		}
+	for i, key := range keys {
+		res := results[i]
 		hc, err := network.NewHypercube(16)
 		if err != nil {
 			return nil, err
@@ -105,7 +129,7 @@ func ExtContention() (*Outcome, error) {
 		for _, topo := range []network.Topology{network.Bus{N: 16}, network.Ring{N: 16}, network.NewMesh2D(16), hc} {
 			rep := res.Contention(cm, topo)
 			fmt.Fprintf(&txt, "%-10s %-6s %-10s %12d %12d %12.4f\n",
-				key, k.Class, topo.Name(), rep.TotalMsgs, rep.MaxLinkLoad, rep.Utilization)
+				key, ks[i].Class, topo.Name(), rep.TotalMsgs, rep.MaxLinkLoad, rep.Utilization)
 			record[key+"/"+topo.Name()] = rep.Utilization
 		}
 	}
@@ -120,10 +144,15 @@ func ExtContention() (*Outcome, error) {
 			"bus %.4f vs mesh %.4f", record["k6/bus"], record["k6/mesh4x4"]),
 	)
 	return &Outcome{
-		ID:     "ext-contention",
-		Title:  "Extension: link contention per class and topology (16 PEs, ps 32)",
-		Paper:  "abstract: 'the degradation in network performance due to multiprocessing is minimal'; §9: network contention is future work",
-		Text:   txt.String(),
+		ID:    "ext-contention",
+		Title: "Extension: link contention per class and topology (16 PEs, ps 32)",
+		Paper: "abstract: 'the degradation in network performance due to multiprocessing is minimal'; §9: network contention is future work",
+		Text:  txt.String(),
+		Notes: "Routing each run's implied message matrix over bus/ring/mesh/hypercube " +
+			"shows minimal degradation is a property of the low-remote classes, not " +
+			"of the architecture: the SD exemplar keeps the hottest mesh link lightly " +
+			"loaded while the RD exemplar loads it several times more and saturates a " +
+			"bus first.",
 		Checks: checks,
 	}, nil
 }
@@ -132,33 +161,38 @@ func ExtContention() (*Outcome, error) {
 // pick the partitioning scheme the class recommends, and verify the
 // choice is never worse than the fixed default by more than noise.
 func ExtAdvisor() (*Outcome, error) {
+	kernels := loops.PaperSet()
+	// Classify every kernel concurrently, then sweep both layouts for
+	// each in one grid.
+	classes, err := sweep.Map(context.Background(), 0, kernels,
+		func(_ context.Context, _ int, k *loops.Kernel) (loops.Class, error) {
+			cls, _, err := classify.Dynamic(k, 0)
+			return cls, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	var pts []sweep.Point
+	for _, k := range kernels {
+		for _, kind := range []partition.Kind{partition.KindModulo, partition.KindBlock} {
+			cfg := sim.PaperConfig(16, 32)
+			cfg.Layout = kind
+			pts = append(pts, sweep.Point{Kernel: k, Config: cfg})
+		}
+	}
+	results, err := runPoints(pts)
+	if err != nil {
+		return nil, err
+	}
 	var txt strings.Builder
 	fmt.Fprintf(&txt, "%-10s %-6s %-12s %10s %10s %10s\n",
 		"kernel", "class", "recommended", "modulo %", "block %", "chosen %")
 	var checks []Check
-	for _, k := range loops.PaperSet() {
-		cls, _, err := classify.Dynamic(k, 0)
-		if err != nil {
-			return nil, err
-		}
+	for i, k := range kernels {
+		cls := classes[i]
 		rec := classify.Recommend(cls)
-		get := func(kind partition.Kind) (float64, error) {
-			cfg := sim.PaperConfig(16, 32)
-			cfg.Layout = kind
-			res, err := sim.Run(k, 0, cfg)
-			if err != nil {
-				return 0, err
-			}
-			return res.RemotePercent(), nil
-		}
-		mod, err := get(partition.KindModulo)
-		if err != nil {
-			return nil, err
-		}
-		blk, err := get(partition.KindBlock)
-		if err != nil {
-			return nil, err
-		}
+		mod := results[2*i].RemotePercent()
+		blk := results[2*i+1].RemotePercent()
 		chosen := mod
 		if rec == partition.KindBlock {
 			chosen = blk
@@ -183,10 +217,14 @@ func ExtAdvisor() (*Outcome, error) {
 			"chosen %.2f%%, best %.2f%%", chosen, best))
 	}
 	return &Outcome{
-		ID:     "ext-advisor",
-		Title:  "Extension: class-driven partitioning advisor (§9 selectable schemes)",
-		Paper:  "§9: 'allow the selection of one or the other scheme based on the access distribution class'",
-		Text:   txt.String(),
+		ID:    "ext-advisor",
+		Title: "Extension: class-driven partitioning advisor (§9 selectable schemes)",
+		Paper: "§9: 'allow the selection of one or the other scheme based on the access distribution class'",
+		Text:  txt.String(),
+		Notes: "The dynamic classifier's recommendation (division for MD/SD/CD, " +
+			"modulo for RD) is within tolerance of the best fixed scheme on all " +
+			"paper kernels — halving k1's no-cache remote ratio — while for RD the " +
+			"two layouts differ marginally (both poor), exactly the §9 concession.",
 		Checks: checks,
 	}, nil
 }

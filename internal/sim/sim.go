@@ -14,6 +14,16 @@
 // Values are computed alongside the counts from dense ground-truth
 // storage, so the counting simulator also validates single assignment
 // and reproduces the sequential engine's results bit-for-bit.
+//
+// The hot path is fully slice-indexed: array storage lives in one slab,
+// page ownership is precomputed into a dense page-id -> PE table
+// (replacing a layout interface call per access), and the per-PE caches
+// run in the count-only slot mode of internal/cache (replacing a map
+// lookup per access). Every PE's counters are private to the run and
+// merged once at the end, so parallel sweeps over independent runs
+// share no mutable state. A Scratch retains all of these allocations
+// between runs; internal/sweep gives one to each worker so a parameter
+// sweep reaches a near-zero-allocation steady state.
 package sim
 
 import (
@@ -106,16 +116,25 @@ type Result struct {
 // RemotePercent returns the run's "% of Reads Remote".
 func (r *Result) RemotePercent() float64 { return r.Totals.RemotePercent() }
 
+// engine is the counting simulator's state for one run. All per-array
+// storage is slab-allocated and indexed by precomputed bases so the
+// per-access path is pure slice arithmetic; the slabs live on between
+// runs when the engine is owned by a Scratch.
 type engine struct {
-	cfg     Config
-	geoms   []partition.Geometry
-	layouts []partition.Layout
-	vals    [][]float64
-	defined [][]bool
-	track   []*samem.Tracker
+	cfg   Config
+	geoms []partition.Geometry
+
+	valBase  []int   // valBase[a]: offset of array a in vals/defined
+	pageBase []int32 // pageBase[a]: offset of array a in the page-id space
+	vals     []float64
+	defined  []bool
+	owners   []int32 // dense page id -> owning PE
+
 	caches  []*cache.Cache
 	perPE   stats.PerPE
 	traffic [][]int64
+	trafBuf []int64 // backing slab for traffic rows
+
 	reduceS int64
 	reduceB int64
 	curPE   int // owner of the open assignment; -1 outside
@@ -142,20 +161,24 @@ func (e *engine) BeginAssign(a *loops.Arr, lin int) bool {
 		e.fail(fmt.Errorf("sim: nested assignment on %s[%d]", a.Name, lin))
 		return false
 	}
-	e.curPE = e.ownerOf(a, lin)
+	e.curPE = int(e.owners[e.pageBase[a.ID]+int32(e.geoms[a.ID].PageOf(lin))])
 	return true
 }
 
-// FinishAssign implements loops.Engine.
+// FinishAssign implements loops.Engine. The defined bitmap doubles as
+// the single-assignment write-once check (what a standalone
+// samem.Tracker would record): a second write to a defined cell is the
+// paper's §3 runtime error.
 func (e *engine) FinishAssign(a *loops.Arr, lin int, v float64) {
 	pe := e.curPE
 	e.curPE = -1
-	if err := e.track[a.ID].Mark(lin); err != nil {
-		e.fail(err)
+	at := e.valBase[a.ID] + lin
+	if e.defined[at] {
+		e.fail(&samem.DoubleWriteError{Array: a.Name, Index: lin})
 		return
 	}
-	e.vals[a.ID][lin] = v
-	e.defined[a.ID][lin] = true
+	e.vals[at] = v
+	e.defined[at] = true
 	e.perPE[pe].Writes++ // writes are always local (§7)
 	e.trace(pe, stats.Write, a.ID, lin, e.geoms[a.ID].PageOf(lin))
 }
@@ -164,7 +187,8 @@ func (e *engine) FinishAssign(a *loops.Arr, lin int, v float64) {
 // classified for the owning PE; outside (a control read, executed by
 // the replicated loop body on every PE) it is classified for all PEs.
 func (e *engine) Read(a *loops.Arr, lin int) float64 {
-	if !e.defined[a.ID][lin] {
+	at := e.valBase[a.ID] + lin
+	if !e.defined[at] {
 		e.fail(fmt.Errorf("sim: read of undefined %s[%d]", a.Name, lin))
 		return 0
 	}
@@ -175,21 +199,21 @@ func (e *engine) Read(a *loops.Arr, lin int) float64 {
 			e.classify(pe, a, lin)
 		}
 	}
-	return e.vals[a.ID][lin]
+	return e.vals[at]
 }
 
 // classify charges one read of a[lin] to PE pe.
 func (e *engine) classify(pe int, a *loops.Arr, lin int) {
 	g := e.geoms[a.ID]
 	page := g.PageOf(lin)
-	if e.layouts[a.ID].Owner(page) == pe {
+	gid := e.pageBase[a.ID] + int32(page)
+	owner := int(e.owners[gid])
+	if owner == pe {
 		e.perPE[pe].LocalReads++
 		e.trace(pe, stats.LocalRead, a.ID, lin, page)
 		return
 	}
-	key := cache.Key{Array: a.ID, Page: page}
-	off := g.Offset(lin)
-	switch _, out := e.caches[pe].Lookup(key, off); out {
+	switch e.caches[pe].LookupSlot(int(gid), g.Offset(lin)) {
 	case cache.Hit:
 		e.perPE[pe].CachedReads++
 		e.trace(pe, stats.CachedRead, a.ID, lin, page)
@@ -199,10 +223,15 @@ func (e *engine) classify(pe int, a *loops.Arr, lin int) {
 		// was incomplete when first requested.
 		e.perPE[pe].RemoteReads++
 		e.trace(pe, stats.RemoteRead, a.ID, lin, page)
-		owner := e.layouts[a.ID].Owner(page)
 		e.message(pe, owner) // page request
 		e.message(owner, pe) // page reply
-		e.insertSnapshot(pe, a, key, page)
+		var def []bool
+		if e.cfg.ModelPartialFill {
+			lo, hi := g.PageBounds(page)
+			base := e.valBase[a.ID]
+			def = e.defined[base+lo : base+hi]
+		}
+		e.caches[pe].InsertSlot(int(gid), def)
 	}
 }
 
@@ -212,21 +241,8 @@ func (e *engine) trace(pe int, kind stats.Access, array, lin, page int) {
 	}
 }
 
-func (e *engine) insertSnapshot(pe int, a *loops.Arr, key cache.Key, page int) {
-	g := e.geoms[a.ID]
-	lo, hi := g.PageBounds(page)
-	vals := make([]float64, hi-lo)
-	copy(vals, e.vals[a.ID][lo:hi])
-	var def []bool
-	if e.cfg.ModelPartialFill {
-		def = make([]bool, hi-lo)
-		copy(def, e.defined[a.ID][lo:hi])
-	}
-	e.caches[pe].Insert(key, vals, def)
-}
-
 func (e *engine) ownerOf(a *loops.Arr, lin int) int {
-	return e.layouts[a.ID].Owner(e.geoms[a.ID].PageOf(lin))
+	return int(e.owners[e.pageBase[a.ID]+int32(e.geoms[a.ID].PageOf(lin))])
 }
 
 // Reduce implements loops.Engine via the host-processor collection
@@ -279,55 +295,143 @@ func (e *engine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i 
 	return acc, at
 }
 
-// Run simulates kernel k at problem size n under cfg and returns the
-// access-distribution result.
-func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
+// Scratch owns the simulator's reusable allocations: the value and
+// defined-bit slabs, the owner tables, the per-PE slot caches (whose
+// frames are recycled across runs) and the traffic matrix. Reusing a
+// Scratch across runs removes nearly all steady-state allocation from a
+// parameter sweep. A Scratch is not safe for concurrent use; give each
+// worker its own.
+type Scratch struct {
+	e engine
+
+	// Memoized initialization state: consecutive runs of the same
+	// kernel at the same problem size (the common case in a sweep,
+	// whose grid order is kernel-major) restore the post-init slabs
+	// with a copy instead of re-evaluating every Init function.
+	initKernel *loops.Kernel
+	initN      int
+	initVals   []float64
+	initDef    []bool
+}
+
+// NewScratch returns an empty Scratch. Slabs grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// grown returns buf resized to n, reusing its backing array when
+// possible, with every element zeroed.
+func grown[T int | int32 | int64 | float64 | bool](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+	return buf
+}
+
+// Run simulates kernel k at problem size n under cfg, reusing the
+// Scratch's allocations. The returned Result is independent of the
+// Scratch and remains valid after further runs.
+func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	n = k.ClampN(n)
 	specs := k.Arrays(n)
-	e := &engine{cfg: cfg, curPE: -1, perPE: make(stats.PerPE, cfg.NPE)}
-	e.traffic = make([][]int64, cfg.NPE)
-	for i := range e.traffic {
-		e.traffic[i] = make([]int64, cfg.NPE)
-	}
+	e := &s.e
+	e.cfg = cfg
+	e.curPE = -1
+	e.err = nil
+	e.reduceS, e.reduceB = 0, 0
+
 	ctx, err := loops.Bind(e, specs)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
 	}
-	for i, a := range ctx.Arrays() {
+	arrs := ctx.Arrays()
+
+	// Lay the arrays out in the slabs and the dense page-id space.
+	e.geoms = e.geoms[:0]
+	e.valBase = e.valBase[:0]
+	e.pageBase = e.pageBase[:0]
+	totalElems, totalPages := 0, 0
+	for _, a := range arrs {
 		g, err := partition.NewGeometry(a.Len(), cfg.PageSize)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
 		}
+		e.geoms = append(e.geoms, g)
+		e.valBase = append(e.valBase, totalElems)
+		e.pageBase = append(e.pageBase, int32(totalPages))
+		totalElems += a.Len()
+		totalPages += g.Pages()
+	}
+	e.vals = grown(e.vals, totalElems)
+	e.defined = grown(e.defined, totalElems)
+	e.owners = grown(e.owners, totalPages)
+	memoized := s.initKernel == k && s.initN == n && len(s.initVals) == totalElems
+	if memoized {
+		copy(e.vals, s.initVals)
+		copy(e.defined, s.initDef)
+	}
+	for i, a := range arrs {
+		g := e.geoms[i]
 		l, err := partition.Make(cfg.Layout, cfg.NPE, g.Pages(), cfg.LayoutRun)
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
 		}
-		e.geoms = append(e.geoms, g)
-		e.layouts = append(e.layouts, l)
-		e.vals = append(e.vals, make([]float64, a.Len()))
-		e.defined = append(e.defined, make([]bool, a.Len()))
-		e.track = append(e.track, samem.NewTracker(a.Name, a.Len()))
-		if init := specs[i].Init; init != nil {
+		base := e.pageBase[i]
+		for p := 0; p < g.Pages(); p++ {
+			e.owners[base+int32(p)] = int32(l.Owner(p))
+		}
+		if init := specs[i].Init; init != nil && !memoized {
+			vb := e.valBase[i]
 			for j := 0; j < a.Len(); j++ {
 				if v, ok := init(j); ok {
-					e.vals[i][j] = v
-					e.defined[i][j] = true
-					if err := e.track[i].Mark(j); err != nil {
-						return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
-					}
+					e.vals[vb+j] = v
+					e.defined[vb+j] = true
 				}
 			}
 		}
 	}
+	if !memoized {
+		s.initKernel, s.initN = k, n
+		s.initVals = append(s.initVals[:0], e.vals...)
+		s.initDef = append(s.initDef[:0], e.defined...)
+	}
+
+	// Per-PE state: counters, caches, traffic rows.
+	if cap(e.perPE) < cfg.NPE {
+		e.perPE = make(stats.PerPE, cfg.NPE)
+	} else {
+		e.perPE = e.perPE[:cfg.NPE]
+		for i := range e.perPE {
+			e.perPE[i] = stats.Counters{}
+		}
+	}
+	if len(e.caches) < cfg.NPE {
+		e.caches = append(e.caches, make([]*cache.Cache, cfg.NPE-len(e.caches))...)
+	}
 	for pe := 0; pe < cfg.NPE; pe++ {
-		c, err := cache.New(cfg.CacheElems, cfg.PageSize, cfg.Policy)
-		if err != nil {
+		if e.caches[pe] == nil {
+			c, err := cache.NewSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages)
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+			}
+			e.caches[pe] = c
+		} else if err := e.caches[pe].ReconfigureSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages); err != nil {
 			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
 		}
-		e.caches = append(e.caches, c)
+	}
+	e.trafBuf = grown(e.trafBuf, cfg.NPE*cfg.NPE)
+	if cap(e.traffic) < cfg.NPE {
+		e.traffic = make([][]int64, cfg.NPE)
+	}
+	e.traffic = e.traffic[:cfg.NPE]
+	for i := range e.traffic {
+		e.traffic[i] = e.trafBuf[i*cfg.NPE : (i+1)*cfg.NPE]
 	}
 
 	k.Run(ctx, n)
@@ -335,27 +439,41 @@ func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("sim: %s: %w", k.Key, e.err)
 	}
 
+	// The Result owns fresh copies of everything that must outlive the
+	// Scratch's next run.
 	res := &Result{
 		Kernel: k.Key, N: n, Config: cfg,
-		PerPE:        e.perPE,
-		Totals:       e.perPE.Totals(),
+		PerPE:        append(stats.PerPE(nil), e.perPE...),
 		ReduceSends:  e.reduceS,
 		ReduceBcasts: e.reduceB,
-		Traffic:      e.traffic,
 	}
+	res.Totals = res.PerPE.Totals()
+	res.Traffic = make([][]int64, cfg.NPE)
+	for i := range res.Traffic {
+		res.Traffic[i] = append([]int64(nil), e.traffic[i]...)
+	}
+	res.Cache = make([]cache.Stats, cfg.NPE)
 	for pe := 0; pe < cfg.NPE; pe++ {
-		res.Cache = append(res.Cache, e.caches[pe].Stats())
+		res.Cache[pe] = e.caches[pe].Stats()
 	}
 	for _, name := range k.Outputs {
 		a := ctx.A(name)
+		vb := e.valBase[a.ID]
 		cs := loops.ArraySum{Name: name, Elems: a.Len()}
 		for j := 0; j < a.Len(); j++ {
-			if e.defined[a.ID][j] {
-				cs.Sum += e.vals[a.ID][j]
+			if e.defined[vb+j] {
+				cs.Sum += e.vals[vb+j]
 				cs.Defined++
 			}
 		}
 		res.Checksums = append(res.Checksums, cs)
 	}
 	return res, nil
+}
+
+// Run simulates kernel k at problem size n under cfg and returns the
+// access-distribution result. It allocates fresh simulator state; use a
+// Scratch to amortize that over many runs.
+func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
+	return NewScratch().Run(k, n, cfg)
 }

@@ -1,0 +1,253 @@
+// Package sweep is the parallel parameter-sweep engine of the
+// reproduction. The paper's whole evaluation (§6–§7) is a grid — every
+// Livermore kernel × PE count × page size × cache setting — and each
+// grid point is an independent counting-simulator run, so the sweep
+// itself is an embarrassingly parallel loop nest: this package
+// distributes it over a bounded worker pool the way the paper
+// distributes loop iterations over PEs.
+//
+// The engine makes three guarantees:
+//
+//   - Determinism: results are returned in grid order — result i is
+//     point i — regardless of how the scheduler interleaves workers,
+//     and every run is bit-identical to a serial sim.Run of the same
+//     point (each worker owns a private sim.Scratch; no state is
+//     shared between points).
+//   - Bounded concurrency: at most `workers` simulations are in flight
+//     (default runtime.GOMAXPROCS(0)); a sweep of tens of thousands of
+//     points never spawns more than that many goroutines.
+//   - First-error propagation: a failing point cancels the sweep's
+//     context and abandons queued points at higher grid indices;
+//     lower-indexed points still run, so the error reported is
+//     deterministically the one at the lowest failing grid index no
+//     matter which failure the scheduler reaches first.
+//
+// See docs/SWEEP.md for grid semantics and how to build an experiment
+// on the engine.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// Point is one grid point: a kernel, a problem size (0 = kernel
+// default) and a simulator configuration.
+type Point struct {
+	Kernel *loops.Kernel
+	N      int
+	Config sim.Config
+}
+
+// String identifies the point in errors and logs.
+func (p Point) String() string {
+	key := "<nil>"
+	if p.Kernel != nil {
+		key = p.Kernel.Key
+	}
+	c := p.Config
+	return fmt.Sprintf("%s/n=%d/npe=%d/ps=%d/cache=%d/%s/%s",
+		key, p.N, c.NPE, c.PageSize, c.CacheElems, c.Layout, c.Policy)
+}
+
+// Grid declares a cross product of sweep axes. Zero-valued axes default
+// to the paper's baseline, so the zero Grid plus a kernel list is the
+// paper's standard sweep.
+type Grid struct {
+	Kernels    []*loops.Kernel
+	N          int              // problem size for every kernel (0 = kernel default)
+	NPEs       []int            // default {1, 2, 4, 8, 16, 32, 64} (the paper's PE axis)
+	PageSizes  []int            // default {32}
+	CacheElems []int            // default {256}; 0 disables caching
+	Layouts    []partition.Kind // default {KindModulo}
+	Policies   []cache.Policy   // default {LRU}
+}
+
+// PaperPEs is the PE axis used by the paper's figures.
+var PaperPEs = []int{1, 2, 4, 8, 16, 32, 64}
+
+// Points expands the grid in deterministic order: kernels outermost,
+// then NPEs, page sizes, cache sizes, layouts, policies innermost.
+// Kernel-major order also maximizes the per-worker init memoization in
+// sim.Scratch.
+func (g Grid) Points() []Point {
+	npes := g.NPEs
+	if len(npes) == 0 {
+		npes = PaperPEs
+	}
+	pss := g.PageSizes
+	if len(pss) == 0 {
+		pss = []int{32}
+	}
+	ces := g.CacheElems
+	if len(ces) == 0 {
+		ces = []int{256}
+	}
+	layouts := g.Layouts
+	if len(layouts) == 0 {
+		layouts = []partition.Kind{partition.KindModulo}
+	}
+	pols := g.Policies
+	if len(pols) == 0 {
+		pols = []cache.Policy{cache.LRU}
+	}
+	pts := make([]Point, 0, len(g.Kernels)*len(npes)*len(pss)*len(ces)*len(layouts)*len(pols))
+	for _, k := range g.Kernels {
+		for _, npe := range npes {
+			for _, ps := range pss {
+				for _, ce := range ces {
+					for _, lay := range layouts {
+						for _, pol := range pols {
+							cfg := sim.PaperConfig(npe, ps)
+							cfg.CacheElems = ce
+							cfg.Layout = lay
+							cfg.Policy = pol
+							pts = append(pts, Point{Kernel: k, N: g.N, Config: cfg})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Run sweeps the points over runtime.GOMAXPROCS(0) workers. See RunN.
+func Run(ctx context.Context, pts []Point) ([]*sim.Result, error) {
+	return RunN(ctx, 0, pts)
+}
+
+// RunN sweeps the points over a pool of `workers` goroutines
+// (workers <= 0 means runtime.GOMAXPROCS(0)) and returns the results
+// in grid order: results[i] is the simulation of pts[i]. Each worker
+// reuses one sim.Scratch across its points. On failure the lowest-index
+// error is returned and the remaining queued points are abandoned; on
+// external cancellation the context error is returned.
+func RunN(ctx context.Context, workers int, pts []Point) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(pts))
+	err := dispatch(ctx, workers, len(pts), func(context.Context) func(int) error {
+		scratch := sim.NewScratch()
+		return func(i int) error {
+			p := pts[i]
+			if p.Kernel == nil {
+				return fmt.Errorf("sweep: point %d (%s): nil kernel", i, p)
+			}
+			res, err := scratch.Run(p.Kernel, p.N, p.Config)
+			if err != nil {
+				return fmt.Errorf("sweep: point %d (%s): %w", i, p, err)
+			}
+			results[i] = res
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Map applies f to every item over a bounded worker pool and returns
+// the outputs in input order. It is the experiment-level counterpart of
+// RunN: f(ctx, i, item) runs concurrently with at most `workers` calls
+// in flight (workers <= 0 means runtime.GOMAXPROCS(0)); the first
+// error (lowest index) cancels the pool's context and is returned.
+func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx context.Context, i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	err := dispatch(ctx, workers, len(items), func(ctx context.Context) func(int) error {
+		return func(i int) error {
+			r, err := f(ctx, i, items[i])
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// dispatch fans indices [0, n) out over a worker pool. newWorker is
+// called once per goroutine to build per-worker state — it receives the
+// pool's derived context, which is canceled on the first error or when
+// the parent is canceled — and the returned closure runs one index.
+//
+// The error at the lowest failing index wins deterministically: after a
+// failure, indices above the current winner are abandoned, but lower
+// indices still run (one of them may fail and become the new winner).
+// Cancellation of the parent context abandons everything.
+func dispatch(parent context.Context, workers, n int, newWorker func(ctx context.Context) func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return parent.Err()
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = n
+	)
+	report := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	cut := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return errIdx
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			run := newWorker(ctx)
+			for i := range idx {
+				// Drain without running (so the feeder never blocks)
+				// when the caller canceled, or when a lower-index error
+				// already decided the outcome. Indices below the
+				// current winner still run: only a lower index can
+				// displace it, which keeps the reported error the
+				// lowest-index failure regardless of scheduling.
+				if parent.Err() != nil || i > cut() {
+					continue
+				}
+				if err := run(i); err != nil {
+					report(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

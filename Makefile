@@ -12,16 +12,18 @@ all: build test
 build:
 	$(GO) build ./...
 
-# Tier-1 suite plus a race-detector pass over the concurrent layers.
+# Tier-1 suite plus a race-detector pass over the concurrent layers
+# (kept in lockstep with .github/workflows/ci.yml).
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/sweep ./internal/core
+	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core
 
 race:
 	$(GO) test -race ./...
 
-# Regenerate BENCH_sweep.json: suite + standard-grid timings, serial
-# vs parallel, with per-point allocation counts.
+# Append to BENCH_sweep.json: suite + standard-grid timings, serial
+# vs parallel, with per-point allocation counts. The file is a JSON
+# history array; each run appends an entry, preserving the trajectory.
 bench:
 	$(GO) run ./cmd/lfksim -bench -o BENCH_sweep.json
 

@@ -2,13 +2,16 @@ package main
 
 // The -bench mode: times the full experiment suite and the standard
 // paper grid, serial (GOMAXPROCS=1, single-worker pools) versus
-// parallel (all cores), and emits the measurements as JSON —
-// BENCH_sweep.json in the repository root is this program's output.
+// parallel (all cores), and appends the measurements to a JSON history
+// — BENCH_sweep.json in the repository root is this program's output.
+// Prior entries are preserved, so the file records the performance
+// trajectory across changes rather than only the latest run.
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
@@ -19,6 +22,7 @@ import (
 
 type benchReport struct {
 	GeneratedBy string     `json:"generated_by"`
+	Timestamp   string     `json:"timestamp,omitempty"` // RFC 3339 UTC
 	GoVersion   string     `json:"go_version"`
 	GOMAXPROCS  int        `json:"gomaxprocs"`
 	NumCPU      int        `json:"num_cpu"`
@@ -68,6 +72,7 @@ func runBench(out string) error {
 	procs := runtime.GOMAXPROCS(0)
 	rep := benchReport{
 		GeneratedBy: "go run ./cmd/lfksim -bench",
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  procs,
 		NumCPU:      runtime.NumCPU(),
@@ -128,9 +133,60 @@ func runBench(out string) error {
 	}
 	rep.Grid.Speedup = rep.Grid.Serial.Sec / rep.Grid.Parallel.Sec
 
-	payload, err := json.MarshalIndent(rep, "", "  ")
+	payload, err := appendBenchHistory(out, rep)
 	if err != nil {
 		return err
 	}
-	return emit(out, append(payload, '\n'))
+	return emit(out, payload)
+}
+
+// appendBenchHistory renders the benchmark file contents: a JSON array
+// of reports, oldest first, with rep appended to whatever history
+// already exists at path. A legacy single-object file becomes the
+// history's first entry; an unparseable file is an error rather than
+// silently overwritten. Writing to stdout (path == "") starts a fresh
+// one-entry history.
+func appendBenchHistory(path string, rep benchReport) ([]byte, error) {
+	var history []json.RawMessage
+	if path != "" {
+		data, err := os.ReadFile(path)
+		switch {
+		case os.IsNotExist(err):
+			// First run: empty history.
+		case err != nil:
+			return nil, fmt.Errorf("bench: reading history %s: %w", path, err)
+		default:
+			if history, err = parseBenchHistory(data); err != nil {
+				return nil, fmt.Errorf("bench: %s: %w (move it aside to start fresh)", path, err)
+			}
+		}
+	}
+	entry, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	history = append(history, entry)
+	payload, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(payload, '\n'), nil
+}
+
+// parseBenchHistory accepts both formats: the history array, and the
+// legacy single-report object (which becomes a one-entry history).
+func parseBenchHistory(data []byte) ([]json.RawMessage, error) {
+	var history []json.RawMessage
+	if err := json.Unmarshal(data, &history); err == nil {
+		return history, nil
+	}
+	var single map[string]json.RawMessage
+	if err := json.Unmarshal(data, &single); err != nil {
+		return nil, fmt.Errorf("existing file is neither a benchmark history array nor a report object")
+	}
+	compact, err := json.Marshal(single)
+	if err != nil {
+		return nil, err
+	}
+	return []json.RawMessage{compact}, nil
 }

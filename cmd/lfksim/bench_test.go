@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testReport(stamp string) benchReport {
+	return benchReport{GeneratedBy: "test", Timestamp: stamp, GoVersion: "go1.22", GOMAXPROCS: 4, NumCPU: 4}
+}
+
+// TestBenchHistoryAppends: consecutive -bench runs accumulate entries
+// instead of overwriting the file.
+func TestBenchHistoryAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+
+	first, err := appendBenchHistory(path, testReport("t1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, first, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second, err := appendBenchHistory(path, testReport("t2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var history []benchReport
+	if err := json.Unmarshal(second, &history); err != nil {
+		t.Fatalf("history is not a JSON array: %v", err)
+	}
+	if len(history) != 2 {
+		t.Fatalf("entries = %d, want 2", len(history))
+	}
+	if history[0].Timestamp != "t1" || history[1].Timestamp != "t2" {
+		t.Errorf("order wrong: %q then %q", history[0].Timestamp, history[1].Timestamp)
+	}
+}
+
+// TestBenchHistoryMigratesLegacyObject: a pre-history single-report
+// file becomes the first entry instead of being lost.
+func TestBenchHistoryMigratesLegacyObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	legacy, err := json.Marshal(testReport("legacy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	payload, err := appendBenchHistory(path, testReport("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []benchReport
+	if err := json.Unmarshal(payload, &history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 || history[0].Timestamp != "legacy" || history[1].Timestamp != "new" {
+		t.Errorf("legacy migration wrong: %+v", history)
+	}
+}
+
+// TestBenchHistoryRefusesGarbage: an unparseable file is an error, not
+// an overwrite.
+func TestBenchHistoryRefusesGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendBenchHistory(path, testReport("x")); err == nil {
+		t.Error("garbage history accepted")
+	}
+}
+
+// TestBenchHistoryMissingFile: a missing file starts a fresh history.
+func TestBenchHistoryMissingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.json")
+	payload, err := appendBenchHistory(path, testReport("only"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []benchReport
+	if err := json.Unmarshal(payload, &history); err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 || history[0].Timestamp != "only" {
+		t.Errorf("fresh history wrong: %+v", history)
+	}
+}
+
+// TestValidateFlags covers the CLI's input validation satellite: bad
+// values produce errors, valid defaults pass.
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(false, "", "", 8, 32, 256, 0, 0); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		err  bool
+		all  bool
+		exp  string
+		kern string
+		npe  int
+		ps   int
+		ce   int
+		n    int
+		w    int
+	}{
+		{name: "all+exp", err: true, all: true, exp: "fig1", npe: 8, ps: 32},
+		{name: "all+kernel", err: true, all: true, kern: "k1", npe: 8, ps: 32},
+		{name: "exp+kernel", err: true, exp: "fig1", kern: "k1", npe: 8, ps: 32},
+		{name: "zero npe", err: true, npe: 0, ps: 32},
+		{name: "negative ps", err: true, npe: 8, ps: -1},
+		{name: "negative cache", err: true, npe: 8, ps: 32, ce: -5},
+		{name: "negative n", err: true, npe: 8, ps: 32, n: -1},
+		{name: "negative workers", err: true, npe: 8, ps: 32, w: -2},
+		{name: "valid kernel run", npe: 4, ps: 64, ce: 128, n: 100, kern: "k1"},
+	}
+	for _, c := range cases {
+		err := validateFlags(c.all, c.exp, c.kern, c.npe, c.ps, c.ce, c.n, c.w)
+		if (err != nil) != c.err {
+			t.Errorf("%s: err = %v, want error=%v", c.name, err, c.err)
+		}
+	}
+}

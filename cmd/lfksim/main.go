@@ -4,16 +4,27 @@
 // parallel sweep engine (internal/sweep); -all fans the experiments
 // themselves out as well, and output order stays deterministic.
 //
+// Long sweeps are observable while they run: a live progress line on
+// stderr tracks points done/failed with an ETA, -manifest records one
+// JSON manifest per experiment (or per run with -kernel), -metrics
+// prints the final metrics-registry snapshot, and -pprof serves
+// net/http/pprof plus the registry over expvar for profiling. See
+// docs/OBSERVABILITY.md.
+//
 // Usage:
 //
 //	lfksim -all                 run every experiment (concurrently)
 //	lfksim -exp fig1            one experiment (fig1..fig5, tableA, tableB, ablation-*)
 //	lfksim -exp fig2 -chart     include an ASCII chart of the figure
+//	lfksim -all -manifest out/  also write one JSON run manifest per experiment
+//	lfksim -all -metrics        print the metrics-registry snapshot after the run
+//	lfksim -all -pprof :6060    serve /debug/pprof/ and /debug/vars while running
 //	lfksim -docs -o EXPERIMENTS.md
 //	                            regenerate the experiments document
 //	lfksim -bench -o BENCH_sweep.json
 //	                            time the suite and the standard grid,
-//	                            serial vs parallel, and emit JSON
+//	                            serial vs parallel, and append to the
+//	                            JSON benchmark history
 //	lfksim -workers 4           cap the worker pools (0 = GOMAXPROCS)
 //	lfksim -list                list experiments and kernels
 //	lfksim -kernel k1 -npe 8 -ps 32 -cache 256 -n 1000
@@ -22,37 +33,48 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/loops"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		all     = flag.Bool("all", false, "run every experiment")
-		exp     = flag.String("exp", "", "run one experiment by id")
-		chart   = flag.Bool("chart", false, "render ASCII charts for figures")
-		csvDir  = flag.String("csv", "", "also write each figure's series as CSV into this directory")
-		svgDir  = flag.String("svg", "", "also render each figure as SVG into this directory")
-		docs    = flag.Bool("docs", false, "regenerate the EXPERIMENTS.md document")
-		bench   = flag.Bool("bench", false, "benchmark the suite and standard grid, emit JSON")
-		out     = flag.String("o", "", "output file for -docs/-bench (default stdout)")
-		workers = flag.Int("workers", 0, "worker-pool size for sweeps (0 = GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list experiments and kernels")
-		kernel  = flag.String("kernel", "", "simulate one kernel")
-		npe     = flag.Int("npe", 8, "number of PEs")
-		ps      = flag.Int("ps", 32, "page size (elements)")
-		cache   = flag.Int("cache", 256, "per-PE cache size in elements (0 = none)")
-		n       = flag.Int("n", 0, "problem size (0 = kernel default)")
+		all      = flag.Bool("all", false, "run every experiment")
+		exp      = flag.String("exp", "", "run one experiment by id")
+		chart    = flag.Bool("chart", false, "render ASCII charts for figures")
+		csvDir   = flag.String("csv", "", "also write each figure's series as CSV into this directory")
+		svgDir   = flag.String("svg", "", "also render each figure as SVG into this directory")
+		docs     = flag.Bool("docs", false, "regenerate the EXPERIMENTS.md document")
+		bench    = flag.Bool("bench", false, "benchmark the suite and standard grid, append to JSON history")
+		out      = flag.String("o", "", "output file for -docs/-bench (default stdout)")
+		workers  = flag.Int("workers", 0, "worker-pool size for sweeps (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list experiments and kernels")
+		kernel   = flag.String("kernel", "", "simulate one kernel")
+		npe      = flag.Int("npe", 8, "number of PEs")
+		ps       = flag.Int("ps", 32, "page size (elements)")
+		cache    = flag.Int("cache", 256, "per-PE cache size in elements (0 = none)")
+		n        = flag.Int("n", 0, "problem size (0 = kernel default)")
+		manifest = flag.String("manifest", "", "write JSON run manifests into this directory")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
+		metrics  = flag.Bool("metrics", false, "print the final metrics-registry snapshot as JSON")
+		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*all, *exp, *kernel, *npe, *ps, *cache, *n, *workers); err != nil {
+		fail(err)
+	}
 
 	// The sweep engine sizes its default pools from GOMAXPROCS, so a
 	// single knob caps every fan-out level at once.
@@ -60,47 +82,70 @@ func main() {
 		runtime.GOMAXPROCS(*workers)
 	}
 
+	// One registry per process: every layer (sweep, sim, machine,
+	// network) reports into it through obs.Default, the progress line
+	// renders from it, -metrics dumps it, and -pprof exports it.
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	if *pprof != "" {
+		if err := servePprof(*pprof, reg); err != nil {
+			fail(err)
+		}
+	}
+	progressOn := !*quiet
+
+	var err error
 	switch {
 	case *list:
 		listAll()
 	case *docs:
-		if err := runDocs(*out); err != nil {
-			fail(err)
-		}
+		err = withProgress(reg, progressOn, func() error { return runDocs(*out) })
 	case *bench:
-		if err := runBench(*out); err != nil {
-			fail(err)
-		}
+		err = runBench(*out)
 	case *all:
-		outs, err := core.RunAll(context.Background())
-		if err != nil {
-			fail(err)
-		}
-		for i, e := range core.Experiments() {
-			if err := emitOutcome(e, outs[i], *chart, *csvDir, *svgDir); err != nil {
-				fail(err)
-			}
-		}
+		err = runAllExperiments(reg, progressOn, *chart, *csvDir, *svgDir, *manifest)
 	case *exp != "":
-		e, err := core.ByID(*exp)
-		if err != nil {
-			fail(err)
-		}
-		o, err := e.Run()
-		if err != nil {
-			fail(err)
-		}
-		if err := emitOutcome(e, o, *chart, *csvDir, *svgDir); err != nil {
-			fail(err)
-		}
+		err = runOneExperiment(reg, progressOn, *exp, *chart, *csvDir, *svgDir, *manifest)
 	case *kernel != "":
-		if err := runKernel(*kernel, *n, *npe, *ps, *cache); err != nil {
-			fail(err)
-		}
+		err = runKernel(reg, *kernel, *n, *npe, *ps, *cache, *manifest)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err != nil {
+		fail(err)
+	}
+	if *metrics {
+		payload, merr := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if merr != nil {
+			fail(merr)
+		}
+		fmt.Println(string(payload))
+	}
+}
+
+// validateFlags rejects nonsensical flag combinations and values with
+// one-line errors before any work starts.
+func validateFlags(all bool, exp, kernel string, npe, ps, cache, n, workers int) error {
+	switch {
+	case all && exp != "":
+		return fmt.Errorf("-all and -exp are mutually exclusive; drop one")
+	case all && kernel != "":
+		return fmt.Errorf("-all and -kernel are mutually exclusive; drop one")
+	case exp != "" && kernel != "":
+		return fmt.Errorf("-exp and -kernel are mutually exclusive; drop one")
+	case npe <= 0:
+		return fmt.Errorf("-npe must be positive, got %d", npe)
+	case ps <= 0:
+		return fmt.Errorf("-ps must be positive, got %d", ps)
+	case cache < 0:
+		return fmt.Errorf("-cache must be >= 0 (0 disables caching), got %d", cache)
+	case n < 0:
+		return fmt.Errorf("-n must be >= 0 (0 selects the kernel default), got %d", n)
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", workers)
+	}
+	return nil
 }
 
 func fail(err error) {
@@ -121,12 +166,73 @@ func emit(path string, payload []byte) error {
 	return nil
 }
 
+// withProgress runs f with the live progress line active.
+func withProgress(reg *obs.Registry, on bool, f func() error) error {
+	if !on {
+		return f()
+	}
+	stop := startProgress(reg)
+	defer stop()
+	return f()
+}
+
 func runDocs(out string) error {
 	outs, err := core.RunAll(context.Background())
 	if err != nil {
 		return err
 	}
 	return emit(out, []byte(core.RenderMarkdown(outs)))
+}
+
+func runAllExperiments(reg *obs.Registry, progress, chart bool, csvDir, svgDir, manifestDir string) error {
+	var outs []*core.Outcome
+	err := withProgress(reg, progress, func() error {
+		var err error
+		outs, err = core.RunAll(context.Background())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, e := range core.Experiments() {
+		if err := emitOutcome(e, outs[i], chart, csvDir, svgDir); err != nil {
+			return err
+		}
+		if manifestDir != "" {
+			// Per-experiment manifests; the registry snapshot spans all
+			// experiments, so it is omitted here (use -metrics for it).
+			if err := writeExperimentManifest(manifestDir, e, outs[i], nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runOneExperiment(reg *obs.Registry, progress bool, id string, chart bool, csvDir, svgDir, manifestDir string) error {
+	e, err := core.ByID(id)
+	if err != nil {
+		return err
+	}
+	var o *core.Outcome
+	err = withProgress(reg, progress, func() error {
+		var err error
+		o, err = e.RunTimed()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if err := emitOutcome(e, o, chart, csvDir, svgDir); err != nil {
+		return err
+	}
+	if manifestDir != "" {
+		// A single experiment ran, so the registry snapshot is its own.
+		if err := writeExperimentManifest(manifestDir, e, o, reg.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func listAll() {
@@ -181,17 +287,21 @@ func emitOutcome(e core.Experiment, o *core.Outcome, chart bool, csvDir, svgDir 
 	return nil
 }
 
-func runKernel(key string, n, npe, ps, cacheElems int) error {
+func runKernel(reg *obs.Registry, key string, n, npe, ps, cacheElems int, manifestDir string) error {
 	k, err := loops.ByKey(key)
 	if err != nil {
 		return err
 	}
 	cfg := sim.PaperConfig(npe, ps)
 	cfg.CacheElems = cacheElems
-	res, err := sim.Run(k, n, cfg)
+	s := sim.NewScratch()
+	s.Metrics = reg
+	start := time.Now()
+	res, err := s.Run(k, n, cfg)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(start)
 	fmt.Printf("%s (%s), n=%d, %d PEs, page size %d, cache %d elements\n",
 		k.Key, k.Name, res.N, npe, ps, cacheElems)
 	fmt.Printf("  totals: %s\n", res.Totals)
@@ -199,5 +309,10 @@ func runKernel(key string, n, npe, ps, cacheElems int) error {
 		res.Totals.RemotePercent(), res.Totals.CachedPercent())
 	lb := stats.BalanceOf(res.PerPE.Extract(stats.Write))
 	fmt.Printf("  write balance: min=%d mean=%.1f max=%d CV=%.3f\n", lb.Min, lb.Mean, lb.Max, lb.CV)
+	if manifestDir != "" {
+		if err := writeRunManifest(manifestDir, res, wall, reg.Snapshot()); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,148 @@
+package main
+
+// Observability plumbing for lfksim: the live stderr progress line
+// (rendered from the sweep engine's registry counters), the pprof +
+// expvar HTTP endpoint for profiling long sweeps, and the JSON manifest
+// writers that durably tie results to the config/toolchain that
+// produced them. See docs/OBSERVABILITY.md.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// servePprof starts an HTTP server on addr exposing /debug/pprof/
+// (net/http/pprof) and /debug/vars (expvar), with the metrics registry
+// published under the "repro" expvar name. Listening happens
+// synchronously so a bad address fails the command immediately; serving
+// continues in the background for the life of the process.
+func servePprof(addr string, reg *obs.Registry) error {
+	obs.PublishExpvar("repro", reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %s: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "lfksim: profiling at http://%s/debug/pprof/ (metrics at /debug/vars)\n", ln.Addr())
+	go func() {
+		// The default mux carries the pprof and expvar handlers.
+		_ = http.Serve(ln, nil)
+	}()
+	return nil
+}
+
+// startProgress renders a live one-line progress display on stderr,
+// driven by the sweep counters every running sweep reports into the
+// registry (so nested sweeps inside concurrent experiments aggregate
+// naturally). The returned stop function prints the final state and
+// releases the goroutine.
+func startProgress(reg *obs.Registry) (stop func()) {
+	var (
+		done = make(chan struct{})
+		wg   sync.WaitGroup
+		t0   = time.Now()
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(200 * time.Millisecond)
+		defer tick.Stop()
+		printed := false
+		line := func() {
+			total := reg.Counter(sweep.MetricPointsTotal).Value()
+			if total == 0 {
+				return // no sweep has started yet
+			}
+			finished := reg.Counter(sweep.MetricPointsDone).Value() +
+				reg.Counter(sweep.MetricPointsFailed).Value()
+			failed := reg.Counter(sweep.MetricPointsFailed).Value()
+			elapsed := time.Since(t0).Round(100 * time.Millisecond)
+			eta := "-"
+			if finished > 0 && finished < total {
+				rem := time.Duration(float64(time.Since(t0)) / float64(finished) * float64(total-finished))
+				eta = rem.Round(100 * time.Millisecond).String()
+			}
+			fmt.Fprintf(os.Stderr, "\rlfksim: %d/%d points, %d failed, %v elapsed, eta %s    ",
+				finished, total, failed, elapsed, eta)
+			printed = true
+		}
+		for {
+			select {
+			case <-done:
+				line()
+				if printed {
+					fmt.Fprintln(os.Stderr)
+				}
+				return
+			case <-tick.C:
+				line()
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// configInfo flattens a simulator config for a manifest.
+func configInfo(c sim.Config) obs.ConfigInfo {
+	return obs.ConfigInfo{
+		NPE:        c.NPE,
+		PageSize:   c.PageSize,
+		CacheElems: c.CacheElems,
+		Layout:     c.Layout.String(),
+		Policy:     c.Policy.String(),
+	}
+}
+
+// writeRunManifest records one kernel simulation as <dir>/run-<kernel>.json.
+func writeRunManifest(dir string, res *sim.Result, wall time.Duration, snap *obs.Snapshot) error {
+	m := obs.NewRunManifest(res.Kernel, res.N, 0, configInfo(res.Config), wall, res.PerPE)
+	for _, cs := range res.Checksums {
+		m.Checksums = append(m.Checksums, obs.Checksum{
+			Name: cs.Name, Elems: cs.Elems, Defined: cs.Defined, Sum: cs.Sum,
+		})
+	}
+	m.Metrics = snap
+	path, err := obs.WriteManifest(dir, "run-"+res.Kernel, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// writeExperimentManifest records one experiment outcome as
+// <dir>/<experiment-id>.json.
+func writeExperimentManifest(dir string, e core.Experiment, o *core.Outcome, snap *obs.Snapshot) error {
+	m := &obs.ExperimentManifest{
+		Schema:  obs.ExperimentManifestSchema,
+		ID:      e.ID,
+		Title:   e.Title,
+		Paper:   o.Paper,
+		WallSec: o.Wall.Seconds(),
+		Env:     obs.CaptureEnv(),
+		Pass:    o.Pass(),
+		Checks:  make([]obs.Check, 0, len(o.Checks)),
+		Metrics: snap,
+	}
+	for _, c := range o.Checks {
+		m.Checks = append(m.Checks, obs.Check{Name: c.Name, Pass: c.Pass, Detail: c.Detail})
+	}
+	path, err := obs.WriteManifest(dir, e.ID, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

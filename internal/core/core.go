@@ -19,6 +19,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -43,6 +44,11 @@ type Outcome struct {
 	Text   string // rendered table or report
 	Notes  string // narrative for the generated EXPERIMENTS.md (may be empty)
 	Checks []Check
+
+	// Wall is the experiment's wall-clock duration, set by RunTimed and
+	// RunAll for run manifests. It is observability metadata only —
+	// never rendered into the deterministic documents.
+	Wall time.Duration
 }
 
 // Pass reports whether every check passed.
@@ -82,6 +88,18 @@ func Experiments() []Experiment {
 	}
 }
 
+// RunTimed runs the experiment and stamps the outcome with its
+// wall-clock duration.
+func (e Experiment) RunTimed() (*Outcome, error) {
+	start := time.Now()
+	o, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	o.Wall = time.Since(start)
+	return o, nil
+}
+
 // ByID returns the experiment with the given ID.
 func ByID(id string) (Experiment, error) {
 	for _, e := range Experiments() {
@@ -101,7 +119,7 @@ func ByID(id string) (Experiment, error) {
 // returned.
 func RunAll(ctx context.Context) ([]*Outcome, error) {
 	return sweep.Map(ctx, 0, Experiments(), func(ctx context.Context, i int, e Experiment) (*Outcome, error) {
-		o, err := e.Run()
+		o, err := e.RunTimed()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", e.ID, err)
 		}

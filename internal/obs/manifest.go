@@ -1,0 +1,175 @@
+// Run manifests: one structured JSON object per run, durably tying a
+// result to the exact kernel, configuration, grid point and toolchain
+// that produced it. Manifests are the artifact trail the trace-driven
+// methodology needs — a number without its manifest is unreproducible.
+
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Schema identifiers, bumped on incompatible layout changes.
+const (
+	RunManifestSchema        = "repro/run-manifest/v1"
+	ExperimentManifestSchema = "repro/experiment-manifest/v1"
+)
+
+// Env captures the toolchain and runtime shape of the producing
+// process.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// CaptureEnv snapshots the current process environment.
+func CaptureEnv() Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
+// ConfigInfo is the flattened simulator/machine configuration of a run
+// (the paper's varied parameters, §6).
+type ConfigInfo struct {
+	NPE        int    `json:"npe"`
+	PageSize   int    `json:"page_size"`
+	CacheElems int    `json:"cache_elems"`
+	Layout     string `json:"layout,omitempty"`
+	Policy     string `json:"policy,omitempty"`
+}
+
+// AccessCounts mirrors stats.Counters with stable JSON names.
+type AccessCounts struct {
+	Writes      int64 `json:"writes"`
+	LocalReads  int64 `json:"local_reads"`
+	CachedReads int64 `json:"cached_reads"`
+	RemoteReads int64 `json:"remote_reads"`
+}
+
+func countsOf(c stats.Counters) AccessCounts {
+	return AccessCounts{
+		Writes: c.Writes, LocalReads: c.LocalReads,
+		CachedReads: c.CachedReads, RemoteReads: c.RemoteReads,
+	}
+}
+
+// Dist summarizes a per-PE distribution (Figure 5's load-balance view).
+type Dist struct {
+	Min  int64   `json:"min"`
+	Max  int64   `json:"max"`
+	Mean float64 `json:"mean"`
+	CV   float64 `json:"cv"`
+}
+
+func distOf(vals []int64) Dist {
+	b := stats.BalanceOf(vals)
+	return Dist{Min: b.Min, Max: b.Max, Mean: b.Mean, CV: b.CV}
+}
+
+// Checksum is one output array's checksum, for cross-run comparison.
+type Checksum struct {
+	Name    string  `json:"name"`
+	Elems   int     `json:"elems"`
+	Defined int     `json:"defined"`
+	Sum     float64 `json:"sum"`
+}
+
+// RunManifest describes one simulated run.
+type RunManifest struct {
+	Schema        string          `json:"schema"`
+	Kernel        string          `json:"kernel"`
+	N             int             `json:"n"`
+	GridIndex     int             `json:"grid_index"`
+	Config        ConfigInfo      `json:"config"`
+	WallSec       float64         `json:"wall_sec"`
+	Env           Env             `json:"env"`
+	Totals        AccessCounts    `json:"totals"`
+	RemotePercent float64         `json:"remote_percent"`
+	PerPE         []AccessCounts  `json:"per_pe"`
+	Distributions map[string]Dist `json:"distributions"`
+	Checksums     []Checksum      `json:"checksums,omitempty"`
+	Metrics       *Snapshot       `json:"metrics,omitempty"`
+}
+
+// NewRunManifest builds the manifest of one run from its per-PE
+// counters, filling in totals, the headline remote percentage, the
+// per-class load-balance distributions, and the environment.
+func NewRunManifest(kernel string, n, gridIndex int, cfg ConfigInfo, wall time.Duration, perPE stats.PerPE) *RunManifest {
+	m := &RunManifest{
+		Schema:    RunManifestSchema,
+		Kernel:    kernel,
+		N:         n,
+		GridIndex: gridIndex,
+		Config:    cfg,
+		WallSec:   wall.Seconds(),
+		Env:       CaptureEnv(),
+		PerPE:     make([]AccessCounts, len(perPE)),
+		Distributions: map[string]Dist{
+			"writes":       distOf(perPE.Extract(stats.Write)),
+			"local_reads":  distOf(perPE.Extract(stats.LocalRead)),
+			"cached_reads": distOf(perPE.Extract(stats.CachedRead)),
+			"remote_reads": distOf(perPE.Extract(stats.RemoteRead)),
+		},
+	}
+	for i, c := range perPE {
+		m.PerPE[i] = countsOf(c)
+	}
+	totals := perPE.Totals()
+	m.Totals = countsOf(totals)
+	m.RemotePercent = totals.RemotePercent()
+	return m
+}
+
+// Check is one shape-criterion result inside an experiment manifest.
+type Check struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// ExperimentManifest describes one experiment run (a figure, table,
+// ablation or extension): what ran, how long it took, whether its
+// machine-checked shape criteria passed, and under which toolchain.
+type ExperimentManifest struct {
+	Schema  string    `json:"schema"`
+	ID      string    `json:"id"`
+	Title   string    `json:"title"`
+	Paper   string    `json:"paper,omitempty"`
+	WallSec float64   `json:"wall_sec"`
+	Env     Env       `json:"env"`
+	Pass    bool      `json:"pass"`
+	Checks  []Check   `json:"checks"`
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// WriteManifest serializes v as indented JSON to <dir>/<name>.json,
+// creating dir as needed, and returns the written path.
+func WriteManifest(dir, name string, v any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("obs: manifest dir: %w", err)
+	}
+	payload, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("obs: marshaling manifest %s: %w", name, err)
+	}
+	path := filepath.Join(dir, name+".json")
+	if err := os.WriteFile(path, append(payload, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("obs: writing manifest: %w", err)
+	}
+	return path, nil
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestNewRunManifest(t *testing.T) {
+	perPE := stats.PerPE{
+		{Writes: 10, LocalReads: 20, CachedReads: 5, RemoteReads: 5},
+		{Writes: 10, LocalReads: 18, CachedReads: 7, RemoteReads: 5},
+	}
+	cfg := ConfigInfo{NPE: 2, PageSize: 32, CacheElems: 256, Layout: "modulo", Policy: "lru"}
+	m := NewRunManifest("k1", 1000, 3, cfg, 250*time.Millisecond, perPE)
+
+	if m.Schema != RunManifestSchema {
+		t.Errorf("schema = %q", m.Schema)
+	}
+	if m.Totals.Writes != 20 || m.Totals.RemoteReads != 10 {
+		t.Errorf("totals wrong: %+v", m.Totals)
+	}
+	wantRemote := 100 * 10.0 / 60.0
+	if m.RemotePercent != wantRemote {
+		t.Errorf("remote%% = %g, want %g", m.RemotePercent, wantRemote)
+	}
+	if len(m.PerPE) != 2 {
+		t.Fatalf("per-PE entries = %d, want 2", len(m.PerPE))
+	}
+	d, ok := m.Distributions["writes"]
+	if !ok {
+		t.Fatal("missing writes distribution")
+	}
+	if d.Min != 10 || d.Max != 10 || d.Mean != 10 {
+		t.Errorf("writes distribution wrong: %+v", d)
+	}
+	if m.Env.GoVersion == "" || m.Env.GOMAXPROCS <= 0 {
+		t.Errorf("environment not captured: %+v", m.Env)
+	}
+	if m.WallSec != 0.25 {
+		t.Errorf("wall = %g, want 0.25", m.WallSec)
+	}
+}
+
+func TestWriteManifestRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "manifests")
+	m := NewRunManifest("k2", 64, 0, ConfigInfo{NPE: 4, PageSize: 32}, time.Second,
+		stats.PerPE{{Writes: 1, LocalReads: 1}})
+	m.Checksums = []Checksum{{Name: "X", Elems: 64, Defined: 64, Sum: 3.5}}
+
+	path, err := WriteManifest(dir, "k2", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got RunManifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if got.Kernel != "k2" || got.Config.NPE != 4 || got.Checksums[0].Sum != 3.5 {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}
+
+func TestExperimentManifestJSON(t *testing.T) {
+	m := &ExperimentManifest{
+		Schema: ExperimentManifestSchema, ID: "fig1", Title: "Figure 1",
+		WallSec: 1.5, Env: CaptureEnv(), Pass: true,
+		Checks: []Check{{Name: "shape", Pass: true, Detail: "ok"}},
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ExperimentManifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Pass || len(got.Checks) != 1 || got.ID != "fig1" {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}

@@ -1,0 +1,335 @@
+// Package obs is the reproduction's observability layer: a
+// dependency-light metrics registry (counters, gauges, histograms with
+// fixed bucket layouts) plus structured run manifests that tie every
+// result to the exact configuration and toolchain that produced it.
+//
+// The paper's whole argument rests on measurement — classifying every
+// access and reporting remote-read percentages across PE/page-size
+// grids (§6–§7) — so the layers that produce those numbers (the sweep
+// engine, the counting simulator, the concurrent machine model) report
+// into a Registry, and long sweeps become observable while they run
+// instead of only at the end.
+//
+// Two properties are load-bearing:
+//
+//   - Nil safety: every method on a nil *Registry, *Counter, *Gauge or
+//     *Histogram is a no-op, so instrumented code needs no guards and an
+//     uninstrumented run pays only a nil check per event. Simulation
+//     results must be bit-identical with and without a registry
+//     attached (the instrumentation observes; it never participates).
+//   - Race safety: instruments are backed by atomics and the registry
+//     by a mutex, so concurrent sweep workers and PE goroutines can
+//     share one registry freely.
+//
+// Snapshots serialize to JSON with sorted keys, so a snapshot of a
+// deterministic run is itself byte-stable. See docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. A nil *Registry is the disabled state: every lookup
+// returns a nil instrument whose methods no-op.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+}
+
+// NewRegistry returns an empty, enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: map[string]*Counter{},
+		gauges: map[string]*Gauge{},
+		hists:  map[string]*Histogram{},
+	}
+}
+
+// defaultReg is the process-wide registry used by instrumentation
+// points that were not handed an explicit registry. It is nil (all
+// instrumentation disabled) unless a front end like lfksim enables it.
+var defaultReg atomic.Pointer[Registry]
+
+// Default returns the process-wide default registry, or nil when
+// observability is disabled (the initial state).
+func Default() *Registry { return defaultReg.Load() }
+
+// SetDefault installs r as the process-wide default registry. Passing
+// nil disables default instrumentation again.
+func SetDefault(r *Registry) { defaultReg.Store(r) }
+
+// Counter returns the named monotonic counter, creating it on first
+// use. On a nil registry it returns nil (a no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counts[name]
+	if c == nil {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// registry it returns nil (a no-op gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (which must be sorted ascending) on first use.
+// Later calls return the existing histogram regardless of bounds — the
+// first registration fixes the layout. On a nil registry it returns
+// nil (a no-op histogram).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing count. All methods are safe on
+// a nil receiver and for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value. All methods are safe on a nil
+// receiver and for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d to the gauge.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets: observation v falls
+// into the first bucket whose upper bound satisfies v <= bound, or into
+// the overflow bucket past the last bound. All methods are safe on a
+// nil receiver and for concurrent use.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// ExpBuckets returns n bucket bounds starting at start and growing by
+// factor: {start, start*factor, ...}. It is the standard fixed layout
+// for latencies, depths and durations, whose ranges span orders of
+// magnitude.
+func ExpBuckets(start, factor int64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	if factor < 2 {
+		factor = 2
+	}
+	bounds := make([]int64, 0, n)
+	for v := start; len(bounds) < n; v *= factor {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}
+
+// Canonical bucket layouts shared by the instrumented layers, so
+// snapshots from different runs line up bucket-for-bucket.
+var (
+	// DepthBuckets covers queue/inbox depths: 1..2048.
+	DepthBuckets = ExpBuckets(1, 2, 12)
+	// StepBuckets covers logical-step latencies: 1..64k.
+	StepBuckets = ExpBuckets(1, 2, 17)
+	// MicrosBuckets covers durations in microseconds: 1µs..16s.
+	MicrosBuckets = ExpBuckets(1, 4, 13)
+	// ByteBuckets covers message sizes in bytes: 16B..512KiB.
+	ByteBuckets = ExpBuckets(16, 4, 8)
+)
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// HistSnapshot is one histogram's state. Bounds holds the bucket upper
+// bounds; Counts has one entry per bound plus a final overflow bucket.
+type HistSnapshot struct {
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+	Mean   float64 `json:"mean"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+// Snapshot copies the registry's current state. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counts) > 0 {
+		s.Counters = make(map[string]int64, len(r.counts))
+		for name, c := range r.counts {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistSnapshot{
+				Count:  h.count.Load(),
+				Sum:    h.sum.Load(),
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: make([]int64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = h.counts[i].Load()
+			}
+			if hs.Count > 0 {
+				hs.Min = h.min.Load()
+				hs.Max = h.max.Load()
+				hs.Mean = float64(hs.Sum) / float64(hs.Count)
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// MarshalJSON renders the snapshot with encoding/json's sorted map
+// keys, so equal registry states produce byte-equal documents.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	type alias Snapshot // shed the method to avoid recursion
+	return json.Marshal((*alias)(s))
+}
+
+// PublishExpvar exposes the registry under the given expvar name (and
+// therefore on /debug/vars of any HTTP server using the default mux).
+// Publishing the same name twice is a no-op, matching expvar's
+// publish-once model.
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

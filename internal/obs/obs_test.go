@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsNoOp: the disabled state must be callable end to
+// end — instrumented code carries no guards.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(7)
+	r.Gauge("g").Add(1)
+	r.Histogram("h", DepthBuckets).Observe(3)
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("nil counter value = %d, want 0", got)
+	}
+	if got := r.Histogram("h", DepthBuckets).Count(); got != 0 {
+		t.Errorf("nil histogram count = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	if s == nil || len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sim.runs")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("sim.runs") != c {
+		t.Error("same name returned a different counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{1, 2, 4, 8})
+	for _, v := range []int64{0, 1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	if s.Count != 7 {
+		t.Fatalf("count = %d, want 7", s.Count)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Errorf("min/max = %d/%d, want 0/100", s.Min, s.Max)
+	}
+	wantCounts := []int64{2, 1, 1, 1, 2} // <=1, <=2, <=4, <=8, overflow
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Sum != 120 {
+		t.Errorf("sum = %d, want 120", s.Sum)
+	}
+}
+
+// TestConcurrentObservation hammers one registry from many goroutines;
+// run under -race this is the registry's thread-safety certificate.
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Set(seed)
+				r.Histogram("h", DepthBuckets).Observe(seed + int64(i)%17)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", DepthBuckets).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Counter("a").Add(1)
+	r.Histogram("h", []int64{1, 10}).Observe(5)
+	first, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Errorf("snapshot JSON unstable:\n%s\n%s", first, second)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(first, &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Counters["a"] != 1 || decoded.Counters["b"] != 2 {
+		t.Errorf("decoded counters wrong: %+v", decoded.Counters)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []int64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	if b := ExpBuckets(0, 0, 2); b[0] != 1 || b[1] != 2 {
+		t.Errorf("degenerate args not clamped: %v", b)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("default registry should start nil")
+	}
+	r := NewRegistry()
+	SetDefault(r)
+	defer SetDefault(nil)
+	if Default() != r {
+		t.Error("SetDefault did not install the registry")
+	}
+	Default().Counter("x").Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Error("default registry did not record")
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+)
+
+// TestInstrumentedRunsBitIdentical is the determinism contract of the
+// observability layer: attaching a metrics registry must not change a
+// single bit of the simulation Result — instrumentation observes, it
+// never participates. This is what keeps the pinned bit-identical
+// guarantees of the sweep engine intact when metrics are enabled.
+func TestInstrumentedRunsBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		key string
+		n   int
+		npe int
+	}{
+		{"k1", 1000, 8},
+		{"k2", 1024, 16},
+		{"k6", 300, 4},
+	} {
+		k, err := loops.ByKey(tc.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := PaperConfig(tc.npe, 32)
+
+		plain, err := Run(k, tc.n, cfg)
+		if err != nil {
+			t.Fatalf("%s uninstrumented: %v", tc.key, err)
+		}
+
+		s := NewScratch()
+		s.Metrics = obs.NewRegistry()
+		instrumented, err := s.Run(k, tc.n, cfg)
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", tc.key, err)
+		}
+		if !reflect.DeepEqual(plain, instrumented) {
+			t.Errorf("%s: instrumented result differs from uninstrumented\nplain: %+v\ninstr: %+v",
+				tc.key, plain, instrumented)
+		}
+
+		// A second run through the same scratch exercises the
+		// init-memoization fast path; it too must be bit-identical.
+		memoized, err := s.Run(k, tc.n, cfg)
+		if err != nil {
+			t.Fatalf("%s memoized: %v", tc.key, err)
+		}
+		if !reflect.DeepEqual(plain, memoized) {
+			t.Errorf("%s: memoized instrumented result differs from uninstrumented", tc.key)
+		}
+	}
+}
+
+// TestScratchRecordsMetrics checks the per-run signals: run counts,
+// memoization hit/miss accounting, and a populated timing histogram.
+func TestScratchRecordsMetrics(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := NewScratch()
+	s.Metrics = reg
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(k, 500, PaperConfig(4, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter(MetricRuns).Value(); got != 3 {
+		t.Errorf("%s = %d, want 3", MetricRuns, got)
+	}
+	// First run misses the memo; the two repeats hit it.
+	if got := reg.Counter(MetricMemoMisses).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricMemoMisses, got)
+	}
+	if got := reg.Counter(MetricMemoHits).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricMemoHits, got)
+	}
+	if got := reg.Histogram(MetricRunMicros, obs.MicrosBuckets).Count(); got != 3 {
+		t.Errorf("%s observations = %d, want 3", MetricRunMicros, got)
+	}
+}

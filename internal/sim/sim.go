@@ -28,9 +28,11 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/loops"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/samem"
 	"repro/internal/stats"
@@ -304,6 +306,13 @@ func (e *engine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i 
 type Scratch struct {
 	e engine
 
+	// Metrics, when non-nil, receives per-run observability signals
+	// (run count, wall time, init-memoization hits); when nil the
+	// process-wide obs.Default() is consulted, which is itself nil
+	// unless a front end enabled it. Instrumentation is per-run, not
+	// per-access, and never influences the computed Result.
+	Metrics *obs.Registry
+
 	// Memoized initialization state: consecutive runs of the same
 	// kernel at the same problem size (the common case in a sweep,
 	// whose grid order is kernel-major) restore the post-init slabs
@@ -312,6 +321,22 @@ type Scratch struct {
 	initN      int
 	initVals   []float64
 	initDef    []bool
+}
+
+// Observability signal names recorded by Scratch.Run.
+const (
+	MetricRuns       = "sim.runs"
+	MetricMemoHits   = "sim.init_memo_hits"
+	MetricMemoMisses = "sim.init_memo_misses"
+	MetricRunMicros  = "sim.run_us"
+)
+
+// registry resolves the effective metrics registry for this Scratch.
+func (s *Scratch) registry() *obs.Registry {
+	if s.Metrics != nil {
+		return s.Metrics
+	}
+	return obs.Default()
 }
 
 // NewScratch returns an empty Scratch. Slabs grow on first use.
@@ -337,6 +362,11 @@ func grown[T int | int32 | int64 | float64 | bool](buf []T, n int) []T {
 func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	reg := s.registry()
+	var runStart time.Time
+	if reg != nil {
+		runStart = time.Now()
 	}
 	n = k.ClampN(n)
 	specs := k.Arrays(n)
@@ -467,6 +497,15 @@ func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 			}
 		}
 		res.Checksums = append(res.Checksums, cs)
+	}
+	if reg != nil {
+		reg.Counter(MetricRuns).Inc()
+		if memoized {
+			reg.Counter(MetricMemoHits).Inc()
+		} else {
+			reg.Counter(MetricMemoMisses).Inc()
+		}
+		reg.Histogram(MetricRunMicros, obs.MicrosBuckets).Observe(time.Since(runStart).Microseconds())
 	}
 	return res, nil
 }

@@ -31,9 +31,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/loops"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 )
@@ -119,6 +121,85 @@ func (g Grid) Points() []Point {
 	return pts
 }
 
+// Progress is a point-in-time view of a running sweep, delivered to
+// the Options.Progress callback after every point start and finish.
+type Progress struct {
+	Total   int // points in the sweep
+	Started int // points handed to a worker
+	Done    int // points completed successfully
+	Failed  int // points that returned an error
+
+	Elapsed time.Duration // since the sweep began
+	// ETA estimates the remaining wall time by extrapolating the mean
+	// per-point rate so far; zero until at least one point is done and
+	// once the sweep is complete.
+	ETA time.Duration
+}
+
+// ProgressFunc receives live sweep progress. Calls are serialized (the
+// engine never invokes it concurrently) and ordered: Started is
+// non-decreasing across calls, as is Done+Failed.
+type ProgressFunc func(Progress)
+
+// Options configures a sweep beyond its point list.
+type Options struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Progress, when non-nil, is invoked after every point start and
+	// finish. Keep it cheap: it runs on the worker's goroutine under
+	// the tracker lock.
+	Progress ProgressFunc
+	// Metrics, when non-nil, receives sweep counters (points total /
+	// started / done / failed — see the Metric* names) and is handed to
+	// each worker's sim.Scratch for per-run signals. When nil, the
+	// process-wide obs.Default() is used (itself nil — fully disabled —
+	// unless a front end enabled it).
+	Metrics *obs.Registry
+}
+
+// Observability counter names recorded by sweeps. Totals are added when
+// a sweep starts, so Done+Failed converging on Total is the live
+// completion signal a front end can render.
+const (
+	MetricPointsTotal   = "sweep.points_total"
+	MetricPointsStarted = "sweep.points_started"
+	MetricPointsDone    = "sweep.points_done"
+	MetricPointsFailed  = "sweep.points_failed"
+)
+
+// tracker serializes progress accounting and callback delivery.
+type tracker struct {
+	mu sync.Mutex
+	cb ProgressFunc
+	p  Progress
+	t0 time.Time
+}
+
+func newTracker(total int, cb ProgressFunc) *tracker {
+	if cb == nil {
+		return nil
+	}
+	return &tracker{cb: cb, p: Progress{Total: total}, t0: time.Now()}
+}
+
+// update applies f to the progress state and delivers the callback.
+// Holding the lock through the callback is what guarantees serialized,
+// ordered delivery.
+func (t *tracker) update(f func(*Progress)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f(&t.p)
+	t.p.Elapsed = time.Since(t.t0)
+	t.p.ETA = 0
+	if finished := t.p.Done + t.p.Failed; t.p.Done > 0 && finished < t.p.Total {
+		t.p.ETA = time.Duration(float64(t.p.Elapsed) / float64(finished) * float64(t.p.Total-finished))
+	}
+	t.cb(t.p)
+}
+
 // Run sweeps the points over runtime.GOMAXPROCS(0) workers. See RunN.
 func Run(ctx context.Context, pts []Point) ([]*sim.Result, error) {
 	return RunN(ctx, 0, pts)
@@ -131,19 +212,49 @@ func Run(ctx context.Context, pts []Point) ([]*sim.Result, error) {
 // error is returned and the remaining queued points are abandoned; on
 // external cancellation the context error is returned.
 func RunN(ctx context.Context, workers int, pts []Point) ([]*sim.Result, error) {
+	return RunOpts(ctx, pts, Options{Workers: workers})
+}
+
+// RunOpts is RunN with live progress reporting and metrics: the same
+// deterministic grid-order results and lowest-index error contract,
+// plus per-point Progress callbacks and registry counters. The
+// instrumentation observes without participating — results are
+// bit-identical whether or not a callback or registry is attached.
+func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, error) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	var (
+		cStarted = reg.Counter(MetricPointsStarted)
+		cDone    = reg.Counter(MetricPointsDone)
+		cFailed  = reg.Counter(MetricPointsFailed)
+	)
+	reg.Counter(MetricPointsTotal).Add(int64(len(pts)))
+	tr := newTracker(len(pts), opts.Progress)
+
 	results := make([]*sim.Result, len(pts))
-	err := dispatch(ctx, workers, len(pts), func(context.Context) func(int) error {
+	err := dispatch(ctx, opts.Workers, len(pts), func(context.Context) func(int) error {
 		scratch := sim.NewScratch()
+		scratch.Metrics = reg
 		return func(i int) error {
+			cStarted.Inc()
+			tr.update(func(p *Progress) { p.Started++ })
 			p := pts[i]
 			if p.Kernel == nil {
+				cFailed.Inc()
+				tr.update(func(p *Progress) { p.Failed++ })
 				return fmt.Errorf("sweep: point %d (%s): nil kernel", i, p)
 			}
 			res, err := scratch.Run(p.Kernel, p.N, p.Config)
 			if err != nil {
+				cFailed.Inc()
+				tr.update(func(p *Progress) { p.Failed++ })
 				return fmt.Errorf("sweep: point %d (%s): %w", i, p, err)
 			}
 			results[i] = res
+			cDone.Inc()
+			tr.update(func(p *Progress) { p.Done++ })
 			return nil
 		}
 	})

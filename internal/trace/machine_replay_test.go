@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// These tests close the loop between the three accounting layers: a
+// trace recorded by the counting simulator, replayed through
+// ReplayCache, must reproduce the counters of the *machine* model —
+// the goroutine-per-PE execution with real message exchanges — not
+// just the analytic simulator that produced the trace.
+//
+// The kernel is k1 (Hydro Fragment): its read arrays (y, z) are fully
+// defined at initialization, so every page snapshot the machine
+// fetches is complete and the cached/remote split is deterministic
+// and schedule-independent. Kernels that read arrays still being
+// produced can see genuine partial fills on the machine, where the
+// split legitimately diverges from any replay (see
+// TestAccountingConsistentWithCountingSimulator in internal/machine).
+
+func machineRun(t *testing.T, key string, n int, cfg machine.Config) *machine.Result {
+	t.Helper()
+	k, err := loops.ByKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.Run(k, n, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestReplayMatchesMachineNoCache: with caching disabled everywhere,
+// a trace replay and the machine model agree exactly on all four
+// counters — writes, local, cached (zero), remote.
+func TestReplayMatchesMachineNoCache(t *testing.T) {
+	for _, npe := range []int{4, 8} {
+		buf, _ := recordRun(t, "k1", 500, sim.NoCacheConfig(npe, 32))
+
+		mcfg := machine.DefaultConfig(npe, 32)
+		mcfg.CacheElems = 0
+		mres := machineRun(t, "k1", 500, mcfg)
+
+		replayed, err := ReplayCache(buf, npe, 0, 32, cache.LRU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replayed != mres.Totals {
+			t.Errorf("npe=%d: replay %+v != machine %+v", npe, replayed, mres.Totals)
+		}
+		if replayed.RemoteReads == 0 {
+			t.Errorf("npe=%d: no remote reads; test exercises nothing", npe)
+		}
+	}
+}
+
+// TestReplayMatchesMachineCached: replaying the trace under the
+// machine's cache configuration (same per-PE capacity, page size and
+// policy) reproduces the machine's cached/remote split exactly.
+// Caches are private per PE and each PE's access stream is the same
+// deterministic iteration order in the simulator, the replay and the
+// machine, so LRU behaves identically in all three.
+func TestReplayMatchesMachineCached(t *testing.T) {
+	const npe, ps, cacheElems = 4, 32, 256
+
+	buf, _ := recordRun(t, "k1", 500, sim.PaperConfig(npe, ps))
+	mres := machineRun(t, "k1", 500, machine.DefaultConfig(npe, ps))
+
+	replayed, err := ReplayCache(buf, npe, cacheElems, ps, cache.LRU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != mres.Totals {
+		t.Errorf("replay %+v != machine %+v", replayed, mres.Totals)
+	}
+	if replayed.CachedReads == 0 {
+		t.Error("no cached reads; test exercises nothing")
+	}
+}

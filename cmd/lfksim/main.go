@@ -29,6 +29,13 @@
 //	lfksim -list                list experiments and kernels
 //	lfksim -kernel k1 -npe 8 -ps 32 -cache 256 -n 1000
 //	                            one-off simulation of a kernel
+//	lfksim -kernel k1 -machine  execute the kernel on the concurrent
+//	                            machine instead of the counting simulator
+//	lfksim -kernel k1 -machine -drop 0.2 -dup 0.1 -delay 200us -fault-seed 7
+//	                            chaos run: lossy interconnect with the
+//	                            self-healing page protocol (docs/FAULTS.md)
+//	lfksim -kernel k1 -machine -deadline 30s
+//	                            override the deadlock watchdog interval
 package main
 
 import (
@@ -43,6 +50,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loops"
+	"repro/internal/machine"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -69,10 +78,21 @@ func main() {
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and expvar metrics on this address (e.g. :6060)")
 		metrics  = flag.Bool("metrics", false, "print the final metrics-registry snapshot as JSON")
 		quiet    = flag.Bool("quiet", false, "suppress the live progress line")
+
+		// Concurrent-machine execution and its chaos knobs (docs/FAULTS.md).
+		machineRun = flag.Bool("machine", false, "execute -kernel on the concurrent machine (goroutine per PE) instead of the counting simulator")
+		faultSeed  = flag.Int64("fault-seed", 1, "deterministic fault-injection seed (with -drop/-dup/-delay)")
+		drop       = flag.Float64("drop", 0, "page-message drop probability [0,1] (requires -machine)")
+		dup        = flag.Float64("dup", 0, "page-message duplication probability [0,1] (requires -machine)")
+		delay      = flag.Duration("delay", 0, "max page-message delay; 0 disables delay injection (requires -machine)")
+		deadline   = flag.Duration("deadline", 0, "deadlock watchdog quiet interval; 0 derives from NPE and problem size, negative disables (requires -machine)")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*all, *exp, *kernel, *npe, *ps, *cache, *n, *workers); err != nil {
+		fail(err)
+	}
+	if err := validateFaultFlags(*machineRun, *kernel, *drop, *dup, *delay, *deadline); err != nil {
 		fail(err)
 	}
 
@@ -106,6 +126,9 @@ func main() {
 		err = runAllExperiments(reg, progressOn, *chart, *csvDir, *svgDir, *manifest)
 	case *exp != "":
 		err = runOneExperiment(reg, progressOn, *exp, *chart, *csvDir, *svgDir, *manifest)
+	case *kernel != "" && *machineRun:
+		err = runMachineKernel(reg, *kernel, *n, *npe, *ps, *cache, *manifest,
+			chaosFlags{seed: *faultSeed, drop: *drop, dup: *dup, delay: *delay}, *deadline)
 	case *kernel != "":
 		err = runKernel(reg, *kernel, *n, *npe, *ps, *cache, *manifest)
 	default:
@@ -144,6 +167,34 @@ func validateFlags(all bool, exp, kernel string, npe, ps, cache, n, workers int)
 		return fmt.Errorf("-n must be >= 0 (0 selects the kernel default), got %d", n)
 	case workers < 0:
 		return fmt.Errorf("-workers must be >= 0 (0 selects GOMAXPROCS), got %d", workers)
+	}
+	return nil
+}
+
+// chaosFlags bundles the fault-injection knobs of a -machine run.
+type chaosFlags struct {
+	seed      int64
+	drop, dup float64
+	delay     time.Duration
+}
+
+// enabled reports whether any fault injection was requested.
+func (c chaosFlags) enabled() bool { return c.drop > 0 || c.dup > 0 || c.delay > 0 }
+
+// validateFaultFlags rejects chaos knobs that are out of range or that
+// were given without the mode they apply to.
+func validateFaultFlags(machineRun bool, kernel string, drop, dup float64, delay, deadline time.Duration) error {
+	switch {
+	case machineRun && kernel == "":
+		return fmt.Errorf("-machine requires -kernel")
+	case !machineRun && (drop > 0 || dup > 0 || delay > 0 || deadline != 0):
+		return fmt.Errorf("-drop/-dup/-delay/-deadline apply only to -machine runs; add -machine")
+	case drop < 0 || drop > 1:
+		return fmt.Errorf("-drop must be in [0,1], got %g", drop)
+	case dup < 0 || dup > 1:
+		return fmt.Errorf("-dup must be in [0,1], got %g", dup)
+	case delay < 0:
+		return fmt.Errorf("-delay must be >= 0, got %v", delay)
 	}
 	return nil
 }
@@ -311,6 +362,62 @@ func runKernel(reg *obs.Registry, key string, n, npe, ps, cacheElems int, manife
 	fmt.Printf("  write balance: min=%d mean=%.1f max=%d CV=%.3f\n", lb.Min, lb.Mean, lb.Max, lb.CV)
 	if manifestDir != "" {
 		if err := writeRunManifest(manifestDir, res, wall, reg.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chaosDelayProb is the per-message delay probability used when -delay
+// is set: a quarter of page traffic arrives late, which is enough to
+// exercise reordering without dominating the drop/dup channels.
+const chaosDelayProb = 0.25
+
+// runMachineKernel executes one kernel on the concurrent machine,
+// optionally over a lossy interconnect, and reports the self-healing
+// protocol's counters alongside the paper's access totals.
+func runMachineKernel(reg *obs.Registry, key string, n, npe, ps, cacheElems int, manifestDir string, chaos chaosFlags, deadline time.Duration) error {
+	k, err := loops.ByKey(key)
+	if err != nil {
+		return err
+	}
+	cfg := machine.DefaultConfig(npe, ps)
+	cfg.CacheElems = cacheElems
+	cfg.Metrics = reg
+	cfg.DeadlockTimeout = deadline
+	var fc *network.FaultConfig
+	if chaos.enabled() {
+		fc = &network.FaultConfig{Seed: chaos.seed, Drop: chaos.drop, Dup: chaos.dup}
+		if chaos.delay > 0 {
+			fc.Delay = chaosDelayProb
+			fc.MaxDelay = chaos.delay
+		}
+		if err := fc.Validate(); err != nil {
+			return err
+		}
+		cfg.Faults = fc
+	}
+	start := time.Now()
+	res, err := machine.Run(k, n, cfg)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("%s (%s), n=%d, %d PEs, page size %d, cache %d elements [machine]\n",
+		k.Key, k.Name, res.N, npe, ps, cacheElems)
+	fmt.Printf("  totals: %s\n", res.Totals)
+	fmt.Printf("  remote reads: %.2f%% of reads; cached: %.2f%%\n",
+		res.Totals.RemotePercent(), res.Totals.CachedPercent())
+	fmt.Printf("  messages: %d page requests, %d page replies, %d reduction msgs\n",
+		res.PageRequests, res.PageReplies, res.ReduceMsgs)
+	if fc != nil {
+		fmt.Printf("  faults: seed=%d dropped=%d duplicated=%d delayed=%d (%d redundant bytes)\n",
+			fc.Seed, res.Faults.Dropped, res.Faults.Duplicated, res.Faults.Delayed, res.Faults.RedundantBytes)
+		fmt.Printf("  healing: %d retries, %d dup replies suppressed, %d dup requests suppressed\n",
+			res.Retries, res.DupReplies, res.DupRequests)
+	}
+	if manifestDir != "" {
+		if err := writeMachineManifest(manifestDir, res, fc, wall, reg.Snapshot()); err != nil {
 			return err
 		}
 	}

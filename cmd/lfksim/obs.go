@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -115,6 +117,52 @@ func writeRunManifest(dir string, res *sim.Result, wall time.Duration, snap *obs
 	}
 	m.Metrics = snap
 	path, err := obs.WriteManifest(dir, "run-"+res.Kernel, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// machineConfigInfo flattens a machine config for a manifest.
+func machineConfigInfo(c machine.Config) obs.ConfigInfo {
+	return obs.ConfigInfo{
+		NPE:        c.NPE,
+		PageSize:   c.PageSize,
+		CacheElems: c.CacheElems,
+		Layout:     c.Layout.String(),
+		Policy:     c.Policy.String(),
+	}
+}
+
+// writeMachineManifest records one concurrent-machine run as
+// <dir>/machine-<kernel>.json, including the fault-injection block when
+// the run was a chaos run.
+func writeMachineManifest(dir string, res *machine.Result, fc *network.FaultConfig, wall time.Duration, snap *obs.Snapshot) error {
+	m := obs.NewRunManifest(res.Kernel, res.N, 0, machineConfigInfo(res.Config), wall, res.PerPE)
+	for _, cs := range res.Checksums {
+		m.Checksums = append(m.Checksums, obs.Checksum{
+			Name: cs.Name, Elems: cs.Elems, Defined: cs.Defined, Sum: cs.Sum,
+		})
+	}
+	if fc != nil {
+		m.Faults = &obs.FaultInfo{
+			Seed:           fc.Seed,
+			Drop:           fc.Drop,
+			Dup:            fc.Dup,
+			DelayProb:      fc.Delay,
+			MaxDelayMS:     float64(fc.MaxDelay) / float64(time.Millisecond),
+			Dropped:        res.Faults.Dropped,
+			Duplicated:     res.Faults.Duplicated,
+			Delayed:        res.Faults.Delayed,
+			RedundantBytes: res.Faults.RedundantBytes,
+			Retries:        res.Retries,
+			DupReplies:     res.DupReplies,
+			DupRequests:    res.DupRequests,
+		}
+	}
+	m.Metrics = snap
+	path, err := obs.WriteManifest(dir, "machine-"+res.Kernel, m)
 	if err != nil {
 		return err
 	}

@@ -225,6 +225,39 @@ func (c *Cache) Insert(key Key, vals []float64, defined []bool) {
 	c.stats.Inserts++
 }
 
+// Merge folds a page snapshot into the cache monotonically: cells
+// defined in the incoming snapshot are added to the cached copy, and
+// cells already defined in the cache are never lost or overwritten.
+// Under single assignment a defined cell's value is final, so merging
+// snapshots taken at different times is always safe — this is the
+// requester-side absorption path for stale or duplicate replies on a
+// lossy interconnect, where a late reply may carry an older (more
+// sparsely filled) snapshot than the one already cached. Absent pages
+// insert as usual. Key mode only (the execution engine's mode); a
+// slot-mode cache tracks no values to merge and ignores the call.
+func (c *Cache) Merge(key Key, vals []float64, defined []bool) {
+	if c.entries == nil {
+		return
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		c.Insert(key, vals, defined)
+		return
+	}
+	if e.defined == nil {
+		return // cached copy already fully defined: nothing to gain
+	}
+	for off := range e.vals {
+		if !e.defined[off] && (defined == nil || (off < len(defined) && defined[off])) && off < len(vals) {
+			e.vals[off] = vals[off]
+			e.defined[off] = true
+		}
+	}
+	e.defined = normalizeDefined(e.defined)
+	c.touch(e)
+	c.stats.Refreshes++
+}
+
 // normalizeDefined collapses an all-true defined slice to nil so that
 // fully defined pages take the fast path in definedAt.
 func normalizeDefined(defined []bool) []bool {

@@ -80,6 +80,42 @@ func TestPartialMissAndRefresh(t *testing.T) {
 	}
 }
 
+func TestMergeIsMonotone(t *testing.T) {
+	c, _ := New(64, 4, LRU)
+	k := Key{Array: 0, Page: 0}
+	c.Insert(k, page(1, 2, 0, 0), []bool{true, true, false, false})
+	// A stale snapshot (fewer defined cells, different junk in the
+	// undefined slots) must never erase what the cache already holds.
+	c.Merge(k, page(1, 99, 99, 0), []bool{true, false, false, false})
+	if v, out := c.Lookup(k, 1); out != Hit || v != 2 {
+		t.Errorf("stale merge clobbered defined cell: (%v,%v)", v, out)
+	}
+	// A fresher snapshot adds its newly defined cells.
+	c.Merge(k, page(1, 2, 3, 0), []bool{true, true, true, false})
+	if v, out := c.Lookup(k, 2); out != Hit || v != 3 {
+		t.Errorf("merge did not add cell: (%v,%v)", v, out)
+	}
+	if _, out := c.Lookup(k, 3); out != PartialMiss {
+		t.Errorf("never-defined cell outcome = %v, want PartialMiss", out)
+	}
+	// Completing the page collapses to the fully-defined fast path.
+	c.Merge(k, page(1, 2, 3, 4), nil)
+	if v, out := c.Lookup(k, 3); out != Hit || v != 4 {
+		t.Errorf("completing merge = (%v,%v)", v, out)
+	}
+	// Merging into a fully defined page is a no-op.
+	c.Merge(k, page(9, 9, 9, 9), nil)
+	if v, _ := c.Lookup(k, 0); v != 1 {
+		t.Errorf("merge into complete page overwrote: %v", v)
+	}
+	// Merging an absent page inserts it.
+	k2 := Key{Array: 0, Page: 1}
+	c.Merge(k2, page(5, 0, 0, 0), []bool{true, false, false, false})
+	if v, out := c.Lookup(k2, 0); out != Hit || v != 5 {
+		t.Errorf("merge of absent page = (%v,%v)", v, out)
+	}
+}
+
 func TestNormalizeAllTrueDefined(t *testing.T) {
 	c, _ := New(64, 2, LRU)
 	k := Key{}

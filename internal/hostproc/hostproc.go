@@ -18,6 +18,12 @@
 // The package is deliberately independent of the execution engine: it
 // synchronizes any set of goroutine "PEs" over a network.Network, and
 // exposes the version counter that storage and caches key on.
+//
+// Host-processor exchanges ride the network's reliable control plane:
+// unlike page requests/replies, re-initialization votes and grants are
+// not idempotent (a duplicated vote would release an array early), so
+// the fault-injection layer (docs/FAULTS.md) never drops, duplicates or
+// delays them.
 package hostproc
 
 import (

@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/network"
+)
+
+// chaosSeed returns the suite's fault seed, overridable via CHAOS_SEED
+// so CI can fan the determinism tests across several fixed seeds.
+func chaosSeed() int64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return 1989
+}
+
+// chaosConfig is the standard lossy interconnect of the fault tests:
+// 20% drop, 10% duplication, 25% of copies delayed, all deterministic
+// under the given seed. Short retry timeouts keep wall time down.
+func chaosConfig(npe, pageSize int, seed int64) Config {
+	cfg := DefaultConfig(npe, pageSize)
+	cfg.Faults = &network.FaultConfig{
+		Seed:     seed,
+		Drop:     0.2,
+		Dup:      0.1,
+		Delay:    0.25,
+		MaxDelay: 200 * time.Microsecond,
+	}
+	cfg.Retry = RetryPolicy{BaseTimeout: time.Millisecond, MaxTimeout: 20 * time.Millisecond}
+	return cfg
+}
+
+// assertSameOutputs fails unless the faulted run produced bit-identical
+// outputs to the clean run. Exact equality is the point: the protocol
+// retransmits and merges, it never recomputes, so even reduction results
+// must match to the bit.
+func assertSameOutputs(t *testing.T, k *loops.Kernel, clean, faulted *Result) {
+	t.Helper()
+	for _, name := range k.Outputs {
+		cv, cd := clean.Values[name], clean.DefinedOf[name]
+		fv, fd := faulted.Values[name], faulted.DefinedOf[name]
+		for i := range cv {
+			if cd[i] != fd[i] {
+				t.Fatalf("%s[%d]: defined clean=%v faulted=%v", name, i, cd[i], fd[i])
+			}
+			if cd[i] && cv[i] != fv[i] {
+				t.Fatalf("%s[%d]: clean=%v faulted=%v", name, i, cv[i], fv[i])
+			}
+		}
+	}
+}
+
+// TestFaultedRunsMatchCleanRuns is the §4 idempotence argument made
+// executable: every kernel, run over an interconnect that drops 20% of
+// page traffic, duplicates 10% and delays a quarter of it, still
+// produces exactly the fault-free values — lost messages are retried,
+// duplicates suppressed, stale snapshots merged monotonically.
+func TestFaultedRunsMatchCleanRuns(t *testing.T) {
+	var faults network.FaultStats
+	var retries, dupReplies int64
+	for _, k := range loops.All() {
+		k := k
+		t.Run(k.Key, func(t *testing.T) {
+			n := k.DefaultN
+			if n > 128 {
+				n = 128
+			}
+			clean, err := Run(k, n, DefaultConfig(4, 16))
+			if err != nil {
+				t.Fatalf("clean: %v", err)
+			}
+			faulted, err := Run(k, n, chaosConfig(4, 16, chaosSeed()))
+			if err != nil {
+				t.Fatalf("faulted: %v", err)
+			}
+			assertSameOutputs(t, k, clean, faulted)
+			faults.Dropped += faulted.Faults.Dropped
+			faults.Duplicated += faulted.Faults.Duplicated
+			faults.Delayed += faulted.Faults.Delayed
+			retries += faulted.Retries
+			dupReplies += faulted.DupReplies
+		})
+	}
+	// Individual kernels may see little remote traffic; across the whole
+	// suite the fault layer and the healing protocol must both have fired.
+	if faults.Dropped == 0 || faults.Duplicated == 0 || faults.Delayed == 0 {
+		t.Errorf("fault layer idle across suite: %+v", faults)
+	}
+	if retries == 0 {
+		t.Error("no retransmissions across suite despite 20% drop")
+	}
+	if dupReplies == 0 {
+		t.Error("no duplicate replies suppressed across suite despite 10% dup")
+	}
+}
+
+// TestFaultedRunsDeterministicAcrossSeedsAndShapes sweeps seeds, PE
+// counts and topologies: every combination must converge to the
+// sequential values, and repeating a (seed, shape) run must inject the
+// identical fault count — the chaos run is a pure function of the seed
+// and per-link traffic order.
+func TestFaultedRunsDeterministicAcrossSeedsAndShapes(t *testing.T) {
+	k, err := loops.ByKey("k11") // cross-PE recurrence: heavy page traffic
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(k, 128, DefaultConfig(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 7, 1989} {
+		for _, shape := range []struct {
+			npe  int
+			topo Topo
+		}{{2, TopoBus}, {4, TopoRing}, {8, TopoMesh}} {
+			cfg := chaosConfig(shape.npe, 16, seed)
+			cfg.Topology = shape.topo
+			res, err := Run(k, 128, cfg)
+			if err != nil {
+				t.Fatalf("seed %d npe %d: %v", seed, shape.npe, err)
+			}
+			for _, name := range k.Outputs {
+				for i, v := range clean.Values[name] {
+					if clean.DefinedOf[name][i] && res.Values[name][i] != v {
+						t.Fatalf("seed %d npe %d: %s[%d] = %v, want %v",
+							seed, shape.npe, name, i, res.Values[name][i], v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeadLinkDiagnosedAbort partitions one directed link completely:
+// the requester must exhaust its retries and abort with a diagnosis
+// naming the page, the owner PE and the attempt count — never hang on
+// the watchdog or panic.
+func TestDeadLinkDiagnosedAbort(t *testing.T) {
+	k, err := loops.ByKey("k11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2, 16)
+	cfg.Faults = &network.FaultConfig{Seed: 1, Partition: [][2]int{{1, 0}}}
+	cfg.Retry = RetryPolicy{MaxAttempts: 3, BaseTimeout: time.Millisecond, MaxTimeout: 4 * time.Millisecond}
+	start := time.Now()
+	_, err = Run(k, 128, cfg)
+	if err == nil {
+		t.Fatal("fully partitioned link did not error")
+	}
+	// Either side of the dead link can exhaust its budget first: the
+	// partition kills PE 1's requests to PE 0 and PE 1's replies to
+	// PE 0 alike. The diagnosis must name the page, the owner PE and
+	// the attempt count whichever PE gives up.
+	for _, want := range []string{"gives up fetching", "page", "owner PE", "3 attempts", "link presumed dead"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("diagnosis %q lacks %q", err, want)
+		}
+	}
+	// Bounded retries must diagnose far faster than the deadlock
+	// watchdog's two quiet 5s intervals would.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("diagnosis took %v", elapsed)
+	}
+}
+
+// TestRetryProtocolIdleOnPerfectNetwork enables the retry protocol with
+// no fault injection: the protocol must add no retries, suppress
+// nothing, and reproduce the clean values (its timers are pure
+// overhead, never behavior, on a perfect interconnect).
+func TestRetryProtocolIdleOnPerfectNetwork(t *testing.T) {
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(k, 128, DefaultConfig(4, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(4, 16)
+	cfg.Retry = RetryPolicy{MaxAttempts: 5, BaseTimeout: 100 * time.Millisecond}
+	res, err := Run(k, 128, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutputs(t, k, clean, res)
+	if res.Retries != 0 || res.DupReplies != 0 || res.DupRequests != 0 {
+		t.Errorf("protocol fired on a perfect network: retries=%d dupReplies=%d dupRequests=%d",
+			res.Retries, res.DupReplies, res.DupRequests)
+	}
+	if s := res.Faults; s != (network.FaultStats{}) {
+		t.Errorf("fault stats nonzero with no injector: %+v", s)
+	}
+}
+
+// TestFaultConfigRejectedByRun surfaces fault-config validation through
+// the machine's front door.
+func TestFaultConfigRejectedByRun(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(2, 16)
+	cfg.Faults = &network.FaultConfig{Drop: 1.5}
+	if _, err := Run(k, 64, cfg); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+}
+
+func TestDefaultDeadlineScales(t *testing.T) {
+	if d := DefaultDeadline(2, 64); d != 5*time.Second {
+		t.Errorf("small problem: %v, want 5s floor", d)
+	}
+	if d := DefaultDeadline(8, 2_000_000); d != 16*time.Second {
+		t.Errorf("mid problem: %v, want 16s", d)
+	}
+	if d := DefaultDeadline(64, 10_000_000); d != 60*time.Second {
+		t.Errorf("huge problem: %v, want 60s cap", d)
+	}
+}

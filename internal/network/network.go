@@ -13,9 +13,11 @@
 package network
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/obs"
@@ -59,9 +61,15 @@ func (t MsgType) String() string {
 
 // Message is one interconnect packet.
 type Message struct {
-	Type    MsgType
-	Src     int
-	Dst     int
+	Type MsgType
+	Src  int
+	Dst  int
+	// Seq is the requester-assigned sequence number of a page fetch.
+	// A retransmitted request reuses the sequence of the fetch it
+	// retries, and a reply echoes the sequence of the request it
+	// answers, so requesters can match replies to fetches and suppress
+	// duplicates on a lossy interconnect (see internal/machine).
+	Seq     uint64
 	Array   int       // array identifier
 	Page    int       // page number
 	Cell    int       // page-relative cell of interest (requests)
@@ -99,6 +107,12 @@ type Network struct {
 	hops   []atomic.Int64
 	byType [Halt + 1]atomic.Int64
 	pair   []atomic.Int64 // n*n traffic matrix (messages)
+
+	// faults, when non-nil, subjects page traffic to the configured
+	// fault model (see faults.go). nil = perfect delivery.
+	faults *Faults
+
+	closeOnce sync.Once
 
 	// Observability handles; nil (no-op) unless Instrument was called
 	// with a live registry. Instrumentation observes traffic — it never
@@ -163,21 +177,31 @@ func (nw *Network) Topology() Topology { return nw.topo }
 func (nw *Network) Inbox(pe int) <-chan Message { return nw.inbox[pe] }
 
 // CloseInboxes closes every inbox, releasing receivers. It must only be
-// called once all senders have finished.
+// called once all senders have finished (with faults attached, after
+// Faults.Close has drained delayed deliveries). Calling it more than
+// once is a no-op, so layered teardown paths need not coordinate.
 func (nw *Network) CloseInboxes() {
-	for _, ch := range nw.inbox {
-		close(ch)
-	}
+	nw.closeOnce.Do(func() {
+		for _, ch := range nw.inbox {
+			close(ch)
+		}
+	})
 }
 
 // Send counts and delivers msg to its destination inbox. Delivery blocks
-// if the inbox is full, modeling finite buffering.
+// if the inbox is full, modeling finite buffering. With a fault injector
+// attached, page traffic may be dropped, duplicated or delayed; the
+// message is accounted either way (it was sent — delivery is the fault
+// layer's business).
 func (nw *Network) Send(msg Message) error {
 	if msg.Dst < 0 || msg.Dst >= nw.n || msg.Src < 0 || msg.Src >= nw.n {
 		return fmt.Errorf("network: message %v from %d to %d out of range [0,%d)",
 			msg.Type, msg.Src, msg.Dst, nw.n)
 	}
 	nw.account(&msg)
+	if nw.faults != nil && faultable(msg.Type) {
+		return nw.faults.deliverSend(nw, msg, nil)
+	}
 	nw.inbox[msg.Dst] <- msg
 	nw.mInboxDepth.Observe(int64(len(nw.inbox[msg.Dst])))
 	return nil
@@ -205,6 +229,9 @@ func (nw *Network) SendAbort(msg Message, abort <-chan struct{}) error {
 			msg.Type, msg.Src, msg.Dst, nw.n)
 	}
 	nw.account(&msg)
+	if nw.faults != nil && faultable(msg.Type) {
+		return nw.faults.deliverSend(nw, msg, abort)
+	}
 	select {
 	case nw.inbox[msg.Dst] <- msg:
 		nw.mInboxDepth.Observe(int64(len(nw.inbox[msg.Dst])))
@@ -214,9 +241,18 @@ func (nw *Network) SendAbort(msg Message, abort <-chan struct{}) error {
 	}
 }
 
+// ErrReplyFull reports a reply that found the requester's channel full.
+// On a perfect interconnect that is a protocol violation (the requester
+// broke the single-outstanding-request discipline); under the retry
+// protocol it merely means a redundant reply had nowhere to land, which
+// the requester's retransmission covers. Either way it is a diagnosed
+// error, never a panic — callers decide whether to abort or absorb it.
+var ErrReplyFull = errors.New("reply channel full")
+
 // Reply counts the message and delivers it directly on the requester's
-// reply channel. The reply channel must be buffered; a full reply channel
-// is a protocol error and panics rather than deadlocking silently.
+// reply channel. The reply channel must be buffered; a full reply
+// channel yields an error wrapping ErrReplyFull rather than blocking
+// the replier or crashing the process.
 func (nw *Network) Reply(to Message, msg Message) error {
 	if to.Reply == nil {
 		return fmt.Errorf("network: request %v from %d carried no reply channel", to.Type, to.Src)
@@ -225,11 +261,14 @@ func (nw *Network) Reply(to Message, msg Message) error {
 		return fmt.Errorf("network: reply destination %d does not match requester %d", msg.Dst, to.Src)
 	}
 	nw.account(&msg)
+	if nw.faults != nil && faultable(msg.Type) {
+		return nw.faults.deliverReply(to.Reply, msg)
+	}
 	select {
 	case to.Reply <- msg:
 		return nil
 	default:
-		panic("network: reply channel full — requester violated single-outstanding-request protocol")
+		return fmt.Errorf("network: %w for %v from %d to %d", ErrReplyFull, msg.Type, msg.Src, msg.Dst)
 	}
 }
 

@@ -81,6 +81,27 @@ func distOf(vals []int64) Dist {
 	return Dist{Min: b.Min, Max: b.Max, Mean: b.Mean, CV: b.CV}
 }
 
+// FaultInfo records a chaos run: the fault-injection knobs that shaped
+// the interconnect and the self-healing page protocol's response (see
+// docs/FAULTS.md). Present in a manifest only when faults were injected,
+// so fault-free manifests stay byte-compatible with earlier schemas.
+type FaultInfo struct {
+	Seed       int64   `json:"seed"`
+	Drop       float64 `json:"drop"`
+	Dup        float64 `json:"dup"`
+	DelayProb  float64 `json:"delay_prob,omitempty"`
+	MaxDelayMS float64 `json:"max_delay_ms,omitempty"`
+
+	Dropped        int64 `json:"dropped"`
+	Duplicated     int64 `json:"duplicated"`
+	Delayed        int64 `json:"delayed"`
+	RedundantBytes int64 `json:"redundant_bytes"`
+
+	Retries     int64 `json:"retries"`
+	DupReplies  int64 `json:"dup_replies_suppressed"`
+	DupRequests int64 `json:"dup_requests_suppressed"`
+}
+
 // Checksum is one output array's checksum, for cross-run comparison.
 type Checksum struct {
 	Name    string  `json:"name"`
@@ -103,6 +124,7 @@ type RunManifest struct {
 	PerPE         []AccessCounts  `json:"per_pe"`
 	Distributions map[string]Dist `json:"distributions"`
 	Checksums     []Checksum      `json:"checksums,omitempty"`
+	Faults        *FaultInfo      `json:"faults,omitempty"`
 	Metrics       *Snapshot       `json:"metrics,omitempty"`
 }
 

@@ -58,6 +58,18 @@ type MachineConfig = machine.Config
 // MachineResult is a concurrent-execution outcome.
 type MachineResult = machine.Result
 
+// FaultConfig configures deterministic fault injection on the machine's
+// interconnect (drop/dup/delay/stall probabilities and a seed); set it
+// on MachineConfig.Faults to run over a lossy network. See docs/FAULTS.md.
+type FaultConfig = network.FaultConfig
+
+// FaultStats accounts the faults injected during one run.
+type FaultStats = network.FaultStats
+
+// RetryPolicy tunes the self-healing page protocol (timeouts, backoff,
+// attempt bound) that makes the machine converge under injected faults.
+type RetryPolicy = machine.RetryPolicy
+
 // Experiment is one reproducible unit of the paper's evaluation.
 type Experiment = core.Experiment
 

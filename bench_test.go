@@ -246,32 +246,47 @@ func sweepGrid(b *testing.B) []sweep.Point {
 	}.Points()
 }
 
-// BenchmarkSweepGridSerial sweeps the standard grid with one worker:
-// the baseline the parallel engine is measured against.
-func BenchmarkSweepGridSerial(b *testing.B) {
-	pts := sweepGrid(b)
+// benchSweep runs the grid b.N times under the given worker count and
+// replay mode, reporting points/s.
+func benchSweep(b *testing.B, pts []sweep.Point, workers int, mode sweep.ReplayMode) {
+	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweep.RunN(context.Background(), 1, pts); err != nil {
+		if _, err := sweep.RunOpts(context.Background(), pts, sweep.Options{Workers: workers, Replay: mode}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
+// BenchmarkSweepGridSerial sweeps the standard grid with one worker and
+// replay off: the direct-execution baseline every other sweep benchmark
+// is measured against.
+func BenchmarkSweepGridSerial(b *testing.B) {
+	benchSweep(b, sweepGrid(b), 1, sweep.ReplayOff)
+}
+
 // BenchmarkSweepGridParallel sweeps the same grid over GOMAXPROCS
-// workers; compare points/s against the serial baseline.
+// workers, still executing every point directly; compare points/s
+// against the serial baseline.
 func BenchmarkSweepGridParallel(b *testing.B) {
-	pts := sweepGrid(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sweep.Run(context.Background(), pts); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	benchSweep(b, sweepGrid(b), 0, sweep.ReplayOff)
+}
+
+// BenchmarkSweepGridReplaySerial sweeps the grid with one worker under
+// the execute-once/classify-many planner: each kernel executes once
+// (capture) and every other point replays its reference stream. The
+// points/s ratio against BenchmarkSweepGridSerial is the planner's
+// single-core win.
+func BenchmarkSweepGridReplaySerial(b *testing.B) {
+	benchSweep(b, sweepGrid(b), 1, sweep.ReplayOn)
+}
+
+// BenchmarkSweepGridReplayParallel combines both engines: bounded
+// worker-pool parallelism and stream replay.
+func BenchmarkSweepGridReplayParallel(b *testing.B) {
+	benchSweep(b, sweepGrid(b), 0, sweep.ReplayOn)
 }
 
 // BenchmarkSweepScratchReuse isolates the per-point allocation savings

@@ -17,17 +17,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
 type benchReport struct {
-	GeneratedBy string     `json:"generated_by"`
-	Timestamp   string     `json:"timestamp,omitempty"` // RFC 3339 UTC
-	GoVersion   string     `json:"go_version"`
-	GOMAXPROCS  int        `json:"gomaxprocs"`
-	NumCPU      int        `json:"num_cpu"`
-	Suite       benchSuite `json:"suite"`
-	Grid        benchGrid  `json:"grid"`
+	GeneratedBy string       `json:"generated_by"`
+	Timestamp   string       `json:"timestamp,omitempty"` // RFC 3339 UTC
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"num_cpu"`
+	Suite       benchSuite   `json:"suite"`
+	Grid        benchGrid    `json:"grid"`
+	Replay      *benchReplay `json:"replay,omitempty"` // absent in pre-replay history entries
 }
 
 // benchSuite times every experiment (each already sweeping its own
@@ -55,6 +59,23 @@ type benchLeg struct {
 	PointsPerSec   float64 `json:"points_per_sec"`
 	AllocsPerPoint float64 `json:"allocs_per_point"`
 	BytesPerPoint  float64 `json:"bytes_per_point"`
+}
+
+// benchReplay isolates the execute-once/classify-many win on the
+// standard grid: the same single-worker sweep with replay forced off
+// (every point through sim.Scratch) versus forced on (one capture per
+// (kernel, N) group, every grid point classified against the shared
+// stream). SteadyAllocsPerPoint measures Replayer.Run alone — repeated
+// replays of one captured stream, capture excluded — the steady state
+// the ≤5 allocations budget is about (the Result itself accounts for
+// them; see docs/PERF.md).
+type benchReplay struct {
+	Points               int      `json:"points"`
+	Captures             int64    `json:"captures"`
+	Direct               benchLeg `json:"direct"`
+	Replay               benchLeg `json:"replay"`
+	Speedup              float64  `json:"speedup"`
+	SteadyAllocsPerPoint float64  `json:"steady_allocs_per_point"`
 }
 
 // standardGrid is the grid the benchmark sweeps: every paper-studied
@@ -133,11 +154,76 @@ func runBench(out string) error {
 	}
 	rep.Grid.Speedup = rep.Grid.Serial.Sec / rep.Grid.Parallel.Sec
 
+	// Replay: the same grid, single worker, direct versus replay — the
+	// execute-once/classify-many section. Single-worker legs make the
+	// per-point ratio a clean algorithmic comparison rather than a
+	// scheduling one.
+	replay := &benchReplay{Points: len(pts)}
+	replayLeg := func(mode sweep.ReplayMode) (benchLeg, int64, error) {
+		reg := obs.NewRegistry()
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := sweep.RunOpts(ctx, pts, sweep.Options{Workers: 1, Metrics: reg, Replay: mode}); err != nil {
+			return benchLeg{}, 0, err
+		}
+		sec := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		n := float64(len(pts))
+		return benchLeg{
+			Sec:            sec,
+			SecPerPoint:    sec / n,
+			PointsPerSec:   n / sec,
+			AllocsPerPoint: float64(after.Mallocs-before.Mallocs) / n,
+			BytesPerPoint:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		}, reg.Counter(sweep.MetricStreamCaptures).Value(), nil
+	}
+	if replay.Direct, _, err = replayLeg(sweep.ReplayOff); err != nil {
+		return fmt.Errorf("bench: direct grid: %w", err)
+	}
+	if replay.Replay, replay.Captures, err = replayLeg(sweep.ReplayOn); err != nil {
+		return fmt.Errorf("bench: replay grid: %w", err)
+	}
+	replay.Speedup = replay.Direct.Sec / replay.Replay.Sec
+	if replay.SteadyAllocsPerPoint, err = steadyReplayAllocs(); err != nil {
+		return fmt.Errorf("bench: steady-state replay: %w", err)
+	}
+	rep.Replay = replay
+
 	payload, err := appendBenchHistory(out, rep)
 	if err != nil {
 		return err
 	}
 	return emit(out, payload)
+}
+
+// steadyReplayAllocs measures the allocations of one Replayer.Run in
+// steady state: a stream captured once, a warmed Replayer, repeated
+// classification under the paper's framed baseline (the general event
+// path, so the number is the ceiling across paths).
+func steadyReplayAllocs() (float64, error) {
+	k := loops.PaperSet()[0]
+	st, err := refstream.Capture(k, 0)
+	if err != nil {
+		return 0, err
+	}
+	cfg := sim.PaperConfig(8, 32)
+	r := refstream.NewReplayer()
+	if _, err := r.Run(st, cfg); err != nil { // warm-up: buffers grow on first use
+		return 0, err
+	}
+	const iters = 100
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if _, err := r.Run(st, cfg); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / iters, nil
 }
 
 // appendBenchHistory renders the benchmark file contents: a JSON array
@@ -189,4 +275,83 @@ func parseBenchHistory(data []byte) ([]json.RawMessage, error) {
 		return nil, err
 	}
 	return []json.RawMessage{compact}, nil
+}
+
+// runBenchCompare implements -bench-compare: it diffs the last two
+// entries of the benchmark history at path, section by section, and
+// writes a human-readable report to stdout. Legacy entries — written
+// before the timestamp field or the replay section existed — are
+// tolerated: missing fields compare as absent rather than failing.
+func runBenchCompare(path string) error {
+	if path == "" {
+		path = "BENCH_sweep.json"
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("bench-compare: %w", err)
+	}
+	history, err := parseBenchHistory(data)
+	if err != nil {
+		return fmt.Errorf("bench-compare: %s: %w", path, err)
+	}
+	if len(history) < 2 {
+		return fmt.Errorf("bench-compare: %s holds %d entr%s; need at least two runs to compare (run -bench again)",
+			path, len(history), map[bool]string{true: "y", false: "ies"}[len(history) == 1])
+	}
+	var old, cur benchReport
+	if err := json.Unmarshal(history[len(history)-2], &old); err != nil {
+		return fmt.Errorf("bench-compare: %s entry %d: %w", path, len(history)-1, err)
+	}
+	if err := json.Unmarshal(history[len(history)-1], &cur); err != nil {
+		return fmt.Errorf("bench-compare: %s entry %d: %w", path, len(history), err)
+	}
+	fmt.Print(renderBenchCompare(path, len(history), old, cur))
+	return nil
+}
+
+// benchStamp labels a history entry for the compare report.
+func benchStamp(r benchReport) string {
+	if r.Timestamp == "" {
+		return "(no timestamp)" // legacy entry, predates stamping
+	}
+	return r.Timestamp
+}
+
+// benchDelta renders "old → new (±x.x%)" for a measurement where lower
+// is better; sign conventions stay with the raw numbers, the percentage
+// is the relative change.
+func benchDelta(old, cur float64, unit string) string {
+	if old == 0 {
+		return fmt.Sprintf("%.4g%s → %.4g%s (no baseline)", old, unit, cur, unit)
+	}
+	return fmt.Sprintf("%.4g%s → %.4g%s (%+.1f%%)", old, unit, cur, unit, (cur-old)/old*100)
+}
+
+// renderBenchCompare formats the section-by-section diff of the two
+// most recent history entries.
+func renderBenchCompare(path string, entries int, old, cur benchReport) string {
+	var b []byte
+	p := func(format string, args ...any) { b = fmt.Appendf(b, format+"\n", args...) }
+	p("%s: comparing entry %d (%s) with entry %d (%s)", path, entries-1, benchStamp(old), entries, benchStamp(cur))
+	p("suite:")
+	p("  serial    %s", benchDelta(old.Suite.SerialSec, cur.Suite.SerialSec, "s"))
+	p("  parallel  %s", benchDelta(old.Suite.ParallelSec, cur.Suite.ParallelSec, "s"))
+	p("  speedup   %.2fx → %.2fx", old.Suite.Speedup, cur.Suite.Speedup)
+	p("grid (%d → %d points):", old.Grid.Points, cur.Grid.Points)
+	p("  serial    sec/point %s  allocs/point %s", benchDelta(old.Grid.Serial.SecPerPoint, cur.Grid.Serial.SecPerPoint, ""), benchDelta(old.Grid.Serial.AllocsPerPoint, cur.Grid.Serial.AllocsPerPoint, ""))
+	p("  parallel  sec/point %s  allocs/point %s", benchDelta(old.Grid.Parallel.SecPerPoint, cur.Grid.Parallel.SecPerPoint, ""), benchDelta(old.Grid.Parallel.AllocsPerPoint, cur.Grid.Parallel.AllocsPerPoint, ""))
+	p("  speedup   %.2fx → %.2fx", old.Grid.Speedup, cur.Grid.Speedup)
+	switch {
+	case cur.Replay == nil:
+		p("replay: not measured in the newer entry")
+	case old.Replay == nil:
+		p("replay: new section, no baseline (%d points, %d captures, %.2fx over direct, %.1f steady allocs/point)",
+			cur.Replay.Points, cur.Replay.Captures, cur.Replay.Speedup, cur.Replay.SteadyAllocsPerPoint)
+	default:
+		p("replay (%d → %d points, %d → %d captures):", old.Replay.Points, cur.Replay.Points, old.Replay.Captures, cur.Replay.Captures)
+		p("  direct    sec/point %s", benchDelta(old.Replay.Direct.SecPerPoint, cur.Replay.Direct.SecPerPoint, ""))
+		p("  replay    sec/point %s  steady allocs/point %s", benchDelta(old.Replay.Replay.SecPerPoint, cur.Replay.Replay.SecPerPoint, ""), benchDelta(old.Replay.SteadyAllocsPerPoint, cur.Replay.SteadyAllocsPerPoint, ""))
+		p("  speedup   %.2fx → %.2fx", old.Replay.Speedup, cur.Replay.Speedup)
+	}
+	return string(b)
 }

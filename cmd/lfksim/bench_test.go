@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -90,6 +91,82 @@ func TestBenchHistoryMissingFile(t *testing.T) {
 	}
 	if len(history) != 1 || history[0].Timestamp != "only" {
 		t.Errorf("fresh history wrong: %+v", history)
+	}
+}
+
+// writeHistory marshals reports into a history file for compare tests.
+func writeHistory(t *testing.T, reports ...benchReport) string {
+	t.Helper()
+	payload, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchCompareRendersSections: the diff report names every section
+// and both entries, including the replay comparison when both entries
+// carry one.
+func TestBenchCompareRendersSections(t *testing.T) {
+	old := testReport("t1")
+	old.Grid.Serial.SecPerPoint = 4e-4
+	old.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.0, SteadyAllocsPerPoint: 4}
+	cur := testReport("t2")
+	cur.Grid.Serial.SecPerPoint = 3e-4
+	cur.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.2, SteadyAllocsPerPoint: 4}
+	out := renderBenchCompare("h.json", 2, old, cur)
+	for _, want := range []string{"t1", "t2", "suite:", "grid", "replay", "2.00x → 2.20x", "-25.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBenchCompareToleratesLegacyEntries: an old entry without a
+// timestamp or replay section — the history's first real entry predates
+// both fields — still compares, flagged rather than failing.
+func TestBenchCompareToleratesLegacyEntries(t *testing.T) {
+	old := testReport("") // pre-stamping entry
+	cur := testReport("t2")
+	cur.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.1, SteadyAllocsPerPoint: 4}
+	out := renderBenchCompare("h.json", 2, old, cur)
+	if !strings.Contains(out, "(no timestamp)") {
+		t.Errorf("legacy entry not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "new section, no baseline") {
+		t.Errorf("missing replay baseline not flagged:\n%s", out)
+	}
+}
+
+// TestBenchCompareNeedsTwoEntries: fewer than two history entries is a
+// descriptive error, as is a missing or garbage file.
+func TestBenchCompareNeedsTwoEntries(t *testing.T) {
+	path := writeHistory(t, testReport("only"))
+	if err := runBenchCompare(path); err == nil || !strings.Contains(err.Error(), "at least two") {
+		t.Errorf("single-entry history: err = %v, want 'at least two'", err)
+	}
+	if err := runBenchCompare(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	garbage := filepath.Join(t.TempDir(), "g.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBenchCompare(garbage); err == nil {
+		t.Error("garbage history accepted")
+	}
+}
+
+// TestBenchCompareReadsHistory: the happy path end to end — two
+// entries on disk, a rendered diff, no error.
+func TestBenchCompareReadsHistory(t *testing.T) {
+	path := writeHistory(t, testReport("t1"), testReport("t2"))
+	if err := runBenchCompare(path); err != nil {
+		t.Fatalf("compare: %v", err)
 	}
 }
 

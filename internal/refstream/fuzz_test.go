@@ -1,0 +1,78 @@
+package refstream
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// streamCache memoizes captures across fuzz iterations so the fuzzer
+// spends its budget on configuration space, not on re-executing
+// kernels. Keyed by (kernel, clamped n); safe for parallel fuzz
+// workers.
+var streamCache sync.Map
+
+func cachedCapture(t *testing.T, k *loops.Kernel, n int) *Stream {
+	t.Helper()
+	type key struct {
+		k *loops.Kernel
+		n int
+	}
+	ck := key{k, k.ClampN(n)}
+	if st, ok := streamCache.Load(ck); ok {
+		return st.(*Stream)
+	}
+	st, err := Capture(k, n)
+	if err != nil {
+		t.Fatalf("capture %s/n=%d: %v", k.Key, n, err)
+	}
+	streamCache.Store(ck, st)
+	return st
+}
+
+// FuzzReplayVsDirect drives the equivalence contract through randomized
+// machine configurations: any (NPE, PageSize, CacheElems, Layout,
+// LayoutRun, Policy) shape the fuzzer reaches must classify the
+// captured stream bit-identically to a direct sim.Run.
+func FuzzReplayVsDirect(f *testing.F) {
+	// Seeds cover each layout kind, each policy, degenerate machines and
+	// reduction-heavy kernels.
+	f.Add(uint8(0), uint16(200), uint8(8), uint8(32), uint16(256), uint8(0), uint8(1), uint8(0))
+	f.Add(uint8(3), uint16(100), uint8(1), uint8(1), uint16(0), uint8(1), uint8(2), uint8(1))
+	f.Add(uint8(7), uint16(333), uint8(64), uint8(16), uint16(64), uint8(2), uint8(3), uint8(2))
+	f.Add(uint8(11), uint16(64), uint8(5), uint8(7), uint16(31), uint8(0), uint8(1), uint8(3))
+	f.Add(uint8(23), uint16(400), uint8(16), uint8(64), uint16(1024), uint8(1), uint8(1), uint8(0))
+	kernels := loops.All()
+	f.Fuzz(func(t *testing.T, kIdx uint8, n uint16, npe, ps uint8, ce uint16, layout, run, policy uint8) {
+		k := kernels[int(kIdx)%len(kernels)]
+		size := int(n)%400 + 1
+		cfg := sim.Config{
+			NPE:        int(npe)%64 + 1,
+			PageSize:   int(ps)%96 + 1,
+			CacheElems: int(ce) % 2048,
+			Policy:     cache.Policy(int(policy) % 4),
+			Layout:     partition.Kind(int(layout) % 3),
+			LayoutRun:  int(run)%6 + 1,
+		}
+		want, err := sim.Run(k, size, cfg)
+		if err != nil {
+			t.Fatalf("direct run rejected fuzzed config %+v: %v", cfg, err)
+		}
+		st := cachedCapture(t, k, size)
+		got, err := NewReplayer().Run(st, cfg)
+		if err != nil {
+			t.Fatalf("replay rejected config %+v the direct path accepted: %v", cfg, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s n=%d cfg=%+v: replay diverges from direct run\nreplay: totals %v reduce %d/%d\ndirect: totals %v reduce %d/%d",
+				k.Key, size, cfg,
+				got.Totals, got.ReduceSends, got.ReduceBcasts,
+				want.Totals, want.ReduceSends, want.ReduceBcasts)
+		}
+	})
+}

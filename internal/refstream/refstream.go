@@ -1,0 +1,457 @@
+// Package refstream implements the execute-once / classify-many sweep
+// compiler: the paper's whole evaluation (§6–§7) is a grid of machine
+// configurations run against the same programs, yet the classified
+// reference stream — which array element is touched, in what program
+// order, and in which structural context (assignment right-hand side,
+// reduction term, replicated control read) — depends only on the
+// (kernel, problem size) pair. Everything the grid varies (PE count,
+// page size, cache capacity, replacement policy, layout) only changes
+// how each access is *classified*, not which accesses occur.
+//
+// This package therefore splits a simulated run into two phases:
+//
+//   - Capture executes the kernel once, through the full counting
+//     simulator (so single assignment is validated and the output
+//     checksums are computed exactly once), and records the program
+//     property: a compact columnar encoding of the reference stream
+//     with its structural markers.
+//   - Replayer applies the machine property: it re-derives every
+//     counter of a sim.Result — per-PE access classes, cache
+//     statistics, the traffic matrix, reduction sends/broadcasts —
+//     for any eligible configuration by streaming the captured events
+//     through owner tables and slot caches, with no floating-point
+//     math, no defined-bit bookkeeping, and no steady-state
+//     allocations beyond the Result itself.
+//
+// Replay results are bit-identical to a direct sim.Run of the same
+// point; internal/sweep uses that equivalence to execute each
+// (kernel, N) pair once per sweep and classify every grid point
+// against the shared stream. See docs/PERF.md for the design and the
+// measured win, and Eligible for the two configurations that still
+// require direct execution.
+//
+// The encoding is a struct-of-arrays pair of byte columns. Per event,
+// the heads column holds one varint packing (arrayID << 3 | opcode);
+// the lins column holds, for opcodes that carry an element index, the
+// zigzag-varint delta against the previous index seen for that array.
+// Livermore access patterns are overwhelmingly sequential per array,
+// so a typical event costs two bytes — roughly an order of magnitude
+// smaller than a fixed-width trace record — and streams are shared
+// read-only across sweep workers.
+package refstream
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/loops"
+)
+
+// Opcodes of the reference stream. The stream is a flat state machine:
+// opAssign and opTerm open a classification context (the owner of the
+// named element), opEnd and opEndReduce close it, and opRead events
+// classify in whichever context is open — none meaning a replicated
+// control read, executed by every PE.
+const (
+	opRead      = 0 // read a[lin] in the current context
+	opAssign    = 1 // open an assignment targeting a[lin]; charges the write to its owner
+	opEnd       = 2 // close the open assignment (no payload)
+	opTerm      = 3 // open reduction term lin, driven by array a
+	opEndReduce = 4 // close the reduction driven by array a: account host collection
+)
+
+// opHasLin reports whether the opcode carries an element-index payload
+// in the lins column.
+func opHasLin(op byte) bool {
+	return op == opRead || op == opAssign || op == opTerm
+}
+
+// Stream is the captured reference stream of one (kernel, N) pair: the
+// program property of a sweep, independent of every machine parameter.
+// A Stream is immutable after Capture and safe to share read-only
+// across concurrent Replayers.
+type Stream struct {
+	Kernel *loops.Kernel // the captured kernel
+	N      int           // clamped problem size the stream was captured at
+
+	// ArrayLens holds each array's element count, indexed by the array
+	// ID assigned at bind time; replay derives page geometry and owner
+	// tables from these under the target configuration.
+	ArrayLens []int
+
+	// Checksums memoizes the validation run's output checksums. They
+	// are a pure function of (kernel, N) — partitioning never changes a
+	// computed value — so every replayed Result shares this slice.
+	Checksums []loops.ArraySum
+
+	events int
+	heads  []byte   // per event: varint(arrayID<<3 | opcode)
+	lins   []byte   // per payload-carrying event: zigzag varint delta of lin, keyed per array
+	raw    []uint64 // capture-time scratch: head<<32 | lin, released by finishCapture
+
+	// Replay-side memos, built lazily on first use and shared by every
+	// Replayer of this stream (a group replays one stream dozens of
+	// times, so decoding pays for itself after the first replay). The
+	// compressed columns above stay the storage format; these are
+	// hot-loop views. Guarded memoization keeps the Stream safe for
+	// concurrent replays.
+	decodeOnce sync.Once
+	encodeOnce sync.Once
+	dheads     []uint32 // per event: arrayID<<3 | opcode, fixed width
+	dlins      []int32  // per event: absolute element index (0 when the opcode has none)
+	gidMu      sync.RWMutex
+	gidCols    map[int][]int32   // page size → per-event global page id
+	aggCols    map[int]*frameAgg // page size → run-length access histogram
+}
+
+// Events returns the number of captured events.
+func (s *Stream) Events() int { return s.events }
+
+// EncodedBytes returns the stream's compressed footprint in bytes,
+// building the compressed columns on first call (capture records the
+// fixed-width form and defers compression until someone asks).
+func (s *Stream) EncodedBytes() int {
+	s.encodeOnce.Do(func() {
+		if s.heads == nil && s.dheads != nil {
+			s.compress()
+		}
+	})
+	return len(s.heads) + len(s.lins)
+}
+
+// emit appends one event to the stream's compressed columns. last is
+// the caller-maintained per-array delta state.
+func (s *Stream) emit(op byte, array, lin int, last []int) {
+	s.heads = binary.AppendUvarint(s.heads, uint64(array)<<3|uint64(op))
+	if opHasLin(op) {
+		delta := int64(lin - last[array])
+		last[array] = lin
+		s.lins = binary.AppendUvarint(s.lins, zigzag(delta))
+	}
+	s.events++
+}
+
+// record appends one event to the raw capture column: the capture
+// tracer's fast path, run inside the instrumented simulation, so it is
+// a single append of head and element index packed into one word.
+// finishCapture splits the column into the replay-side views.
+func (s *Stream) record(op byte, array, lin int) {
+	s.raw = append(s.raw, uint64(array)<<35|uint64(op)<<32|uint64(uint32(lin)))
+}
+
+// finishCapture unpacks the raw capture column into the fixed-width
+// event columns and releases it.
+func (s *Stream) finishCapture() {
+	s.dheads = make([]uint32, len(s.raw))
+	s.dlins = make([]int32, len(s.raw))
+	for i, w := range s.raw {
+		s.dheads[i] = uint32(w >> 32)
+		s.dlins[i] = int32(uint32(w))
+	}
+	s.events = len(s.raw)
+	s.raw = nil
+}
+
+// compress batch-builds the compressed columns from the recorded
+// fixed-width ones, by replaying them through emit — the one encoding
+// definition — after the capture run finishes.
+func (s *Stream) compress() {
+	last := make([]int, len(s.ArrayLens))
+	s.heads = make([]byte, 0, s.events)
+	s.lins = make([]byte, 0, s.events)
+	s.events = 0 // emit re-counts
+	for i, h := range s.dheads {
+		s.emit(byte(h&7), int(h>>3), int(s.dlins[i]), last)
+	}
+}
+
+// zigzag maps a signed delta to the unsigned varint space.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// cursor streams events back out of the columns. Each replay owns its
+// cursor (and delta state), so concurrent replays of one Stream never
+// share mutable state.
+type cursor struct {
+	heads, lins []byte
+	last        []int // per-array delta state, reset to zero per replay
+}
+
+// next decodes one event. ok is false at end of stream.
+func (c *cursor) next() (op byte, array, lin int, ok bool) {
+	if len(c.heads) == 0 {
+		return 0, 0, 0, false
+	}
+	h, n := binary.Uvarint(c.heads)
+	c.heads = c.heads[n:]
+	op = byte(h & 7)
+	array = int(h >> 3)
+	if opHasLin(op) {
+		d, n := binary.Uvarint(c.lins)
+		c.lins = c.lins[n:]
+		lin = c.last[array] + int(unzigzag(d))
+		c.last[array] = lin
+	}
+	return op, array, lin, true
+}
+
+// decoded returns the stream's fixed-width event columns. Captured
+// streams already carry them (record fills them during the capture
+// run); a stream built from its compressed columns alone decompresses
+// here, exactly once.
+func (s *Stream) decoded() (heads []uint32, lins []int32) {
+	s.decodeOnce.Do(func() {
+		if s.dheads != nil {
+			return
+		}
+		dh := make([]uint32, 0, s.events)
+		dl := make([]int32, 0, s.events)
+		c := cursor{heads: s.heads, lins: s.lins, last: make([]int, len(s.ArrayLens))}
+		for {
+			op, a, lin, ok := c.next()
+			if !ok {
+				break
+			}
+			dh = append(dh, uint32(a)<<3|uint32(op))
+			dl = append(dl, int32(lin))
+		}
+		s.dheads, s.dlins = dh, dl
+	})
+	return s.dheads, s.dlins
+}
+
+// appendPageTable writes each array's base page id into dst (reusing
+// its capacity) and returns the table plus the total page count under
+// the given page size. This is the single definition of the global
+// page-id space; gidColumn and the Replayer's owner table both use it,
+// which is what makes their gids line up.
+func appendPageTable(dst []int32, lens []int, pageSize int) ([]int32, int) {
+	dst = dst[:0]
+	total := 0
+	for _, elems := range lens {
+		dst = append(dst, int32(total))
+		total += (elems + pageSize - 1) / pageSize
+	}
+	return dst, total
+}
+
+// gidColumn returns the per-event global page id of the event's element
+// under the given page size (zero for opcodes without a payload),
+// memoized per page size. Hoisting the page arithmetic out of the
+// replay loop turns per-event work into two table lookups.
+func (s *Stream) gidColumn(pageSize int) []int32 {
+	s.gidMu.RLock()
+	col := s.gidCols[pageSize]
+	s.gidMu.RUnlock()
+	if col != nil {
+		return col
+	}
+	heads, lins := s.decoded()
+	bases, _ := appendPageTable(nil, s.ArrayLens, pageSize)
+	col = make([]int32, len(heads))
+	ps := int32(pageSize)
+	for i, h := range heads {
+		if opHasLin(byte(h & 7)) {
+			col[i] = bases[h>>3] + lins[i]/ps
+		}
+	}
+	s.gidMu.Lock()
+	if prior := s.gidCols[pageSize]; prior != nil {
+		col = prior // lost a benign build race; both columns are identical
+	} else {
+		if s.gidCols == nil {
+			s.gidCols = make(map[int][]int32)
+		}
+		s.gidCols[pageSize] = col
+	}
+	s.gidMu.Unlock()
+	return col
+}
+
+// aggRun is one run of identical consecutive accesses in a frameAgg:
+// count events reading page gid in context ctx (the page whose owner
+// classifies the read; -1 for replicated control reads).
+type aggRun struct {
+	ctx   int32
+	gid   int32
+	count int64
+}
+
+// reduceRun is a run of count consecutive reductions with identical
+// shape: driven by array (host = array % NPE), with terms covering
+// exactly the contiguous global pages [gidLo, gidHi). gidHi == gidLo
+// encodes a reduction that executed zero terms.
+type reduceRun struct {
+	array        int32
+	gidLo, gidHi int32
+	count        int64
+}
+
+// frameAgg is the run-length access histogram of a stream under one
+// page size. When a configuration's classification is order-free —
+// a frameless cache misses every lookup, and a 1-PE machine makes
+// every access local — per-PE counters and the traffic matrix are
+// pure sums over page-granular access counts, so replay can walk this
+// histogram instead of the event stream. Livermore kernels touch pages
+// sequentially, which collapses the event stream by two to three
+// orders of magnitude.
+type frameAgg struct {
+	reads   []aggRun // context reads: ctx is the open assignment/term page
+	ctrl    []aggRun // replicated control reads (ctx unused)
+	assigns []aggRun // assignment openings per target page (ctx unused)
+	reduces []reduceRun
+	ok      bool // false: term pages were not contiguous; use the event loop
+}
+
+// frameAgg returns the stream's access histogram under the given page
+// size, memoized alongside the gid columns.
+func (s *Stream) frameAgg(pageSize int) *frameAgg {
+	s.gidMu.RLock()
+	a := s.aggCols[pageSize]
+	s.gidMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	heads, _ := s.decoded()
+	gids := s.gidColumn(pageSize)
+	a = &frameAgg{ok: true}
+	cur := int32(-1) // open context page, -1 when none
+	var rLo, rHi int32
+	inTerms := false
+
+	// Context reads are accumulated per context block: within one
+	// context page (one assignment target page, typically pageSize
+	// consecutive assignments) the distinct pages read are few, so a
+	// small linear-scan table folds the alternating per-statement
+	// access pattern (a, b, c, a, b, c, ...) that last-run merging
+	// alone cannot compress. The block flushes when the context page
+	// moves on or the table fills; duplicate runs are harmless, the
+	// histogram is additive.
+	const blockCap = 24
+	var blkGids [blockCap]int32
+	var blkCnts [blockCap]int64
+	blkCtx, blkN := int32(-1), 0
+	flush := func() {
+		for j := 0; j < blkN; j++ {
+			a.reads = append(a.reads, aggRun{ctx: blkCtx, gid: blkGids[j], count: blkCnts[j]})
+		}
+		blkN = 0
+	}
+	var ctrlGids [blockCap]int32
+	var ctrlCnts [blockCap]int64
+	ctrlN := 0
+	flushCtrl := func() {
+		for j := 0; j < ctrlN; j++ {
+			a.ctrl = append(a.ctrl, aggRun{ctx: -1, gid: ctrlGids[j], count: ctrlCnts[j]})
+		}
+		ctrlN = 0
+	}
+
+	for i, h := range heads {
+		switch h & 7 {
+		case opRead:
+			g := gids[i]
+			if cur >= 0 {
+				if cur != blkCtx {
+					flush()
+					blkCtx = cur
+				}
+				j := 0
+				for ; j < blkN; j++ {
+					if blkGids[j] == g {
+						blkCnts[j]++
+						break
+					}
+				}
+				if j == blkN {
+					if blkN == blockCap {
+						flush()
+					}
+					blkGids[blkN], blkCnts[blkN] = g, 1
+					blkN++
+				}
+			} else {
+				j := 0
+				for ; j < ctrlN; j++ {
+					if ctrlGids[j] == g {
+						ctrlCnts[j]++
+						break
+					}
+				}
+				if j == ctrlN {
+					if ctrlN == blockCap {
+						flushCtrl()
+					}
+					ctrlGids[ctrlN], ctrlCnts[ctrlN] = g, 1
+					ctrlN++
+				}
+			}
+		case opAssign:
+			g := gids[i]
+			cur = g
+			if n := len(a.assigns); n > 0 && a.assigns[n-1].gid == g {
+				a.assigns[n-1].count++
+			} else {
+				a.assigns = append(a.assigns, aggRun{ctx: -1, gid: g, count: 1})
+			}
+		case opEnd:
+			cur = -1
+		case opTerm:
+			g := gids[i]
+			cur = g
+			switch {
+			case !inTerms:
+				inTerms, rLo, rHi = true, g, g+1
+			case g == rHi:
+				rHi = g + 1
+			case g >= rLo && g < rHi:
+				// revisiting a page already in the range
+			default:
+				a.ok = false // non-contiguous terms: range iteration would lie
+			}
+		case opEndReduce:
+			cur = -1
+			rr := reduceRun{array: int32(h >> 3), count: 1}
+			if inTerms {
+				rr.gidLo, rr.gidHi = rLo, rHi
+			}
+			inTerms = false
+			if n := len(a.reduces); n > 0 &&
+				a.reduces[n-1].array == rr.array &&
+				a.reduces[n-1].gidLo == rr.gidLo &&
+				a.reduces[n-1].gidHi == rr.gidHi {
+				a.reduces[n-1].count++
+			} else {
+				a.reduces = append(a.reduces, rr)
+			}
+		default:
+			a.ok = false // unknown opcode: let the event loop report it
+		}
+	}
+	flush()
+	flushCtrl()
+	s.gidMu.Lock()
+	if prior := s.aggCols[pageSize]; prior != nil {
+		a = prior // lost a benign build race; both histograms are identical
+	} else {
+		if s.aggCols == nil {
+			s.aggCols = make(map[int]*frameAgg)
+		}
+		s.aggCols[pageSize] = a
+	}
+	s.gidMu.Unlock()
+	return a
+}
+
+// grown returns buf resized to n, reusing its backing array when
+// possible, with every element zeroed.
+func grown[T int | int32 | int64 | bool](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

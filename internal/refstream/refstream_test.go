@@ -1,0 +1,378 @@
+package refstream
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// shapeGrid is the seeded configuration grid of the equivalence suite:
+// every axis the sweep engine varies — PE count, page size, cache
+// capacity, replacement policy, layout — including degenerate shapes
+// (1 PE, page of 1, cache smaller than a page, more PEs than pages).
+func shapeGrid() []sim.Config {
+	var cfgs []sim.Config
+	add := func(c sim.Config) { cfgs = append(cfgs, c) }
+	add(sim.PaperConfig(1, 32))
+	add(sim.PaperConfig(8, 32))
+	add(sim.PaperConfig(64, 32))
+	add(sim.NoCacheConfig(16, 32))
+	add(sim.PaperConfig(8, 1))  // page per element
+	add(sim.PaperConfig(16, 7)) // odd page size, partial trailing pages
+	small := sim.PaperConfig(8, 64)
+	small.CacheElems = 32 // cache smaller than one page: no frames
+	add(small)
+	blk := sim.PaperConfig(16, 32)
+	blk.Layout = partition.KindBlock
+	add(blk)
+	bc := sim.PaperConfig(16, 32)
+	bc.Layout = partition.KindBlockCyclic
+	bc.LayoutRun = 3
+	add(bc)
+	for _, pol := range []cache.Policy{cache.FIFO, cache.Clock, cache.Random} {
+		c := sim.PaperConfig(8, 16)
+		c.Policy = pol
+		add(c)
+	}
+	return cfgs
+}
+
+// TestReplayMatchesDirectAllKernels is the equivalence contract of the
+// execute-once/classify-many engine: for every kernel — including the
+// reduction-heavy and control-read-heavy ones — and every shape in the
+// seeded grid, replaying the captured stream must produce a Result
+// bit-identical (reflect.DeepEqual, so per-PE counters, cache stats,
+// traffic matrix, reduction counts and checksums alike) to a direct
+// sim.Run of the same point.
+func TestReplayMatchesDirectAllKernels(t *testing.T) {
+	cfgs := shapeGrid()
+	for _, k := range loops.All() {
+		k := k
+		t.Run(k.Key, func(t *testing.T) {
+			t.Parallel()
+			n := smallN(k)
+			st, err := Capture(k, n)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			r := NewReplayer()
+			for _, cfg := range cfgs {
+				got, err := r.Run(st, cfg)
+				if err != nil {
+					t.Fatalf("replay npe=%d ps=%d: %v", cfg.NPE, cfg.PageSize, err)
+				}
+				want, err := sim.Run(k, n, cfg)
+				if err != nil {
+					t.Fatalf("direct npe=%d ps=%d: %v", cfg.NPE, cfg.PageSize, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("npe=%d ps=%d ce=%d %s/%s: replay diverges from direct run\nreplay: totals %v reduce %d/%d\ndirect: totals %v reduce %d/%d",
+						cfg.NPE, cfg.PageSize, cfg.CacheElems, cfg.Layout, cfg.Policy,
+						got.Totals, got.ReduceSends, got.ReduceBcasts,
+						want.Totals, want.ReduceSends, want.ReduceBcasts)
+				}
+			}
+		})
+	}
+}
+
+// smallN picks a problem size that keeps the full-registry equivalence
+// sweep fast while still exercising multiple pages per array.
+func smallN(k *loops.Kernel) int {
+	n := 160
+	if n < k.MinN {
+		n = k.MinN
+	}
+	return k.ClampN(n)
+}
+
+// TestReplayDefaultSizes spot-checks equivalence at each kernel's
+// canonical problem size for the paper's baseline machine, so the
+// sweep engine's production grid points are covered verbatim.
+func TestReplayDefaultSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default problem sizes are slow in -short mode")
+	}
+	for _, k := range loops.PaperSet() {
+		st, err := Capture(k, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Key, err)
+		}
+		for _, cfg := range []sim.Config{sim.PaperConfig(16, 32), sim.NoCacheConfig(16, 32)} {
+			got, err := NewReplayer().Run(st, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Key, err)
+			}
+			want, err := sim.Run(k, 0, cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", k.Key, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s n=%d: replay diverges at the paper grid point", k.Key, got.N)
+			}
+		}
+	}
+}
+
+// TestReplayerReuse drives one Replayer through interleaved streams and
+// configurations — the sweep-worker usage — and requires each Result to
+// match a fresh Replayer's.
+func TestReplayerReuse(t *testing.T) {
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k24, err := loops.ByKey("k24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := Capture(k1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st24, err := Capture(k24, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplayer()
+	pts := []struct {
+		st  *Stream
+		cfg sim.Config
+	}{
+		{st1, sim.PaperConfig(8, 32)},
+		{st24, sim.PaperConfig(64, 16)}, // wider machine
+		{st1, sim.PaperConfig(2, 8)},    // narrower again
+		{st24, sim.NoCacheConfig(4, 32)},
+		{st1, sim.PaperConfig(8, 32)}, // back to the first point
+	}
+	for i, p := range pts {
+		got, err := r.Run(p.st, p.cfg)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		want, err := NewReplayer().Run(p.st, p.cfg)
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("point %d: reused Replayer diverges from fresh one", i)
+		}
+	}
+}
+
+// TestStreamSharedConcurrently replays one Stream from many goroutines
+// at once (each with its own Replayer), as sweep workers do; run under
+// -race this proves the Stream is shared read-only.
+func TestStreamSharedConcurrently(t *testing.T) {
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewReplayer().Run(st, sim.PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := NewReplayer()
+			for i := 0; i < 10; i++ {
+				got, err := r.Run(st, sim.PaperConfig(8, 32))
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs[g] = errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+var errMismatch = errString("concurrent replay diverged")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// TestReplayUnsupportedConfigs: tracing and partial-fill configurations
+// must be refused (the sweep planner falls back to direct execution).
+func TestReplayUnsupportedConfigs(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := sim.PaperConfig(8, 32)
+	pf.ModelPartialFill = true
+	if _, err := NewReplayer().Run(st, pf); err == nil {
+		t.Error("partial-fill config accepted by replay")
+	}
+	tr := sim.PaperConfig(8, 32)
+	tr.Tracer = &encoder{st: &Stream{}}
+	if _, err := NewReplayer().Run(st, tr); err == nil {
+		t.Error("tracing config accepted by replay")
+	}
+	if Eligible(pf) || Eligible(tr) {
+		t.Error("Eligible accepts unsupported configs")
+	}
+	if !Eligible(sim.PaperConfig(8, 32)) {
+		t.Error("Eligible rejects the baseline config")
+	}
+}
+
+// TestReplayInvalidConfigs: malformed configurations error instead of
+// panicking, mirroring sim's validation.
+func TestReplayInvalidConfigs(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []sim.Config{
+		{NPE: 0, PageSize: 32},
+		{NPE: 8, PageSize: 0},
+		{NPE: 8, PageSize: 32, CacheElems: -1},
+		{NPE: 8, PageSize: 32, CacheElems: 256, Policy: cache.Policy(99)},
+		{NPE: 8, PageSize: 32, Layout: partition.Kind(99)},
+	}
+	for i, cfg := range bad {
+		if _, err := NewReplayer().Run(st, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Capture(nil, 10); err == nil {
+		t.Error("nil kernel capture accepted")
+	}
+}
+
+// TestStreamEncodingRoundTrip feeds randomized events through the
+// columnar encoder and a cursor and requires exact reconstruction —
+// including negative deltas, large jumps and payload-less opcodes.
+func TestStreamEncodingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1989))
+	const arrays = 11
+	type ev struct {
+		op  byte
+		a   int
+		lin int
+	}
+	var evs []ev
+	st := &Stream{}
+	last := make([]int, arrays)
+	for i := 0; i < 5000; i++ {
+		op := byte(rng.Intn(5))
+		a := rng.Intn(arrays)
+		lin := 0
+		if opHasLin(op) {
+			lin = rng.Intn(1 << 20)
+		}
+		if op == opEnd {
+			a = 0
+		}
+		evs = append(evs, ev{op, a, lin})
+		st.emit(op, a, lin, last)
+	}
+	if st.Events() != len(evs) {
+		t.Fatalf("Events() = %d, want %d", st.Events(), len(evs))
+	}
+	c := cursor{heads: st.heads, lins: st.lins, last: make([]int, arrays)}
+	for i, want := range evs {
+		op, a, lin, ok := c.next()
+		if !ok {
+			t.Fatalf("stream ended at event %d of %d", i, len(evs))
+		}
+		if op != want.op || a != want.a || (opHasLin(op) && lin != want.lin) {
+			t.Fatalf("event %d: got (op=%d a=%d lin=%d), want (op=%d a=%d lin=%d)",
+				i, op, a, lin, want.op, want.a, want.lin)
+		}
+	}
+	if _, _, _, ok := c.next(); ok {
+		t.Error("cursor yields events past the end")
+	}
+}
+
+// TestReplayAllocs is the acceptance alloc guard: a steady-state replay
+// allocates at most 5 times — the Result struct, the per-PE counter
+// copy, the traffic slab, its row headers, and the cache-stats slice.
+// Checksums are shared with the stream, and every classification
+// buffer lives in the Replayer.
+func TestReplayAllocs(t *testing.T) {
+	for _, key := range []string{"k1", "k24"} {
+		k, err := loops.ByKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := Capture(k, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReplayer()
+		cfg := sim.PaperConfig(16, 32)
+		if _, err := r.Run(st, cfg); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := r.Run(st, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 5 {
+			t.Errorf("%s: %.0f allocs per steady-state replay, want <= 5", key, allocs)
+		}
+	}
+}
+
+// TestCaptureMemoizesChecksums: the captured checksums equal the direct
+// run's, and replayed Results share (not copy) them.
+func TestCaptureMemoizesChecksums(t *testing.T) {
+	k, err := loops.ByKey("k18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(k, 100, sim.PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Checksums, want.Checksums) {
+		t.Errorf("captured checksums %v != direct %v", st.Checksums, want.Checksums)
+	}
+	res, err := NewReplayer().Run(st, sim.PaperConfig(8, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checksums) > 0 && &res.Checksums[0] != &st.Checksums[0] {
+		t.Error("replay copied checksums instead of sharing the memoized slice")
+	}
+}

@@ -65,6 +65,31 @@ type Tracer interface {
 	Event(pe int, kind stats.Access, array, lin, page int)
 }
 
+// StreamTracer is an optional extension of Tracer that additionally
+// receives the structural markers of the reference stream: assignment
+// openings and the per-term / end boundaries of host-processor
+// reductions. The classified Event stream alone cannot distinguish an
+// assignment's right-hand-side reads from replicated control reads, nor
+// recover which reduction a term belongs to; these markers make the
+// stream replayable under a different machine configuration
+// (internal/refstream). A plain Tracer keeps working unchanged — the
+// engine only calls the marker methods when the configured Tracer
+// implements this interface.
+type StreamTracer interface {
+	Tracer
+	// BeginAssign marks the opening of an assignment targeting linear
+	// element lin of array `array`; the Events up to the matching Write
+	// Event are the assignment's right-hand-side reads.
+	BeginAssign(array, lin int)
+	// BeginReduceTerm marks the start of reduction term i driven by
+	// array `driver`; the Events up to the next marker are the term's
+	// reads, charged to the owner of driver[i].
+	BeginReduceTerm(driver, i int)
+	// EndReduce marks the end of a reduction driven by array `driver`,
+	// after which the host-collection messages are accounted.
+	EndReduce(driver int)
+}
+
 // PaperConfig returns the paper's baseline: modulo layout, LRU, and the
 // fixed 256-element cache of §6.
 func PaperConfig(npe, pageSize int) Config {
@@ -123,8 +148,9 @@ func (r *Result) RemotePercent() float64 { return r.Totals.RemotePercent() }
 // per-access path is pure slice arithmetic; the slabs live on between
 // runs when the engine is owned by a Scratch.
 type engine struct {
-	cfg   Config
-	geoms []partition.Geometry
+	cfg    Config
+	stream StreamTracer // cfg.Tracer's marker extension, when implemented
+	geoms  []partition.Geometry
 
 	valBase  []int   // valBase[a]: offset of array a in vals/defined
 	pageBase []int32 // pageBase[a]: offset of array a in the page-id space
@@ -137,10 +163,11 @@ type engine struct {
 	traffic [][]int64
 	trafBuf []int64 // backing slab for traffic rows
 
-	reduceS int64
-	reduceB int64
-	curPE   int // owner of the open assignment; -1 outside
-	err     error
+	participated []bool // per-PE reduction scratch, reused across Reduce calls
+	reduceS      int64
+	reduceB      int64
+	curPE        int // owner of the open assignment; -1 outside
+	err          error
 }
 
 // message accounts one implied interconnect message from src to dst.
@@ -164,6 +191,9 @@ func (e *engine) BeginAssign(a *loops.Arr, lin int) bool {
 		return false
 	}
 	e.curPE = int(e.owners[e.pageBase[a.ID]+int32(e.geoms[a.ID].PageOf(lin))])
+	if e.stream != nil {
+		e.stream.BeginAssign(a.ID, lin)
+	}
 	return true
 }
 
@@ -256,11 +286,15 @@ func (e *engine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i 
 		e.fail(fmt.Errorf("sim: reduction inside an assignment"))
 		return 0, -1
 	}
-	participated := make([]bool, e.cfg.NPE)
+	e.participated = grown(e.participated, e.cfg.NPE)
+	participated := e.participated
 	acc, at := 0.0, -1
 	first := true
 	for i := lo; i < hi; i++ {
 		pe := e.ownerOf(driver, i)
+		if e.stream != nil {
+			e.stream.BeginReduceTerm(driver.ID, i)
+		}
 		e.curPE = pe
 		v := term(i)
 		e.curPE = -1
@@ -294,6 +328,9 @@ func (e *engine) Reduce(op loops.Op, driver *loops.Arr, lo, hi int, term func(i 
 			}
 		}
 	}
+	if e.stream != nil {
+		e.stream.EndReduce(driver.ID)
+	}
 	return acc, at
 }
 
@@ -316,11 +353,21 @@ type Scratch struct {
 	// Memoized initialization state: consecutive runs of the same
 	// kernel at the same problem size (the common case in a sweep,
 	// whose grid order is kernel-major) restore the post-init slabs
-	// with a copy instead of re-evaluating every Init function.
+	// with a copy instead of re-evaluating every Init function, and
+	// reuse the bound loops.Ctx (array handles are pure functions of
+	// the kernel, the problem size and the engine, which is stable for
+	// the Scratch's lifetime).
 	initKernel *loops.Kernel
 	initN      int
 	initVals   []float64
 	initDef    []bool
+	// The bound-context memo is keyed separately from the init slabs:
+	// a failed run may have bound a context without ever reaching the
+	// init snapshot, and the two must never disagree about (kernel, n).
+	ctxKernel *loops.Kernel
+	ctxN      int
+	ctxSpecs  []loops.Spec
+	ctx       *loops.Ctx
 }
 
 // Observability signal names recorded by Scratch.Run.
@@ -349,10 +396,7 @@ func grown[T int | int32 | int64 | float64 | bool](buf []T, n int) []T {
 		return make([]T, n)
 	}
 	buf = buf[:n]
-	var zero T
-	for i := range buf {
-		buf[i] = zero
-	}
+	clear(buf)
 	return buf
 }
 
@@ -369,17 +413,26 @@ func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 		runStart = time.Now()
 	}
 	n = k.ClampN(n)
-	specs := k.Arrays(n)
 	e := &s.e
 	e.cfg = cfg
+	e.stream, _ = cfg.Tracer.(StreamTracer)
 	e.curPE = -1
 	e.err = nil
 	e.reduceS, e.reduceB = 0, 0
 
-	ctx, err := loops.Bind(e, specs)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+	// Consecutive runs of the same (kernel, n) reuse the bound context
+	// and array specs; the engine the handles point at is stable for
+	// the Scratch's lifetime.
+	if s.ctxKernel != k || s.ctxN != n {
+		specs := k.Arrays(n)
+		ctx, err := loops.Bind(e, specs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s: %w", k.Key, err)
+		}
+		s.ctxSpecs, s.ctx = specs, ctx
+		s.ctxKernel, s.ctxN = k, n
 	}
+	specs, ctx := s.ctxSpecs, s.ctx
 	arrs := ctx.Arrays()
 
 	// Lay the arrays out in the slabs and the dense page-id space.
@@ -478,14 +531,12 @@ func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 		ReduceBcasts: e.reduceB,
 	}
 	res.Totals = res.PerPE.Totals()
-	res.Traffic = make([][]int64, cfg.NPE)
-	for i := range res.Traffic {
-		res.Traffic[i] = append([]int64(nil), e.traffic[i]...)
-	}
+	res.Traffic = trafficMatrix(e.trafBuf, cfg.NPE)
 	res.Cache = make([]cache.Stats, cfg.NPE)
 	for pe := 0; pe < cfg.NPE; pe++ {
 		res.Cache[pe] = e.caches[pe].Stats()
 	}
+	res.Checksums = make([]loops.ArraySum, 0, len(k.Outputs))
 	for _, name := range k.Outputs {
 		a := ctx.A(name)
 		vb := e.valBase[a.ID]
@@ -508,6 +559,18 @@ func (s *Scratch) Run(k *loops.Kernel, n int, cfg Config) (*Result, error) {
 		reg.Histogram(MetricRunMicros, obs.MicrosBuckets).Observe(time.Since(runStart).Microseconds())
 	}
 	return res, nil
+}
+
+// trafficMatrix copies an npe*npe row-major message-count slab into a
+// fresh matrix backed by a single allocation (one slab, one row-header
+// slice), keeping Result construction O(1) allocations.
+func trafficMatrix(buf []int64, npe int) [][]int64 {
+	slab := append([]int64(nil), buf[:npe*npe]...)
+	rows := make([][]int64, npe)
+	for i := range rows {
+		rows[i] = slab[i*npe : (i+1)*npe : (i+1)*npe]
+	}
+	return rows
 }
 
 // Run simulates kernel k at problem size n under cfg and returns the

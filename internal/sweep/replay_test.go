@@ -1,0 +1,180 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// mixedGrid builds a grid that exercises every planner decision: two
+// multi-point replay groups, a singleton group (one point at a unique
+// problem size), and ineligible partial-fill points interleaved.
+func mixedGrid(t *testing.T) []Point {
+	t.Helper()
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k24, err := loops.ByKey("k24") // reduction-heavy
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Grid{
+		Kernels: []*loops.Kernel{k1, k24},
+		N:       200,
+		NPEs:    []int{1, 4, 16},
+	}.Points()
+	// Ineligible ablation point mid-grid: must fall back to direct
+	// execution under every mode.
+	pf := sim.PaperConfig(8, 32)
+	pf.ModelPartialFill = true
+	pts = append(pts[:3], append([]Point{{Kernel: k1, N: 200, Config: pf}}, pts[3:]...)...)
+	// Singleton group: the only point at (k1, 333).
+	pts = append(pts, Point{Kernel: k1, N: 333, Config: sim.PaperConfig(2, 32)})
+	return pts
+}
+
+// TestReplayModesBitIdentical is the planner's determinism contract:
+// the replay mode changes how points are executed, never what they
+// return. All three modes, at several worker counts, must produce
+// results bit-identical to each other and to serial direct runs.
+func TestReplayModesBitIdentical(t *testing.T) {
+	pts := mixedGrid(t)
+	baseline, err := RunOpts(context.Background(), pts, Options{Workers: 1, Replay: ReplayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ReplayMode{ReplayAuto, ReplayOn} {
+		for _, workers := range []int{1, 4} {
+			got, err := RunOpts(context.Background(), pts, Options{Workers: workers, Replay: mode})
+			if err != nil {
+				t.Fatalf("replay=%s workers=%d: %v", mode, workers, err)
+			}
+			for i := range pts {
+				if !reflect.DeepEqual(got[i], baseline[i]) {
+					t.Errorf("replay=%s workers=%d: point %d (%s) differs from direct execution",
+						mode, workers, i, pts[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplayPlanCounters audits the planner through the metrics
+// registry: captures happen exactly once per group no matter how many
+// workers race for it, and every point is accounted replay or direct.
+func TestReplayPlanCounters(t *testing.T) {
+	pts := mixedGrid(t)
+	// mixedGrid has groups (k1,200)x3, (k24,200)x3, singleton (k1,333),
+	// and one ineligible point.
+	cases := []struct {
+		mode     ReplayMode
+		captures int64
+		replayed int64
+	}{
+		{ReplayOn, 3, 7},   // singleton group still captures and replays
+		{ReplayAuto, 2, 6}, // singleton runs direct: capture would not amortize
+		{ReplayOff, 0, 0},
+	}
+	for _, c := range cases {
+		reg := obs.NewRegistry()
+		if _, err := RunOpts(context.Background(), pts, Options{Workers: 8, Metrics: reg, Replay: c.mode}); err != nil {
+			t.Fatalf("replay=%s: %v", c.mode, err)
+		}
+		if got := reg.Counter(MetricStreamCaptures).Value(); got != c.captures {
+			t.Errorf("replay=%s: %s = %d, want %d", c.mode, MetricStreamCaptures, got, c.captures)
+		}
+		if got := reg.Counter(MetricReplayPoints).Value(); got != c.replayed {
+			t.Errorf("replay=%s: %s = %d, want %d", c.mode, MetricReplayPoints, got, c.replayed)
+		}
+		direct := int64(len(pts)) - c.replayed
+		if got := reg.Counter(MetricDirectPoints).Value(); got != direct {
+			t.Errorf("replay=%s: %s = %d, want %d", c.mode, MetricDirectPoints, got, direct)
+		}
+	}
+}
+
+// TestReplayErrorDeterminism re-runs the lowest-index error contract
+// with the planner engaged: invalid configurations fail through the
+// replay path with the same deterministic winner as direct execution.
+func TestReplayErrorDeterminism(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Grid{Kernels: []*loops.Kernel{k}, N: 64, NPEs: []int{1, 2, 4, 8}}.Points()
+	bad := sim.PaperConfig(8, 32)
+	bad.Policy = cache.Policy(99)
+	pts[1].Config = bad    // first failure
+	pts[3].Config.NPE = -1 // second failure, must not win
+	for _, workers := range []int{1, 4} {
+		_, err := RunOpts(context.Background(), pts, Options{Workers: workers, Replay: ReplayOn})
+		if err == nil {
+			t.Fatalf("workers=%d: failing grid succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), "point 1") {
+			t.Errorf("workers=%d: error is not the lowest-index failure: %v", workers, err)
+		}
+	}
+}
+
+// TestPlanReplay unit-tests the grouping rules directly.
+func TestPlanReplay(t *testing.T) {
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := sim.PaperConfig(4, 32)
+	pf.ModelPartialFill = true
+	pts := []Point{
+		{Kernel: k1, N: 100, Config: sim.PaperConfig(1, 32)},  // 0: group A
+		{Kernel: k1, N: 100, Config: sim.PaperConfig(8, 32)},  // 1: group A
+		{Kernel: k1, N: 100, Config: pf},                      // 2: ineligible
+		{Kernel: k2, N: 100, Config: sim.PaperConfig(4, 32)},  // 3: singleton
+		{Kernel: nil, N: 100, Config: sim.PaperConfig(4, 32)}, // 4: nil kernel
+		{Kernel: k1, N: -1, Config: sim.PaperConfig(2, 32)},   // 5: clamps to DefaultN
+		{Kernel: k1, N: 0, Config: sim.PaperConfig(2, 16)},    // 6: clamps to DefaultN
+	}
+
+	off := planReplay(pts, ReplayOff)
+	for i, g := range off {
+		if g != nil {
+			t.Errorf("ReplayOff: point %d got a group", i)
+		}
+	}
+
+	auto := planReplay(pts, ReplayAuto)
+	if auto[0] == nil || auto[0] != auto[1] {
+		t.Errorf("ReplayAuto: points 0 and 1 should share one group, got %p / %p", auto[0], auto[1])
+	}
+	if auto[2] != nil || auto[4] != nil {
+		t.Errorf("ReplayAuto: ineligible/nil-kernel points got groups: %p / %p", auto[2], auto[4])
+	}
+	if auto[3] != nil {
+		t.Errorf("ReplayAuto: singleton point got a group")
+	}
+	if auto[5] == nil || auto[5] != auto[6] {
+		t.Errorf("ReplayAuto: clamped problem sizes should share one group, got %p / %p", auto[5], auto[6])
+	}
+	if auto[0] == auto[5] {
+		t.Errorf("ReplayAuto: distinct problem sizes share a group")
+	}
+
+	on := planReplay(pts, ReplayOn)
+	if on[3] == nil {
+		t.Errorf("ReplayOn: singleton point should get a group")
+	}
+	if on[2] != nil || on[4] != nil {
+		t.Errorf("ReplayOn: ineligible/nil-kernel points got groups")
+	}
+}

@@ -10,9 +10,8 @@
 //
 //   - Determinism: results are returned in grid order — result i is
 //     point i — regardless of how the scheduler interleaves workers,
-//     and every run is bit-identical to a serial sim.Run of the same
-//     point (each worker owns a private sim.Scratch; no state is
-//     shared between points).
+//     and every result is bit-identical to a serial sim.Run of the
+//     same point (no mutable state is shared between points).
 //   - Bounded concurrency: at most `workers` simulations are in flight
 //     (default runtime.GOMAXPROCS(0)); a sweep of tens of thousands of
 //     points never spawns more than that many goroutines.
@@ -21,6 +20,17 @@
 //     lower-indexed points still run, so the error reported is
 //     deterministically the one at the lowest failing grid index no
 //     matter which failure the scheduler reaches first.
+//
+// On top of the worker pool sits the execute-once/classify-many
+// planner (docs/PERF.md): grid points are grouped by (kernel, problem
+// size), each group's reference stream is captured once — lazily, by
+// the first worker to reach the group, and shared read-only from then
+// on — and every other point of the group is classified by replaying
+// the stream (internal/refstream), skipping the kernel's floating-point
+// execution entirely. Replay results are proven bit-identical to
+// direct runs, so the guarantees above are preserved; points that
+// replay cannot serve (tracing runs, partial-fill ablations) fall back
+// to direct execution per point.
 //
 // See docs/SWEEP.md for grid semantics and how to build an experiment
 // on the engine.
@@ -37,6 +47,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/refstream"
 	"repro/internal/sim"
 )
 
@@ -141,6 +152,34 @@ type Progress struct {
 // non-decreasing across calls, as is Done+Failed.
 type ProgressFunc func(Progress)
 
+// ReplayMode selects how the sweep planner uses reference-stream
+// replay (internal/refstream) to serve grid points.
+type ReplayMode int
+
+const (
+	// ReplayAuto (the zero value) replays groups of two or more
+	// eligible points sharing a (kernel, problem size) — where one
+	// capture amortizes — and runs everything else directly.
+	ReplayAuto ReplayMode = iota
+	// ReplayOff runs every point directly through sim.Scratch.
+	ReplayOff
+	// ReplayOn replays every eligible point, even singleton groups.
+	// Ineligible points (tracing, partial-fill) still run directly.
+	ReplayOn
+)
+
+func (m ReplayMode) String() string {
+	switch m {
+	case ReplayAuto:
+		return "auto"
+	case ReplayOff:
+		return "off"
+	case ReplayOn:
+		return "on"
+	}
+	return fmt.Sprintf("ReplayMode(%d)", int(m))
+}
+
 // Options configures a sweep beyond its point list.
 type Options struct {
 	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
@@ -155,6 +194,11 @@ type Options struct {
 	// process-wide obs.Default() is used (itself nil — fully disabled —
 	// unless a front end enabled it).
 	Metrics *obs.Registry
+	// Replay selects the execute-once/classify-many strategy. The
+	// default (ReplayAuto) is safe for every sweep: replay is proven
+	// bit-identical to direct execution, so changing the mode changes
+	// wall time, never results.
+	Replay ReplayMode
 }
 
 // Observability counter names recorded by sweeps. Totals are added when
@@ -165,7 +209,79 @@ const (
 	MetricPointsStarted = "sweep.points_started"
 	MetricPointsDone    = "sweep.points_done"
 	MetricPointsFailed  = "sweep.points_failed"
+
+	// Planner counters: captures performed (once per replay group),
+	// points served by stream replay, and points run directly.
+	MetricStreamCaptures = "sweep.stream_captures"
+	MetricReplayPoints   = "sweep.replay_points"
+	MetricDirectPoints   = "sweep.direct_points"
 )
+
+// replayGroup is the shared state of one (kernel, problem size) replay
+// group. The first worker to reach any of the group's points performs
+// the capture under once; afterwards the stream (or the capture error)
+// is shared read-only by every worker.
+type replayGroup struct {
+	kernel *loops.Kernel
+	n      int // as given by the point (Capture clamps internally)
+
+	once sync.Once
+	st   *refstream.Stream
+	err  error
+}
+
+// capture runs the group's one-shot capture, recording it in the
+// registry. Safe to call from any number of workers; only the first
+// executes.
+func (g *replayGroup) capture(captures *obs.Counter) (*refstream.Stream, error) {
+	g.once.Do(func() {
+		captures.Inc()
+		g.st, g.err = refstream.Capture(g.kernel, g.n)
+	})
+	return g.st, g.err
+}
+
+// planReplay assigns each point to a replay group, or nil for direct
+// execution. Grouping is by (kernel, clamped problem size) — exactly
+// the key the reference stream depends on. Under ReplayAuto only
+// groups with at least two eligible points get a group (a singleton
+// would pay capture — an instrumented direct run — without amortizing
+// it); under ReplayOn every eligible point does; under ReplayOff the
+// plan is all-nil.
+func planReplay(pts []Point, mode ReplayMode) []*replayGroup {
+	plan := make([]*replayGroup, len(pts))
+	if mode == ReplayOff {
+		return plan
+	}
+	type key struct {
+		k *loops.Kernel
+		n int
+	}
+	groups := make(map[key]*replayGroup)
+	counts := make(map[key]int)
+	for _, p := range pts {
+		if p.Kernel == nil || !refstream.Eligible(p.Config) {
+			continue
+		}
+		counts[key{p.Kernel, p.Kernel.ClampN(p.N)}]++
+	}
+	for i, p := range pts {
+		if p.Kernel == nil || !refstream.Eligible(p.Config) {
+			continue
+		}
+		k := key{p.Kernel, p.Kernel.ClampN(p.N)}
+		if mode == ReplayAuto && counts[k] < 2 {
+			continue
+		}
+		g := groups[k]
+		if g == nil {
+			g = &replayGroup{kernel: p.Kernel, n: p.N}
+			groups[k] = g
+		}
+		plan[i] = g
+	}
+	return plan
+}
 
 // tracker serializes progress accounting and callback delivery.
 type tracker struct {
@@ -215,28 +331,34 @@ func RunN(ctx context.Context, workers int, pts []Point) ([]*sim.Result, error) 
 	return RunOpts(ctx, pts, Options{Workers: workers})
 }
 
-// RunOpts is RunN with live progress reporting and metrics: the same
-// deterministic grid-order results and lowest-index error contract,
-// plus per-point Progress callbacks and registry counters. The
-// instrumentation observes without participating — results are
-// bit-identical whether or not a callback or registry is attached.
+// RunOpts is RunN with live progress reporting, metrics, and planner
+// control: the same deterministic grid-order results and lowest-index
+// error contract, plus per-point Progress callbacks, registry counters,
+// and Options.Replay. The instrumentation observes without
+// participating, and replay is bit-identical to direct execution —
+// results do not depend on any Options field.
 func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, error) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.Default()
 	}
 	var (
-		cStarted = reg.Counter(MetricPointsStarted)
-		cDone    = reg.Counter(MetricPointsDone)
-		cFailed  = reg.Counter(MetricPointsFailed)
+		cStarted  = reg.Counter(MetricPointsStarted)
+		cDone     = reg.Counter(MetricPointsDone)
+		cFailed   = reg.Counter(MetricPointsFailed)
+		cCaptures = reg.Counter(MetricStreamCaptures)
+		cReplay   = reg.Counter(MetricReplayPoints)
+		cDirect   = reg.Counter(MetricDirectPoints)
 	)
 	reg.Counter(MetricPointsTotal).Add(int64(len(pts)))
 	tr := newTracker(len(pts), opts.Progress)
+	plan := planReplay(pts, opts.Replay)
 
 	results := make([]*sim.Result, len(pts))
 	err := dispatch(ctx, opts.Workers, len(pts), func(context.Context) func(int) error {
 		scratch := sim.NewScratch()
 		scratch.Metrics = reg
+		replayer := refstream.NewReplayer()
 		return func(i int) error {
 			cStarted.Inc()
 			tr.update(func(p *Progress) { p.Started++ })
@@ -246,7 +368,20 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 				tr.update(func(p *Progress) { p.Failed++ })
 				return fmt.Errorf("sweep: point %d (%s): nil kernel", i, p)
 			}
-			res, err := scratch.Run(p.Kernel, p.N, p.Config)
+			var (
+				res *sim.Result
+				err error
+			)
+			if g := plan[i]; g != nil {
+				var st *refstream.Stream
+				if st, err = g.capture(cCaptures); err == nil {
+					res, err = replayer.Run(st, p.Config)
+					cReplay.Inc()
+				}
+			} else {
+				res, err = scratch.Run(p.Kernel, p.N, p.Config)
+				cDirect.Inc()
+			}
 			if err != nil {
 				cFailed.Inc()
 				tr.update(func(p *Progress) { p.Failed++ })

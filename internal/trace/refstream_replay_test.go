@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/refstream"
+	"repro/internal/sim"
+)
+
+// The repository now has two replay engines over captured access
+// streams: ReplayCache (this package) re-classifies a recorded trace's
+// non-local reads through fresh caches of the traced configuration,
+// and refstream replays the raw reference stream under arbitrary
+// configurations. When pointed at the same (kernel, n, config) they
+// measure the same machine, so their counters must agree with each
+// other and with the direct run that produced the trace.
+func TestReplayCacheAgreesWithRefstream(t *testing.T) {
+	cases := []struct {
+		key string
+		n   int
+		cfg sim.Config
+	}{
+		{"k1", 1000, sim.PaperConfig(8, 32)},
+		{"k2", 1024, sim.PaperConfig(16, 32)},
+		{"k18", 200, sim.PaperConfig(8, 64)},
+		{"k24", 300, sim.PaperConfig(4, 32)}, // reduction-heavy
+		{"k6", 200, sim.NoCacheConfig(16, 32)},
+	}
+	for _, c := range cases {
+		k, err := loops.ByKey(c.key)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Direct traced run: the ground truth and the trace source.
+		buf := &Buffer{}
+		cfg := c.cfg
+		cfg.Tracer = buf
+		direct, err := sim.Run(k, c.n, cfg)
+		if err != nil {
+			t.Fatalf("%s: traced run: %v", c.key, err)
+		}
+
+		// Trace-driven cache replay at the traced configuration.
+		fromTrace, err := ReplayCache(buf, c.cfg.NPE, c.cfg.CacheElems, c.cfg.PageSize, c.cfg.Policy)
+		if err != nil {
+			t.Fatalf("%s: ReplayCache: %v", c.key, err)
+		}
+
+		// Reference-stream replay at the same configuration.
+		st, err := refstream.Capture(k, c.n)
+		if err != nil {
+			t.Fatalf("%s: capture: %v", c.key, err)
+		}
+		fromStream, err := refstream.NewReplayer().Run(st, c.cfg)
+		if err != nil {
+			t.Fatalf("%s: refstream replay: %v", c.key, err)
+		}
+
+		if got, want := fromStream.Totals, direct.Totals; got != want {
+			t.Errorf("%s: refstream totals %v != direct totals %v", c.key, got, want)
+		}
+		if got, want := fromTrace, direct.Totals; got != want {
+			t.Errorf("%s: ReplayCache totals %v != direct totals %v", c.key, got, want)
+		}
+		if got, want := fromTrace, fromStream.Totals; got != want {
+			t.Errorf("%s: ReplayCache totals %v != refstream totals %v", c.key, got, want)
+		}
+		// The stream replay additionally reproduces the per-PE split,
+		// which the flat trace counters cannot express.
+		if !reflect.DeepEqual(fromStream.PerPE, direct.PerPE) {
+			t.Errorf("%s: refstream per-PE counters diverge from direct run", c.key)
+		}
+		if !reflect.DeepEqual(fromStream.Cache, direct.Cache) {
+			t.Errorf("%s: refstream cache stats diverge from direct run", c.key)
+		}
+	}
+}
+
+// TestReplayCacheAlternativeConfigs cross-checks the two replay engines
+// on *re-configured* cache parameters: ReplayCache holds the layout
+// fixed (NPE and page size of the trace) while varying cache capacity
+// and policy — exactly the subspace where refstream replay must agree
+// with it, since both then model the same reference stream through the
+// same cache geometry.
+func TestReplayCacheAlternativeConfigs(t *testing.T) {
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, npe, ps = 1024, 8, 32
+	base := sim.PaperConfig(npe, ps)
+	buf := &Buffer{}
+	traced := base
+	traced.Tracer = buf
+	if _, err := sim.Run(k, n, traced); err != nil {
+		t.Fatal(err)
+	}
+	st, err := refstream.Capture(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range []int{0, 64, 256, 1024} {
+		for _, pol := range []cache.Policy{cache.LRU, cache.FIFO} {
+			fromTrace, err := ReplayCache(buf, npe, ce, ps, pol)
+			if err != nil {
+				t.Fatalf("ce=%d %s: %v", ce, pol, err)
+			}
+			cfg := base
+			cfg.CacheElems = ce
+			cfg.Policy = pol
+			fromStream, err := refstream.NewReplayer().Run(st, cfg)
+			if err != nil {
+				t.Fatalf("ce=%d %s: %v", ce, pol, err)
+			}
+			if fromTrace != fromStream.Totals {
+				t.Errorf("ce=%d %s: ReplayCache %v != refstream %v", ce, pol, fromTrace, fromStream.Totals)
+			}
+		}
+	}
+}

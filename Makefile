@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench docs clean
+.PHONY: all build test race bench loadbench serve docs clean
 
 all: build test
 
@@ -16,7 +16,7 @@ build:
 # (kept in lockstep with .github/workflows/ci.yml).
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core
+	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core ./internal/serve ./internal/hostproc
 
 race:
 	$(GO) test -race ./...
@@ -26,6 +26,16 @@ race:
 # history array; each run appends an entry, preserving the trajectory.
 bench:
 	$(GO) run ./cmd/lfksim -bench -o BENCH_sweep.json
+
+# Append a "serve" section to the same history: throughput, latency
+# quantiles and cache hit rate of the classification service under the
+# deterministic load mix (docs/SERVING.md).
+loadbench:
+	$(GO) run ./cmd/lfksimd -loadgen -o BENCH_sweep.json
+
+# Run the classification daemon on its default address.
+serve:
+	$(GO) run ./cmd/lfksimd
 
 # Regenerate EXPERIMENTS.md from the experiment outcomes.
 docs:

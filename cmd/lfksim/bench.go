@@ -15,10 +15,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/benchio"
 	"repro/internal/core"
 	"repro/internal/loops"
 	"repro/internal/obs"
 	"repro/internal/refstream"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -32,6 +34,9 @@ type benchReport struct {
 	Suite       benchSuite   `json:"suite"`
 	Grid        benchGrid    `json:"grid"`
 	Replay      *benchReplay `json:"replay,omitempty"` // absent in pre-replay history entries
+	// Serve is the serving-layer section appended by lfksimd -loadgen
+	// (such entries carry only this section; -bench never writes it).
+	Serve *serve.LoadReport `json:"serve,omitempty"`
 }
 
 // benchSuite times every experiment (each already sweeping its own
@@ -226,55 +231,16 @@ func steadyReplayAllocs() (float64, error) {
 	return float64(after.Mallocs-before.Mallocs) / iters, nil
 }
 
-// appendBenchHistory renders the benchmark file contents: a JSON array
-// of reports, oldest first, with rep appended to whatever history
-// already exists at path. A legacy single-object file becomes the
-// history's first entry; an unparseable file is an error rather than
-// silently overwritten. Writing to stdout (path == "") starts a fresh
-// one-entry history.
+// appendBenchHistory renders the benchmark file contents via the
+// shared history package (internal/benchio): a JSON array of reports,
+// oldest first, with rep appended. Writing to stdout (path == "")
+// starts a fresh one-entry history.
 func appendBenchHistory(path string, rep benchReport) ([]byte, error) {
-	var history []json.RawMessage
-	if path != "" {
-		data, err := os.ReadFile(path)
-		switch {
-		case os.IsNotExist(err):
-			// First run: empty history.
-		case err != nil:
-			return nil, fmt.Errorf("bench: reading history %s: %w", path, err)
-		default:
-			if history, err = parseBenchHistory(data); err != nil {
-				return nil, fmt.Errorf("bench: %s: %w (move it aside to start fresh)", path, err)
-			}
-		}
-	}
-	entry, err := json.Marshal(rep)
+	payload, err := benchio.Append(path, rep)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("bench: %w", err)
 	}
-	history = append(history, entry)
-	payload, err := json.MarshalIndent(history, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(payload, '\n'), nil
-}
-
-// parseBenchHistory accepts both formats: the history array, and the
-// legacy single-report object (which becomes a one-entry history).
-func parseBenchHistory(data []byte) ([]json.RawMessage, error) {
-	var history []json.RawMessage
-	if err := json.Unmarshal(data, &history); err == nil {
-		return history, nil
-	}
-	var single map[string]json.RawMessage
-	if err := json.Unmarshal(data, &single); err != nil {
-		return nil, fmt.Errorf("existing file is neither a benchmark history array nor a report object")
-	}
-	compact, err := json.Marshal(single)
-	if err != nil {
-		return nil, err
-	}
-	return []json.RawMessage{compact}, nil
+	return payload, nil
 }
 
 // runBenchCompare implements -bench-compare: it diffs the last two
@@ -286,13 +252,12 @@ func runBenchCompare(path string) error {
 	if path == "" {
 		path = "BENCH_sweep.json"
 	}
-	data, err := os.ReadFile(path)
-	if err != nil {
+	if _, err := os.Stat(path); err != nil {
 		return fmt.Errorf("bench-compare: %w", err)
 	}
-	history, err := parseBenchHistory(data)
+	history, err := benchio.ReadHistory(path)
 	if err != nil {
-		return fmt.Errorf("bench-compare: %s: %w", path, err)
+		return fmt.Errorf("bench-compare: %w", err)
 	}
 	if len(history) < 2 {
 		return fmt.Errorf("bench-compare: %s holds %d entr%s; need at least two runs to compare (run -bench again)",
@@ -333,15 +298,31 @@ func renderBenchCompare(path string, entries int, old, cur benchReport) string {
 	var b []byte
 	p := func(format string, args ...any) { b = fmt.Appendf(b, format+"\n", args...) }
 	p("%s: comparing entry %d (%s) with entry %d (%s)", path, entries-1, benchStamp(old), entries, benchStamp(cur))
-	p("suite:")
-	p("  serial    %s", benchDelta(old.Suite.SerialSec, cur.Suite.SerialSec, "s"))
-	p("  parallel  %s", benchDelta(old.Suite.ParallelSec, cur.Suite.ParallelSec, "s"))
-	p("  speedup   %.2fx → %.2fx", old.Suite.Speedup, cur.Suite.Speedup)
-	p("grid (%d → %d points):", old.Grid.Points, cur.Grid.Points)
-	p("  serial    sec/point %s  allocs/point %s", benchDelta(old.Grid.Serial.SecPerPoint, cur.Grid.Serial.SecPerPoint, ""), benchDelta(old.Grid.Serial.AllocsPerPoint, cur.Grid.Serial.AllocsPerPoint, ""))
-	p("  parallel  sec/point %s  allocs/point %s", benchDelta(old.Grid.Parallel.SecPerPoint, cur.Grid.Parallel.SecPerPoint, ""), benchDelta(old.Grid.Parallel.AllocsPerPoint, cur.Grid.Parallel.AllocsPerPoint, ""))
-	p("  speedup   %.2fx → %.2fx", old.Grid.Speedup, cur.Grid.Speedup)
+	// A history can interleave lfksim -bench entries (suite/grid/replay
+	// sections) with lfksimd -loadgen entries (serve section); diff each
+	// section only between entries that measured it.
+	oldSweep, curSweep := old.Grid.Points > 0, cur.Grid.Points > 0
 	switch {
+	case !oldSweep && !curSweep:
+		// Neither entry is a sweep-benchmark run; say nothing.
+	case !curSweep:
+		p("suite/grid: not measured in the newer entry")
+	case !oldSweep:
+		p("suite/grid: new sections, no baseline (%d points, parallel %.4g sec/point)",
+			cur.Grid.Points, cur.Grid.Parallel.SecPerPoint)
+	default:
+		p("suite:")
+		p("  serial    %s", benchDelta(old.Suite.SerialSec, cur.Suite.SerialSec, "s"))
+		p("  parallel  %s", benchDelta(old.Suite.ParallelSec, cur.Suite.ParallelSec, "s"))
+		p("  speedup   %.2fx → %.2fx", old.Suite.Speedup, cur.Suite.Speedup)
+		p("grid (%d → %d points):", old.Grid.Points, cur.Grid.Points)
+		p("  serial    sec/point %s  allocs/point %s", benchDelta(old.Grid.Serial.SecPerPoint, cur.Grid.Serial.SecPerPoint, ""), benchDelta(old.Grid.Serial.AllocsPerPoint, cur.Grid.Serial.AllocsPerPoint, ""))
+		p("  parallel  sec/point %s  allocs/point %s", benchDelta(old.Grid.Parallel.SecPerPoint, cur.Grid.Parallel.SecPerPoint, ""), benchDelta(old.Grid.Parallel.AllocsPerPoint, cur.Grid.Parallel.AllocsPerPoint, ""))
+		p("  speedup   %.2fx → %.2fx", old.Grid.Speedup, cur.Grid.Speedup)
+	}
+	switch {
+	case cur.Replay == nil && old.Replay == nil:
+		// Neither entry measured replay; say nothing.
 	case cur.Replay == nil:
 		p("replay: not measured in the newer entry")
 	case old.Replay == nil:
@@ -352,6 +333,21 @@ func renderBenchCompare(path string, entries int, old, cur benchReport) string {
 		p("  direct    sec/point %s", benchDelta(old.Replay.Direct.SecPerPoint, cur.Replay.Direct.SecPerPoint, ""))
 		p("  replay    sec/point %s  steady allocs/point %s", benchDelta(old.Replay.Replay.SecPerPoint, cur.Replay.Replay.SecPerPoint, ""), benchDelta(old.Replay.SteadyAllocsPerPoint, cur.Replay.SteadyAllocsPerPoint, ""))
 		p("  speedup   %.2fx → %.2fx", old.Replay.Speedup, cur.Replay.Speedup)
+	}
+	switch {
+	case cur.Serve == nil && old.Serve == nil:
+		// Neither entry is a serving-layer run; say nothing.
+	case cur.Serve == nil:
+		p("serve: not measured in the newer entry")
+	case old.Serve == nil:
+		p("serve: new section, no baseline (%d requests, %.0f req/s, p50 %.3fms, p99 %.3fms, hit rate %.1f%%)",
+			cur.Serve.Requests, cur.Serve.RequestsPerSec, cur.Serve.P50MS, cur.Serve.P99MS, cur.Serve.CacheHitRate*100)
+	default:
+		p("serve (%d → %d requests):", old.Serve.Requests, cur.Serve.Requests)
+		p("  throughput %s", benchDelta(old.Serve.RequestsPerSec, cur.Serve.RequestsPerSec, " req/s"))
+		p("  p50 %s  p99 %s", benchDelta(old.Serve.P50MS, cur.Serve.P50MS, "ms"), benchDelta(old.Serve.P99MS, cur.Serve.P99MS, "ms"))
+		p("  hit rate %.1f%% → %.1f%%, captures %d → %d",
+			old.Serve.CacheHitRate*100, cur.Serve.CacheHitRate*100, old.Serve.StreamCaptures, cur.Serve.StreamCaptures)
 	}
 	return string(b)
 }

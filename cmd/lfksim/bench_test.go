@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/serve"
 )
 
 func testReport(stamp string) benchReport {
@@ -113,9 +115,11 @@ func writeHistory(t *testing.T, reports ...benchReport) string {
 // carry one.
 func TestBenchCompareRendersSections(t *testing.T) {
 	old := testReport("t1")
+	old.Grid.Points = 308
 	old.Grid.Serial.SecPerPoint = 4e-4
 	old.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.0, SteadyAllocsPerPoint: 4}
 	cur := testReport("t2")
+	cur.Grid.Points = 308
 	cur.Grid.Serial.SecPerPoint = 3e-4
 	cur.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.2, SteadyAllocsPerPoint: 4}
 	out := renderBenchCompare("h.json", 2, old, cur)
@@ -123,6 +127,41 @@ func TestBenchCompareRendersSections(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBenchCompareMixedHistory: a loadgen (serve-only) entry following
+// a sweep-benchmark entry diffs cleanly — absent sections are flagged
+// or skipped, never rendered as zero-valued regressions.
+func TestBenchCompareMixedHistory(t *testing.T) {
+	old := testReport("t1")
+	old.Grid.Points = 308
+	old.Grid.Parallel.SecPerPoint = 2e-4
+	cur := testReport("t2")
+	cur.Serve = &serve.LoadReport{Requests: 300, RequestsPerSec: 5000, P50MS: 0.4, P99MS: 15, CacheHitRate: 0.75}
+	out := renderBenchCompare("h.json", 2, old, cur)
+	if !strings.Contains(out, "suite/grid: not measured in the newer entry") {
+		t.Errorf("absent sweep sections not flagged:\n%s", out)
+	}
+	if strings.Contains(out, "-100.0%") {
+		t.Errorf("absent section rendered as a regression:\n%s", out)
+	}
+	if !strings.Contains(out, "serve: new section, no baseline") {
+		t.Errorf("serve baseline not flagged:\n%s", out)
+	}
+
+	// Two serve entries diff the serve section and stay silent on the
+	// sweep sections neither measured.
+	old2 := testReport("t2")
+	old2.Serve = &serve.LoadReport{Requests: 300, RequestsPerSec: 5000, P50MS: 0.4, P99MS: 15, CacheHitRate: 0.75}
+	cur2 := testReport("t3")
+	cur2.Serve = &serve.LoadReport{Requests: 300, RequestsPerSec: 6000, P50MS: 0.3, P99MS: 12, CacheHitRate: 0.8}
+	out2 := renderBenchCompare("h.json", 3, old2, cur2)
+	if strings.Contains(out2, "suite") || strings.Contains(out2, "replay") {
+		t.Errorf("unmeasured sections rendered for serve-only entries:\n%s", out2)
+	}
+	if !strings.Contains(out2, "throughput") {
+		t.Errorf("serve diff missing:\n%s", out2)
 	}
 }
 

@@ -116,9 +116,11 @@ func main() {
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	if *pprof != "" {
-		if err := servePprof(*pprof, reg); err != nil {
-			fail(err)
+		stopPprof, perr := servePprof(*pprof, reg)
+		if perr != nil {
+			fail(perr)
 		}
+		defer stopPprof()
 	}
 	progressOn := !*quiet
 

@@ -7,10 +7,10 @@ package main
 // produced them. See docs/OBSERVABILITY.md.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
 	"sync"
 	"time"
@@ -19,27 +19,34 @@ import (
 	"repro/internal/machine"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
 
-// servePprof starts an HTTP server on addr exposing /debug/pprof/
-// (net/http/pprof) and /debug/vars (expvar), with the metrics registry
-// published under the "repro" expvar name. Listening happens
-// synchronously so a bad address fails the command immediately; serving
-// continues in the background for the life of the process.
-func servePprof(addr string, reg *obs.Registry) error {
-	obs.PublishExpvar("repro", reg)
+// servePprof starts an HTTP server on addr exposing /debug/pprof/ and
+// /debug/vars (expvar), with the metrics registry published under the
+// "repro" expvar name. The handlers live on a dedicated mux — the same
+// serve.AttachDebug set the lfksimd daemon mounts — not on
+// http.DefaultServeMux, so nothing leaks into other servers in the
+// process. Listening happens synchronously so a bad address fails the
+// command immediately; the returned shutdown function closes the
+// server cleanly.
+func servePprof(addr string, reg *obs.Registry) (shutdown func(), err error) {
+	mux := http.NewServeMux()
+	serve.AttachDebug(mux, reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("-pprof %s: %w", addr, err)
+		return nil, fmt.Errorf("-pprof %s: %w", addr, err)
 	}
+	srv := &http.Server{Handler: mux}
 	fmt.Fprintf(os.Stderr, "lfksim: profiling at http://%s/debug/pprof/ (metrics at /debug/vars)\n", ln.Addr())
-	go func() {
-		// The default mux carries the pprof and expvar handlers.
-		_ = http.Serve(ln, nil)
-	}()
-	return nil
+	go func() { _ = srv.Serve(ln) }()
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
 }
 
 // startProgress renders a live one-line progress display on stderr,

@@ -1,0 +1,243 @@
+// Command lfksimd is the classification daemon: the paper's
+// partitioning/classification machinery served over HTTP by
+// internal/serve, so consumers reach the sweep/replay engines through
+// a long-lived service instead of shelling out to lfksim.
+//
+// Usage:
+//
+//	lfksimd                          serve on :8077
+//	lfksimd -addr :9000              serve elsewhere
+//	lfksimd -workers 8 -queue 32     cap the pool and admission queue
+//	lfksimd -loadgen                 start an in-process server and
+//	                                 hammer it with a mixed
+//	                                 duplicate/unique request stream
+//	lfksimd -loadgen -target http://host:8077
+//	                                 hammer a running daemon instead
+//	lfksimd -loadgen -o BENCH_sweep.json
+//	                                 also append a serve section to the
+//	                                 benchmark history
+//
+// Endpoints: POST /v1/classify, POST /v1/sweep, GET /v1/kernels,
+// GET /healthz, GET /metrics, GET /debug/pprof/. See docs/SERVING.md.
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: the listener stops,
+// in-flight requests drain (bounded by -drain), and the engine's
+// worker pool exits before the process does.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/benchio"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8077", "listen address")
+		workers = flag.Int("workers", 0, "execution pool size (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "max admitted in-flight requests before 429 (0 = 4x workers)")
+		results = flag.Int("result-cache", 0, "result-cache capacity in bodies (0 = 4096)")
+		streams = flag.Int("stream-cache", 0, "reference-stream cache capacity (0 = 64)")
+		maxPts  = flag.Int("max-sweep-points", 0, "largest sweep grid a request may expand to (0 = 4096)")
+		dline   = flag.Duration("deadline", 0, "default per-request deadline (0 = derive from the request's NPE and problem size)")
+		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
+
+		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target  = flag.String("target", "", "loadgen: daemon base URL (empty = start an in-process server)")
+		reqs    = flag.Int("requests", 2000, "loadgen: total requests")
+		conc    = flag.Int("concurrency", 16, "loadgen: concurrent clients")
+		dup     = flag.Float64("dup", 0.9, "loadgen: fraction of requests drawn from the hot set [0,1]")
+		sweepEv = flag.Int("sweep-every", 64, "loadgen: every k-th request is a /v1/sweep (0 = none)")
+		seed    = flag.Int64("seed", 1, "loadgen: request-mix seed")
+		out     = flag.String("o", "", "loadgen: append a serve entry to this BENCH JSON history")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fail(fmt.Errorf("unexpected arguments %q", flag.Args()))
+	}
+	if *dup < 0 || *dup > 1 {
+		fail(fmt.Errorf("-dup must be in [0,1], got %g", *dup))
+	}
+
+	opts := serve.Options{
+		Workers:            *workers,
+		MaxInflight:        *queue,
+		ResultCacheEntries: *results,
+		StreamCacheEntries: *streams,
+		MaxSweepPoints:     *maxPts,
+		DefaultDeadline:    *dline,
+	}
+
+	var err error
+	if *loadgen {
+		err = runLoadgen(opts, *target, *reqs, *conc, *dup, *sweepEv, *seed, *out)
+	} else {
+		err = runDaemon(opts, *addr, *drain)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lfksimd:", err)
+	os.Exit(1)
+}
+
+// runDaemon serves until SIGINT/SIGTERM, then drains: listener closed,
+// in-flight HTTP requests completed (bounded by drain), engine worker
+// pool exited.
+func runDaemon(opts serve.Options, addr string, drain time.Duration) error {
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	opts.Metrics = reg
+	srv := serve.New(opts)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep; GET /v1/kernels /healthz /metrics /debug/pprof/)\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "lfksimd: shutting down, draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	srv.Close()
+	fmt.Fprintln(os.Stderr, "lfksimd: clean shutdown")
+	return nil
+}
+
+// runLoadgen hammers target (or an in-process server when target is
+// empty), prints the report, and appends a serve entry to the BENCH
+// history at out.
+func runLoadgen(opts serve.Options, target string, requests, concurrency int, dup float64, sweepEvery int, seed int64, out string) error {
+	ctx := context.Background()
+	if target == "" {
+		reg := obs.NewRegistry()
+		obs.SetDefault(reg)
+		opts.Metrics = reg
+		srv := serve.New(opts)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(sctx)
+			srv.Close()
+		}()
+		target = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "lfksimd: loadgen against in-process server %s\n", target)
+	}
+
+	rep, err := serve.Load(ctx, serve.LoadOptions{
+		BaseURL:     target,
+		Requests:    requests,
+		Concurrency: concurrency,
+		DupFraction: dup,
+		SweepEvery:  sweepEvery,
+		Seed:        seed,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if err := printServerQuantiles(ctx, target); err != nil {
+		fmt.Fprintf(os.Stderr, "lfksimd: server-side quantiles unavailable: %v\n", err)
+	}
+
+	if out != "" {
+		entry := struct {
+			GeneratedBy string            `json:"generated_by"`
+			Timestamp   string            `json:"timestamp"`
+			GoVersion   string            `json:"go_version"`
+			GOMAXPROCS  int               `json:"gomaxprocs"`
+			NumCPU      int               `json:"num_cpu"`
+			Serve       *serve.LoadReport `json:"serve"`
+		}{
+			GeneratedBy: "go run ./cmd/lfksimd -loadgen",
+			Timestamp:   time.Now().UTC().Format(time.RFC3339),
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Serve:       rep,
+		}
+		payload, err := benchio.Append(out, entry)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, payload, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	return nil
+}
+
+func printReport(r *serve.LoadReport) {
+	fmt.Printf("loadgen: %d requests (%d sweeps), concurrency %d, dup %.2f\n",
+		r.Requests, r.SweepRequests, r.Concurrency, r.DupFraction)
+	fmt.Printf("  wall %.3fs, %.0f req/s\n", r.WallSec, r.RequestsPerSec)
+	fmt.Printf("  latency p50 %.3fms  p99 %.3fms  max %.3fms\n", r.P50MS, r.P99MS, r.MaxMS)
+	fmt.Printf("  cache hit rate %.1f%%, %d dedup waits, %d points executed, %d captures\n",
+		r.CacheHitRate*100, r.DedupWaits, r.PointsExecuted, r.StreamCaptures)
+	if r.Errors > 0 || r.Rejected > 0 {
+		fmt.Printf("  %d errors, %d rejected (429)\n", r.Errors, r.Rejected)
+	}
+}
+
+// printServerQuantiles reports the daemon's own request-latency view —
+// the obs histograms on /metrics — alongside the client-side numbers.
+func printServerQuantiles(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return err
+	}
+	h, ok := snap.Histograms[serve.MetricClassifyLatencyUS]
+	if !ok || h.Count == 0 {
+		return fmt.Errorf("no %s histogram", serve.MetricClassifyLatencyUS)
+	}
+	fmt.Printf("  server-observed classify latency ~p50 %.3fms  ~p99 %.3fms (histogram estimate, n=%d)\n",
+		h.Quantile(0.50)/1000, h.Quantile(0.99)/1000, h.Count)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package benchio reads and appends the repository's JSON benchmark
+// history (BENCH_sweep.json): an array of report entries, oldest first.
+// Both front ends write it — lfksim -bench appends sweep/replay
+// sections, lfksimd -loadgen appends serve sections — so the shared
+// parsing/appending lives here. A legacy single-object file (the
+// pre-history format) is accepted and becomes the history's first
+// entry; an unparseable file is an error rather than silently
+// overwritten.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ParseHistory accepts both formats: the history array, and the legacy
+// single-report object (which becomes a one-entry history).
+func ParseHistory(data []byte) ([]json.RawMessage, error) {
+	var history []json.RawMessage
+	if err := json.Unmarshal(data, &history); err == nil {
+		return history, nil
+	}
+	var single map[string]json.RawMessage
+	if err := json.Unmarshal(data, &single); err != nil {
+		return nil, fmt.Errorf("existing file is neither a benchmark history array nor a report object")
+	}
+	compact, err := json.Marshal(single)
+	if err != nil {
+		return nil, err
+	}
+	return []json.RawMessage{compact}, nil
+}
+
+// ReadHistory loads the history at path; a missing file is an empty
+// history.
+func ReadHistory(path string) ([]json.RawMessage, error) {
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		return nil, nil
+	case err != nil:
+		return nil, fmt.Errorf("reading history %s: %w", path, err)
+	}
+	history, err := ParseHistory(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w (move it aside to start fresh)", path, err)
+	}
+	return history, nil
+}
+
+// Append renders the history at path with entry appended: the returned
+// payload is the full file contents, trailing newline included. An
+// empty path starts a fresh one-entry history (the stdout case).
+func Append(path string, entry any) ([]byte, error) {
+	var history []json.RawMessage
+	if path != "" {
+		var err error
+		if history, err = ReadHistory(path); err != nil {
+			return nil, err
+		}
+	}
+	raw, err := json.Marshal(entry)
+	if err != nil {
+		return nil, err
+	}
+	history = append(history, raw)
+	payload, err := json.MarshalIndent(history, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(payload, '\n'), nil
+}

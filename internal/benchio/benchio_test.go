@@ -1,0 +1,81 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseHistoryFormats(t *testing.T) {
+	hist, err := ParseHistory([]byte(`[{"a":1},{"a":2}]`))
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("array: %v, %d entries", err, len(hist))
+	}
+	hist, err = ParseHistory([]byte(`{"legacy":true}`))
+	if err != nil || len(hist) != 1 {
+		t.Fatalf("legacy object: %v, %d entries", err, len(hist))
+	}
+	if _, err = ParseHistory([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestReadHistoryMissingFile(t *testing.T) {
+	hist, err := ReadHistory(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || hist != nil {
+		t.Fatalf("missing file: %v, %v (want empty history, nil error)", hist, err)
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	type entry struct {
+		Run int `json:"run"`
+	}
+	for i := 1; i <= 3; i++ {
+		payload, err := Append(path, entry{Run: i})
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if err := os.WriteFile(path, payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hist, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3", len(hist))
+	}
+	var last entry
+	if err := json.Unmarshal(hist[2], &last); err != nil || last.Run != 3 {
+		t.Fatalf("last entry = %+v, %v", last, err)
+	}
+}
+
+func TestAppendMigratesLegacyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"old":"report"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := Append(path, map[string]string{"new": "report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := ParseHistory(payload)
+	if err != nil || len(hist) != 2 {
+		t.Fatalf("migrated history: %v, %d entries (want legacy + new)", err, len(hist))
+	}
+}
+
+func TestAppendRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{{{`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(path, map[string]int{"x": 1}); err == nil {
+		t.Fatal("corrupt history silently overwritten")
+	}
+}

@@ -272,6 +272,45 @@ type HistSnapshot struct {
 	Counts []int64 `json:"counts"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the recorded
+// distribution by linear interpolation inside the bucket containing
+// the target rank, clamped to the observed [Min, Max]. It is an
+// estimate — fixed buckets cannot recover exact order statistics — but
+// it is deterministic and monotone in q, which is what dashboards and
+// load reports need.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return float64(h.Min)
+	}
+	if q >= 1 {
+		return float64(h.Max)
+	}
+	target := q * float64(h.Count)
+	var cum int64
+	lower := float64(h.Min)
+	for i, c := range h.Counts {
+		upper := float64(h.Max)
+		if i < len(h.Bounds) && float64(h.Bounds[i]) < upper {
+			upper = float64(h.Bounds[i])
+		}
+		if c > 0 {
+			if float64(cum+c) >= target {
+				if upper < lower {
+					upper = lower
+				}
+				frac := (target - float64(cum)) / float64(c)
+				return lower + frac*(upper-lower)
+			}
+			cum += c
+			lower = upper
+		}
+	}
+	return float64(h.Max)
+}
+
 // Snapshot copies the registry's current state. On a nil registry it
 // returns an empty snapshot.
 func (r *Registry) Snapshot() *Snapshot {

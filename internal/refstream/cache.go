@@ -1,0 +1,121 @@
+package refstream
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+)
+
+// Cache is a bounded, deduplicating store of captured reference
+// streams, keyed by (kernel, clamped problem size) — exactly the pair a
+// Stream depends on. It extends the sweep planner's execute-once
+// guarantee across independent callers: within one sweep the planner's
+// sync.Once already ensures a single capture per group, and the Cache
+// gives long-lived consumers (the serving layer, repeated sweeps) the
+// same property across requests, so a burst of identical workloads
+// costs one capture no matter how it is batched.
+//
+// Concurrent Gets of the same key share one capture: the first caller
+// executes it, the rest block until it resolves. A failed capture is
+// not cached — the entry is dropped so a later Get retries. Eviction is
+// LRU over resolved and in-flight entries alike; evicting an in-flight
+// entry never disturbs its waiters (they share the entry directly), it
+// only allows a future Get to capture afresh.
+type Cache struct {
+	// Captures counts capture executions and Hits counts Gets served by
+	// an existing (resolved or in-flight) entry. Optional: the nil
+	// instruments of a disabled obs registry no-op.
+	Captures *obs.Counter
+	Hits     *obs.Counter
+
+	capacity int
+
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+	order   *list.List // front = most recently used; values are cacheKey
+}
+
+type cacheKey struct {
+	kernel string
+	n      int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	st   *Stream
+	err  error
+	elem *list.Element
+}
+
+// DefaultCacheEntries is the capacity NewCache substitutes for a
+// non-positive request: enough for every kernel at a few problem sizes.
+const DefaultCacheEntries = 64
+
+// NewCache returns an empty cache bounded to the given number of
+// streams (<= 0 selects DefaultCacheEntries).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[cacheKey]*cacheEntry{},
+		order:    list.New(),
+	}
+}
+
+// Get returns the reference stream of (k, n), capturing it on first
+// use. Safe for concurrent use; concurrent Gets of one key perform a
+// single capture.
+func (c *Cache) Get(k *loops.Kernel, n int) (*Stream, error) {
+	if k == nil {
+		return nil, fmt.Errorf("refstream: nil kernel")
+	}
+	key := cacheKey{kernel: k.Key, n: k.ClampN(n)}
+
+	c.mu.Lock()
+	e := c.entries[key]
+	hit := e != nil // resolved, or in flight and about to be shared
+	if hit {
+		c.order.MoveToFront(e.elem)
+	} else {
+		e = &cacheEntry{}
+		e.elem = c.order.PushFront(key)
+		c.entries[key] = e
+		for c.order.Len() > c.capacity {
+			back := c.order.Back()
+			delete(c.entries, back.Value.(cacheKey))
+			c.order.Remove(back)
+		}
+	}
+	c.mu.Unlock()
+	if hit {
+		c.Hits.Inc()
+	}
+
+	e.once.Do(func() {
+		c.Captures.Inc()
+		e.st, e.err = Capture(k, key.n)
+		if e.err != nil {
+			// Drop the failed entry (if still ours) so a later Get
+			// retries instead of replaying a stale error forever.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+				c.order.Remove(e.elem)
+			}
+			c.mu.Unlock()
+		}
+	})
+	return e.st, e.err
+}
+
+// Len returns the number of cached (resolved or in-flight) streams.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,370 @@
+package serve
+
+// engine.go — the execution core of the service. A request becomes one
+// or more canonical points (api.go); each point is answered from the
+// bounded LRU result cache, deduplicated against identical in-flight
+// points (singleflight), and otherwise executed on a shared worker
+// pool whose workers reuse a sim.Scratch and a refstream.Replayer, with
+// reference-stream captures shared across requests through a
+// refstream.Cache keyed by (kernel, N). The result is the service-level
+// form of the sweep planner's execute-once/classify-many guarantee: a
+// burst of a million identical requests costs one capture, one replay
+// and N-1 cache hits.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+	"repro/internal/sim"
+)
+
+// Observability names recorded by the service. Counters/gauges are
+// registered on the engine's registry; see docs/SERVING.md for the
+// full signal list.
+const (
+	MetricClassifyRequests = "serve.classify_requests"
+	MetricSweepRequests    = "serve.sweep_requests"
+	MetricRejected         = "serve.rejected"          // admissions refused → 429
+	MetricBadRequests      = "serve.bad_requests"      // validation failures → 400
+	MetricDeadlineExceeded = "serve.deadline_exceeded" // → 504
+
+	MetricCacheHits   = "serve.cache_hits"   // points answered from the result cache
+	MetricCacheMisses = "serve.cache_misses" // points that had to execute (or join a flight)
+	MetricDedupWaits  = "serve.dedup_waits"  // points that joined an identical in-flight point
+
+	MetricPointsExecuted = "serve.points_executed" // simulator/replayer executions
+	MetricStreamCaptures = "serve.stream_captures" // reference-stream captures performed
+	MetricStreamHits     = "serve.stream_hits"     // captures avoided by the stream cache
+
+	MetricQueueDepth = "serve.queue_depth" // gauge: tasks queued for the worker pool
+	MetricInflight   = "serve.inflight"    // gauge: admitted requests
+
+	MetricClassifyLatencyUS = "serve.classify_latency_us" // histogram (obs.MicrosBuckets)
+	MetricSweepLatencyUS    = "serve.sweep_latency_us"    // histogram (obs.MicrosBuckets)
+)
+
+// Errors surfaced by Engine.Do and Engine admission; the HTTP layer
+// maps them onto status codes.
+var (
+	// ErrOverloaded reports that the admission queue is full (HTTP 429).
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed reports a request against a closed engine (HTTP 503).
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// Options configures a Server and its Engine. The zero value serves
+// with defaults sized from GOMAXPROCS.
+type Options struct {
+	// Workers bounds the execution pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// MaxInflight bounds admitted (in-flight) requests; a request beyond
+	// the bound is rejected with 429 rather than queued unboundedly.
+	// <= 0 means 4×Workers.
+	MaxInflight int
+	// ResultCacheEntries bounds the LRU of encoded point bodies
+	// (<= 0 means 4096).
+	ResultCacheEntries int
+	// StreamCacheEntries bounds the shared reference-stream cache
+	// (<= 0 means refstream.DefaultCacheEntries).
+	StreamCacheEntries int
+	// MaxN / MaxNPE / MaxPageSize / MaxCacheElems / MaxSweepPoints bound
+	// what one request may ask for (<= 0 selects 1<<20, 1024, 1<<20,
+	// 1<<24 and 4096 respectively).
+	MaxN           int
+	MaxNPE         int
+	MaxPageSize    int
+	MaxCacheElems  int
+	MaxSweepPoints int
+	// DefaultDeadline is the per-request deadline when the request does
+	// not set deadline_ms. <= 0 derives it per request from the
+	// machine's deadlock-watchdog rule (machine.DefaultDeadline over the
+	// request's largest NPE and problem size) — the same scaling
+	// Config.DeadlockTimeout uses for its zero value.
+	DefaultDeadline time.Duration
+	// Metrics receives the service's signals; nil falls back to
+	// obs.Default() (disabled unless a front end enabled it).
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 4 * o.Workers
+	}
+	if o.ResultCacheEntries <= 0 {
+		o.ResultCacheEntries = 4096
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 1 << 20
+	}
+	if o.MaxNPE <= 0 {
+		o.MaxNPE = 1024
+	}
+	if o.MaxPageSize <= 0 {
+		o.MaxPageSize = 1 << 20
+	}
+	if o.MaxCacheElems <= 0 {
+		o.MaxCacheElems = 1 << 24
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 4096
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default()
+	}
+	return o
+}
+
+func (o Options) limits() limits {
+	return limits{
+		maxN:           o.MaxN,
+		maxNPE:         o.MaxNPE,
+		maxPageSize:    o.MaxPageSize,
+		maxCacheElems:  o.MaxCacheElems,
+		maxSweepPoints: o.MaxSweepPoints,
+	}
+}
+
+// flight is one in-flight execution of a canonical point, shared by
+// every concurrent request for that point. body/err are written by the
+// resolving goroutine before done is closed; waiters read only after
+// <-done.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func (f *flight) resolve(body []byte, err error) {
+	f.body, f.err = body, err
+	close(f.done)
+}
+
+type task struct {
+	p   point
+	key string
+	fl  *flight
+}
+
+// Engine executes canonical points with caching, deduplication,
+// admission control and graceful drain. Create one with newEngine (via
+// serve.New); an Engine must be Closed to release its workers.
+type Engine struct {
+	opts Options
+	reg  *obs.Registry
+
+	cHits, cMisses, cDedup *obs.Counter
+	cRejected, cPoints     *obs.Counter
+	gQueue, gInflight      *obs.Gauge
+
+	results *lruCache
+	streams *refstream.Cache
+	tasks   chan *task
+
+	stateMu  sync.Mutex
+	closed   bool
+	inflight int // admitted requests; the source of truth (gInflight mirrors it)
+	flights  map[string]*flight
+	reqWG    sync.WaitGroup // admitted requests
+	workWG   sync.WaitGroup // pool workers
+	closeMu  sync.Mutex     // serializes Close
+
+	// execHook, when non-nil, runs on the worker goroutine immediately
+	// before each point executes. Test seam for pinning workers.
+	execHook func()
+}
+
+func newEngine(opts Options) *Engine {
+	opts = opts.withDefaults()
+	reg := opts.Metrics
+	e := &Engine{
+		opts:      opts,
+		reg:       reg,
+		cHits:     reg.Counter(MetricCacheHits),
+		cMisses:   reg.Counter(MetricCacheMisses),
+		cDedup:    reg.Counter(MetricDedupWaits),
+		cRejected: reg.Counter(MetricRejected),
+		cPoints:   reg.Counter(MetricPointsExecuted),
+		gQueue:    reg.Gauge(MetricQueueDepth),
+		gInflight: reg.Gauge(MetricInflight),
+		results:   newLRU(opts.ResultCacheEntries),
+		streams:   refstream.NewCache(opts.StreamCacheEntries),
+		tasks:     make(chan *task, opts.MaxInflight),
+		flights:   map[string]*flight{},
+	}
+	e.streams.Captures = reg.Counter(MetricStreamCaptures)
+	e.streams.Hits = reg.Counter(MetricStreamHits)
+	for w := 0; w < opts.Workers; w++ {
+		e.workWG.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// admit reserves an in-flight request slot. It returns a release
+// function on success; ErrOverloaded when MaxInflight requests are
+// already admitted; ErrClosed after Close began.
+func (e *Engine) admit() (release func(), err error) {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	if e.inflight >= e.opts.MaxInflight {
+		e.cRejected.Inc()
+		return nil, ErrOverloaded
+	}
+	e.inflight++
+	e.reqWG.Add(1)
+	e.gInflight.Add(1)
+	return func() {
+		e.stateMu.Lock()
+		e.inflight--
+		e.stateMu.Unlock()
+		e.gInflight.Add(-1)
+		e.reqWG.Done()
+	}, nil
+}
+
+// Do answers one canonical point: result-cache hit, join of an
+// identical in-flight point, or execution on the worker pool. Callers
+// must hold an admission slot (see admit); the HTTP handlers do. On
+// context expiry Do returns ctx.Err() — the execution itself, if
+// already queued, still completes and populates the cache for the next
+// request.
+func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
+	key := p.key()
+	if body, ok := e.results.get(key); ok {
+		e.cHits.Inc()
+		return body, nil
+	}
+	e.cMisses.Inc()
+
+	e.stateMu.Lock()
+	fl := e.flights[key]
+	leader := fl == nil
+	if leader {
+		fl = &flight{done: make(chan struct{})}
+		e.flights[key] = fl
+	}
+	e.stateMu.Unlock()
+
+	if leader {
+		t := &task{p: p, key: key, fl: fl}
+		select {
+		case e.tasks <- t:
+			e.gQueue.Add(1)
+		case <-ctx.Done():
+			// Never enqueued: resolve the flight ourselves so joined
+			// waiters are not stranded.
+			e.stateMu.Lock()
+			delete(e.flights, key)
+			e.stateMu.Unlock()
+			fl.resolve(nil, ctx.Err())
+			return nil, ctx.Err()
+		}
+	} else {
+		e.cDedup.Inc()
+	}
+
+	select {
+	case <-fl.done:
+		return fl.body, fl.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// worker executes queued points, reusing one scratch simulator and one
+// replayer for its lifetime.
+func (e *Engine) worker() {
+	defer e.workWG.Done()
+	scratch := sim.NewScratch()
+	scratch.Metrics = e.reg
+	replayer := refstream.NewReplayer()
+	for t := range e.tasks {
+		e.gQueue.Add(-1)
+		if e.execHook != nil {
+			e.execHook()
+		}
+		body, err := e.execute(scratch, replayer, t.p)
+		if err == nil {
+			e.results.add(t.key, body)
+		}
+		e.stateMu.Lock()
+		delete(e.flights, t.key)
+		e.stateMu.Unlock()
+		t.fl.resolve(body, err)
+	}
+}
+
+// execute runs one point: stream replay when eligible (sharing one
+// capture per (kernel, N) across all requests), direct simulation
+// otherwise (the partial-fill ablation).
+func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, p point) ([]byte, error) {
+	var (
+		res    *sim.Result
+		engine string
+		err    error
+	)
+	if refstream.Eligible(p.cfg) {
+		var st *refstream.Stream
+		if st, err = e.streams.Get(p.kernel, p.n); err == nil {
+			res, err = replayer.Run(st, p.cfg)
+		}
+		engine = "replay"
+	} else {
+		res, err = scratch.Run(p.kernel, p.n, p.cfg)
+		engine = "direct"
+	}
+	if err != nil {
+		return nil, fmt.Errorf("point %s: %w", p.key(), err)
+	}
+	e.cPoints.Inc()
+	return encodePoint(p, engine, res)
+}
+
+// deadline resolves the per-request deadline: an explicit deadline_ms
+// wins, then the configured default, then the machine layer's
+// deadlock-watchdog derivation (the rule behind Config.DeadlockTimeout)
+// over the request's largest NPE and problem size.
+func (e *Engine) deadline(deadlineMS int64, maxNPE, maxN int) time.Duration {
+	if deadlineMS > 0 {
+		return time.Duration(deadlineMS) * time.Millisecond
+	}
+	if e.opts.DefaultDeadline > 0 {
+		return e.opts.DefaultDeadline
+	}
+	return machine.DefaultDeadline(maxNPE, maxN)
+}
+
+// CacheLen returns the number of cached result bodies (for tests and
+// introspection).
+func (e *Engine) CacheLen() int { return e.results.len() }
+
+// Close drains the engine: new admissions fail with ErrClosed,
+// admitted requests run to completion, queued work is finished, and
+// the workers exit. Safe to call more than once; blocks until the
+// drain completes.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	defer e.closeMu.Unlock()
+	e.stateMu.Lock()
+	alreadyClosed := e.closed
+	e.closed = true
+	e.stateMu.Unlock()
+	e.reqWG.Wait() // all admitted requests returned → no more sends
+	if !alreadyClosed {
+		close(e.tasks)
+	}
+	e.workWG.Wait() // workers finished the queue
+}

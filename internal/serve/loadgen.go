@@ -1,0 +1,278 @@
+package serve
+
+// loadgen.go — a deterministic load generator for the daemon: a mixed
+// duplicate/unique request stream whose shape is a pure function of the
+// seed, so two runs against equal servers exercise the same cache and
+// dedup behavior. Drives `lfksimd -loadgen` and `make loadbench`, which
+// append the measured throughput/latency/hit-rate to the BENCH history.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+)
+
+// LoadOptions configures one load run.
+type LoadOptions struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8077".
+	BaseURL string
+	// Requests is the total request count (<= 0 means 2000).
+	Requests int
+	// Concurrency is the number of in-flight clients (<= 0 means 16).
+	Concurrency int
+	// DupFraction is the probability a request is drawn from the small
+	// hot set rather than the unique tail. 0 is a legal all-unique
+	// stream; negative selects the default 0.9; values above 1 clamp.
+	DupFraction float64
+	// SweepEvery makes every k-th request a /v1/sweep of a small grid
+	// (<= 0 disables sweep traffic).
+	SweepEvery int
+	// Seed drives the request mix (0 means 1).
+	Seed int64
+	// Client overrides the HTTP client (nil means a pooled default).
+	Client *http.Client
+}
+
+// LoadReport is the measured outcome of one load run; it is the
+// "serve" section appended to the BENCH JSON history.
+type LoadReport struct {
+	Requests       int     `json:"requests"`
+	Concurrency    int     `json:"concurrency"`
+	DupFraction    float64 `json:"dup_fraction"`
+	SweepRequests  int     `json:"sweep_requests"`
+	Errors         int     `json:"errors"`
+	Rejected       int     `json:"rejected"` // 429 responses
+	WallSec        float64 `json:"wall_sec"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	MaxMS          float64 `json:"max_ms"`
+	// Server-side deltas over the run, read from /metrics.
+	CacheHitRate   float64 `json:"cache_hit_rate"` // hits / (hits+misses)
+	DedupWaits     int64   `json:"dedup_waits"`
+	PointsExecuted int64   `json:"points_executed"`
+	StreamCaptures int64   `json:"stream_captures"`
+}
+
+// hotSet is the duplicate side of the mix: a handful of baseline
+// requests a real fleet would hammer.
+var hotSet = []ClassifyRequest{
+	{Kernel: "k1"},
+	{Kernel: "k1", NPE: 64},
+	{Kernel: "k2", NPE: 16},
+	{Kernel: "k12", NPE: 32, PageSize: 64},
+}
+
+// uniqueRequest derives the i-th unique-tail request: kernels, PE
+// counts and page sizes crossed so successive draws rarely repeat.
+func uniqueRequest(rng *rand.Rand) ClassifyRequest {
+	kernels := loops.PaperSet()
+	npes := []int{1, 2, 4, 8, 16, 32, 64}
+	pss := []int{16, 32, 64, 128}
+	ces := []int{0, 128, 256, 512}
+	return ClassifyRequest{
+		Kernel:     kernels[rng.Intn(len(kernels))].Key,
+		NPE:        npes[rng.Intn(len(npes))],
+		PageSize:   pss[rng.Intn(len(pss))],
+		CacheElems: &ces[rng.Intn(len(ces))],
+	}
+}
+
+// smallSweep is the sweep-side request: one kernel over the PE axis.
+func smallSweep(rng *rand.Rand) SweepRequest {
+	kernels := loops.PaperSet()
+	return SweepRequest{
+		Kernels:   []string{kernels[rng.Intn(len(kernels))].Key},
+		PageSizes: []int{32, 64},
+	}
+}
+
+// metricsSnapshot fetches and decodes GET /metrics.
+func metricsSnapshot(ctx context.Context, client *http.Client, base string) (*obs.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding /metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+// Load hammers the daemon at BaseURL with a seeded duplicate/unique
+// request mix and reports client-side latency/throughput plus
+// server-side cache behavior (from /metrics deltas).
+func Load(ctx context.Context, o LoadOptions) (*LoadReport, error) {
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	switch {
+	case o.DupFraction < 0:
+		o.DupFraction = 0.9
+	case o.DupFraction > 1:
+		o.DupFraction = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	client := o.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.Concurrency}}
+	}
+
+	before, err := metricsSnapshot(ctx, client, o.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+
+	type shot struct {
+		path string
+		body []byte
+	}
+	// Materialize the whole request schedule up front from one rng, so
+	// the mix is a pure function of the seed regardless of worker
+	// interleaving.
+	rng := rand.New(rand.NewSource(o.Seed))
+	shots := make([]shot, o.Requests)
+	sweeps := 0
+	for i := range shots {
+		if o.SweepEvery > 0 && (i+1)%o.SweepEvery == 0 {
+			b, err := json.Marshal(smallSweep(rng))
+			if err != nil {
+				return nil, err
+			}
+			shots[i] = shot{path: "/v1/sweep", body: b}
+			sweeps++
+			continue
+		}
+		var cr ClassifyRequest
+		if rng.Float64() < o.DupFraction {
+			cr = hotSet[rng.Intn(len(hotSet))]
+		} else {
+			cr = uniqueRequest(rng)
+		}
+		b, err := json.Marshal(cr)
+		if err != nil {
+			return nil, err
+		}
+		shots[i] = shot{path: "/v1/classify", body: b}
+	}
+
+	var (
+		latencies = make([]time.Duration, o.Requests)
+		status    = make([]int, o.Requests)
+		next      = make(chan int)
+		wg        sync.WaitGroup
+		firstErr  error
+		errMu     sync.Mutex
+	)
+	start := time.Now()
+	for w := 0; w < o.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				t0 := time.Now()
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+					o.BaseURL+shots[i].path, bytes.NewReader(shots[i].body))
+				if err == nil {
+					req.Header.Set("Content-Type", "application/json")
+					var resp *http.Response
+					if resp, err = client.Do(req); err == nil {
+						_, _ = io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						status[i] = resp.StatusCode
+					}
+				}
+				latencies[i] = time.Since(t0)
+				if err != nil && ctx.Err() == nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < o.Requests; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("loadgen: %w", firstErr)
+	}
+
+	after, err := metricsSnapshot(ctx, client, o.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+
+	rep := &LoadReport{
+		Requests:      o.Requests,
+		Concurrency:   o.Concurrency,
+		DupFraction:   o.DupFraction,
+		SweepRequests: sweeps,
+		WallSec:       wall.Seconds(),
+	}
+	rep.RequestsPerSec = float64(o.Requests) / wall.Seconds()
+	for _, st := range status {
+		switch {
+		case st == http.StatusTooManyRequests:
+			rep.Rejected++
+		case st != http.StatusOK:
+			rep.Errors++
+		}
+	}
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	quant := func(q float64) float64 {
+		idx := int(q * float64(len(sorted)-1))
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	rep.P50MS = quant(0.50)
+	rep.P99MS = quant(0.99)
+	rep.MaxMS = quant(1)
+
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	hits, misses := delta(MetricCacheHits), delta(MetricCacheMisses)
+	if hits+misses > 0 {
+		rep.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	rep.DedupWaits = delta(MetricDedupWaits)
+	rep.PointsExecuted = delta(MetricPointsExecuted)
+	rep.StreamCaptures = delta(MetricStreamCaptures)
+	return rep, nil
+}

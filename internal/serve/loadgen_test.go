@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestLoadAgainstInProcessServer drives the load generator against an
+// httptest server: no failures, the sweep cadence lands, and the
+// duplicate-heavy mix measurably exercises the cache/dedup path.
+func TestLoadAgainstInProcessServer(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL:     ts.URL,
+		Requests:    60,
+		Concurrency: 4,
+		SweepEvery:  20,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 60 || rep.Concurrency != 4 {
+		t.Fatalf("report echoes wrong shape: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Rejected != 0 {
+		t.Fatalf("errors=%d rejected=%d, want 0/0 (unthrottled server)", rep.Errors, rep.Rejected)
+	}
+	if rep.SweepRequests != 3 {
+		t.Fatalf("sweep requests = %d, want every 20th of 60", rep.SweepRequests)
+	}
+	if rep.PointsExecuted <= 0 || rep.StreamCaptures <= 0 {
+		t.Fatalf("server-side deltas missing: %+v", rep)
+	}
+	if rep.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate = %v, want > 0 under a 0.9 duplicate fraction", rep.CacheHitRate)
+	}
+	if rep.P50MS < 0 || rep.P99MS < rep.P50MS || rep.MaxMS < rep.P99MS {
+		t.Fatalf("latency quantiles not monotone: %+v", rep)
+	}
+	if rep.RequestsPerSec <= 0 || rep.WallSec <= 0 {
+		t.Fatalf("throughput not measured: %+v", rep)
+	}
+}
+
+// TestLoadScheduleDeterministic: the request schedule is a pure
+// function of the seed — two runs with one seed issue the same mix.
+func TestLoadScheduleDeterministic(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	run := func() *LoadReport {
+		rep, err := Load(context.Background(), LoadOptions{
+			BaseURL: ts.URL, Requests: 30, Concurrency: 3, SweepEvery: 10, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.SweepRequests != b.SweepRequests || a.Requests != b.Requests {
+		t.Fatalf("same seed produced different mixes: %+v vs %+v", a, b)
+	}
+	// The second identical run replays a warmed cache: every point the
+	// first run executed is now a hit, so no new captures happen.
+	if b.StreamCaptures != 0 {
+		t.Fatalf("second run captured %d streams; the warmed cache should serve all of them", b.StreamCaptures)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the bounded result cache: canonical point key → encoded
+// response body. Bodies are immutable once stored, so get returns the
+// cached slice directly; callers must not mutate it.
+type lruCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+	}
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.entries[key]
+	if el == nil {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add stores body under key, evicting the least recently used entries
+// beyond capacity. Re-adding an existing key refreshes it.
+func (c *lruCache) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el := c.entries[key]; el != nil {
+		el.Value.(*lruEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*lruEntry).key)
+		c.order.Remove(back)
+	}
+}
+
+// len returns the number of cached bodies.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := newLRU(2)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("get on empty cache hit")
+	}
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if b, ok := c.get("a"); !ok || string(b) != "A" {
+		t.Fatalf("get a = %q, %v", b, ok)
+	}
+	// "a" was refreshed, so adding "c" evicts "b".
+	c.add("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; recency not tracked")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key replaces the body without growing.
+	c.add("a", []byte("A2"))
+	if b, _ := c.get("a"); string(b) != "A2" {
+		t.Fatalf("re-add did not replace body: %q", b)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after re-add = %d, want 2", c.len())
+	}
+}
+
+func TestLRUBound(t *testing.T) {
+	c := newLRU(8)
+	for i := 0; i < 100; i++ {
+		c.add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.len() != 8 {
+		t.Fatalf("len = %d, want the capacity 8", c.len())
+	}
+	for i := 92; i < 100; i++ {
+		if _, ok := c.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recent key k%d missing", i)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Package serve is the serving subsystem of the reproduction: a
+// batching, caching HTTP classification service over the sweep/replay
+// engines. The paper's machinery — classify every access of a
+// Livermore kernel under a machine configuration — becomes a long-lived
+// daemon (cmd/lfksimd) instead of only a CLI, the way PGAS runtimes
+// expose partitioned memory behind a uniform service interface.
+//
+// Endpoints:
+//
+//	POST /v1/classify   one grid point → PointResult
+//	POST /v1/sweep      a parameter grid → SweepResult (grid order)
+//	GET  /v1/kernels    the kernel registry
+//	GET  /healthz       liveness
+//	GET  /metrics       obs registry snapshot (JSON)
+//	GET  /debug/pprof/  net/http/pprof (plus /debug/vars expvar)
+//
+// The hot path exploits the existing engines end-to-end: requests are
+// validated into canonical configurations (api.go), deduplicated
+// against identical in-flight work, answered from a bounded LRU of
+// encoded bodies, and executed on a shared worker pool that reuses
+// reference-stream captures across requests keyed by (kernel, N)
+// (engine.go). Production behaviors are part of the subsystem:
+// admission control (bounded in-flight requests → 429 + Retry-After),
+// per-request deadlines (504), graceful shutdown that drains in-flight
+// work, and full obs instrumentation — with determinism preserved:
+// identical requests yield bit-identical JSON bodies. See
+// docs/SERVING.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/sweep"
+)
+
+// Server is the HTTP face of the classification service. Create one
+// with New, mount Handler on any http.Server, and Close it (after
+// http.Server.Shutdown) to drain the engine.
+type Server struct {
+	eng *Engine
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	cClassify, cSweep, cBad, cDeadline *obs.Counter
+	hClassify, hSweep                  *obs.Histogram
+}
+
+// New builds a Server (and its Engine) from opts.
+func New(opts Options) *Server {
+	eng := newEngine(opts)
+	reg := eng.reg
+	s := &Server{
+		eng:       eng,
+		reg:       reg,
+		mux:       http.NewServeMux(),
+		cClassify: reg.Counter(MetricClassifyRequests),
+		cSweep:    reg.Counter(MetricSweepRequests),
+		cBad:      reg.Counter(MetricBadRequests),
+		cDeadline: reg.Counter(MetricDeadlineExceeded),
+		hClassify: reg.Histogram(MetricClassifyLatencyUS, obs.MicrosBuckets),
+		hSweep:    reg.Histogram(MetricSweepLatencyUS, obs.MicrosBuckets),
+	}
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	AttachDebug(s.mux, reg)
+	return s
+}
+
+// Handler returns the server's route tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Engine exposes the execution core (tests, embedders).
+func (s *Server) Engine() *Engine { return s.eng }
+
+// Close drains the engine: call it after http.Server.Shutdown has
+// stopped new connections; it blocks until in-flight work finishes.
+func (s *Server) Close() { s.eng.Close() }
+
+// AttachDebug registers the pprof and expvar debug handlers on mux and
+// publishes reg under the "repro" expvar name. Shared by the daemon
+// and lfksim's -pprof flag so neither touches http.DefaultServeMux —
+// debug endpoints live and die with the mux's own server.
+func AttachDebug(mux *http.ServeMux, reg *obs.Registry) {
+	obs.PublishExpvar("repro", reg)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// writeJSON writes body with the canonical headers. body is already
+// encoded: the determinism contract forbids re-marshalling.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	body, _ := json.Marshal(ErrorBody{Error: err.Error()})
+	writeJSON(w, status, body)
+}
+
+// decode strictly parses a request body: unknown fields are rejected
+// so a typoed knob fails loudly instead of silently selecting a
+// default.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing request body: %w", err)
+	}
+	return nil
+}
+
+// finishErr maps an execution error onto its status code and counters.
+func (s *Server) finishErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.cDeadline.Inc()
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// rejectErr handles admission failures: 429 with Retry-After under
+// overload, 503 during shutdown.
+func rejectErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrOverloaded) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, err)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.cClassify.Inc()
+	start := time.Now()
+	defer func() { s.hClassify.Observe(time.Since(start).Microseconds()) }()
+
+	var req ClassifyRequest
+	if err := decode(r, &req); err != nil {
+		s.cBad.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, err := canonPoint(req, s.eng.opts.limits())
+	if err != nil {
+		s.cBad.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.eng.admit()
+	if err != nil {
+		rejectErr(w, err)
+		return
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.eng.deadline(req.DeadlineMS, p.cfg.NPE, p.n))
+	defer cancel()
+	body, err := s.eng.Do(ctx, p)
+	if err != nil {
+		s.finishErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.cSweep.Inc()
+	start := time.Now()
+	defer func() { s.hSweep.Observe(time.Since(start).Microseconds()) }()
+
+	var req SweepRequest
+	if err := decode(r, &req); err != nil {
+		s.cBad.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	pts, err := canonSweep(req, s.eng.opts.limits())
+	if err != nil {
+		s.cBad.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	release, err := s.eng.admit()
+	if err != nil {
+		rejectErr(w, err)
+		return
+	}
+	defer release()
+
+	maxNPE, maxN := 1, 1
+	for _, p := range pts {
+		maxNPE = max(maxNPE, p.cfg.NPE)
+		maxN = max(maxN, p.n)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.eng.deadline(req.DeadlineMS, maxNPE, maxN))
+	defer cancel()
+
+	// Fan the points out over the engine through sweep.Map: grid-order
+	// results, lowest-index error, bounded goroutines. Each point passes
+	// through the same cache/dedup path as /v1/classify, so sweep and
+	// classify bodies are interchangeable bit-for-bit.
+	bodies, err := sweep.Map(ctx, 2*s.eng.opts.Workers, pts,
+		func(ctx context.Context, _ int, p point) (json.RawMessage, error) {
+			return s.eng.Do(ctx, p)
+		})
+	if err != nil {
+		s.finishErr(w, err)
+		return
+	}
+	body, err := json.Marshal(&SweepResult{Count: len(bodies), Points: bodies})
+	if err != nil {
+		s.finishErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+	paper := map[string]bool{}
+	for _, k := range loops.PaperSet() {
+		paper[k.Key] = true
+	}
+	infos := make([]KernelInfo, 0, len(loops.All()))
+	for _, k := range loops.All() {
+		infos = append(infos, KernelInfo{
+			Key:      k.Key,
+			Name:     k.Name,
+			Class:    k.Class.String(),
+			DefaultN: k.DefaultN,
+			MinN:     k.MinN,
+			Paper:    paper[k.Key],
+		})
+	}
+	body, err := json.Marshal(infos)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, []byte(`{"status":"ok"}`))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	body, err := json.MarshalIndent(s.reg.Snapshot(), "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

@@ -103,6 +103,12 @@ func NoCacheConfig(npe, pageSize int) Config {
 	return c
 }
 
+// Validate checks the configuration the way Run would: positive NPE
+// and page size, non-negative cache capacity. Exported so front ends
+// (e.g. the serving layer) reject bad configurations with the
+// simulator's own rules instead of duplicating them.
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) validate() error {
 	if c.NPE <= 0 {
 		return fmt.Errorf("sim: NPE must be positive, got %d", c.NPE)

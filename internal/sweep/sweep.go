@@ -86,6 +86,24 @@ type Grid struct {
 // PaperPEs is the PE axis used by the paper's figures.
 var PaperPEs = []int{1, 2, 4, 8, 16, 32, 64}
 
+// Size returns the number of points Points would produce, without
+// materializing them — front ends use it to bound a grid before
+// expansion.
+func (g Grid) Size() int {
+	axis := func(n, def int) int {
+		if n == 0 {
+			return def
+		}
+		return n
+	}
+	return len(g.Kernels) *
+		axis(len(g.NPEs), len(PaperPEs)) *
+		axis(len(g.PageSizes), 1) *
+		axis(len(g.CacheElems), 1) *
+		axis(len(g.Layouts), 1) *
+		axis(len(g.Policies), 1)
+}
+
 // Points expands the grid in deterministic order: kernels outermost,
 // then NPEs, page sizes, cache sizes, layouts, policies innermost.
 // Kernel-major order also maximizes the per-worker init memoization in

@@ -18,10 +18,15 @@
 //   - Classify reproduces the §7 access-distribution taxonomy
 //     (internal/classify);
 //   - ConvertToSA is the §5 automatic single-assignment conversion
-//     tool over the affine loop IR (internal/convert, internal/ir).
+//     tool over the affine loop IR (internal/convert, internal/ir);
+//   - NewServer turns the sweep/replay machinery into a long-lived
+//     HTTP classification service — the daemon behind cmd/lfksimd
+//     (internal/serve, docs/SERVING.md).
 package repro
 
 import (
+	"context"
+
 	"repro/internal/classify"
 	"repro/internal/convert"
 	"repro/internal/core"
@@ -29,6 +34,7 @@ import (
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/network"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
@@ -156,6 +162,34 @@ func ConvertToSA(p *Program, n int) (*ConversionResult, error) { return convert.
 // ParseProgram parses the Fortran-flavored loop surface syntax (see
 // internal/ir and testdata/*.loop) into a Program.
 func ParseProgram(src string) (*Program, error) { return ir.Parse(src) }
+
+// Server is the batching, caching HTTP classification service over the
+// sweep/replay engines (POST /v1/classify, POST /v1/sweep, …). Mount
+// its Handler on an http.Server and Close it after Shutdown to drain.
+type Server = serve.Server
+
+// ServeOptions sizes a Server: worker pool, admission bound, result
+// and stream cache capacities, request limits, deadlines, metrics.
+// The zero value serves with defaults scaled from GOMAXPROCS.
+type ServeOptions = serve.Options
+
+// LoadOptions configures the deterministic load generator that drives
+// `lfksimd -loadgen` and `make loadbench`.
+type LoadOptions = serve.LoadOptions
+
+// LoadReport is a measured load-run outcome (the BENCH history's
+// "serve" section).
+type LoadReport = serve.LoadReport
+
+// NewServer builds the classification service; see docs/SERVING.md.
+func NewServer(opts ServeOptions) *Server { return serve.New(opts) }
+
+// LoadTest hammers a running service with a seeded duplicate/unique
+// request mix and reports throughput, latency quantiles and
+// server-side cache behavior.
+func LoadTest(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	return serve.Load(ctx, opts)
+}
 
 // CostModel prices access classes in cycles for execution-time
 // estimation (the paper's §9 future work).

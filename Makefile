@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench loadbench serve docs clean
+.PHONY: all build test race bench bench-batch loadbench serve docs clean
 
 all: build test
 
@@ -16,7 +16,7 @@ build:
 # (kept in lockstep with .github/workflows/ci.yml).
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core ./internal/serve ./internal/hostproc
+	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core ./internal/refstream ./internal/serve ./internal/hostproc
 
 race:
 	$(GO) test -race ./...
@@ -26,6 +26,14 @@ race:
 # history array; each run appends an entry, preserving the trajectory.
 bench:
 	$(GO) run ./cmd/lfksim -bench -o BENCH_sweep.json
+
+# Compare the three engines on one capture group (direct execution vs
+# single-config replay vs one batch pass), then run the batch perf gate
+# that CI enforces: a batch pass must never be slower than replaying
+# the group one configuration at a time (docs/PERF.md).
+bench-batch:
+	$(GO) test -run=NONE -bench='BenchmarkGroup(Direct|SingleReplay|BatchReplay)' -benchmem ./internal/refstream
+	REFSTREAM_PERF_GATE=1 $(GO) test -run TestBatchNoSlowerThanSingleReplay -count=1 -v ./internal/refstream
 
 # Append a "serve" section to the same history: throughput, latency
 # quantiles and cache hit rate of the classification service under the

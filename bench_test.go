@@ -275,17 +275,33 @@ func BenchmarkSweepGridParallel(b *testing.B) {
 }
 
 // BenchmarkSweepGridReplaySerial sweeps the grid with one worker under
-// the execute-once/classify-many planner: each kernel executes once
-// (capture) and every other point replays its reference stream. The
-// points/s ratio against BenchmarkSweepGridSerial is the planner's
-// single-core win.
+// the pre-batching execute-once/classify-many planner: each kernel
+// executes once (capture) and every other point replays its reference
+// stream one configuration at a time. The points/s ratio against
+// BenchmarkSweepGridSerial is the execute-once win alone.
 func BenchmarkSweepGridReplaySerial(b *testing.B) {
-	benchSweep(b, sweepGrid(b), 1, sweep.ReplayOn)
+	benchSweep(b, sweepGrid(b), 1, sweep.ReplayPoint)
 }
 
 // BenchmarkSweepGridReplayParallel combines both engines: bounded
-// worker-pool parallelism and stream replay.
+// worker-pool parallelism and per-point stream replay.
 func BenchmarkSweepGridReplayParallel(b *testing.B) {
+	benchSweep(b, sweepGrid(b), 0, sweep.ReplayPoint)
+}
+
+// BenchmarkSweepGridBatchSerial sweeps the grid with one worker under
+// the batch planner: each capture group is classified in a single
+// decode pass over its stream (refstream.Replayer.RunBatch). The ratio
+// against BenchmarkSweepGridReplaySerial isolates the decode-once win;
+// against BenchmarkSweepGridSerial, the full execute-once +
+// decode-once speedup.
+func BenchmarkSweepGridBatchSerial(b *testing.B) {
+	benchSweep(b, sweepGrid(b), 1, sweep.ReplayOn)
+}
+
+// BenchmarkSweepGridBatchParallel runs batch passes over the bounded
+// worker pool — one group per task, groups spread across workers.
+func BenchmarkSweepGridBatchParallel(b *testing.B) {
 	benchSweep(b, sweepGrid(b), 0, sweep.ReplayOn)
 }
 

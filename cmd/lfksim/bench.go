@@ -67,20 +67,27 @@ type benchLeg struct {
 }
 
 // benchReplay isolates the execute-once/classify-many win on the
-// standard grid: the same single-worker sweep with replay forced off
-// (every point through sim.Scratch) versus forced on (one capture per
-// (kernel, N) group, every grid point classified against the shared
-// stream). SteadyAllocsPerPoint measures Replayer.Run alone — repeated
-// replays of one captured stream, capture excluded — the steady state
-// the ≤5 allocations budget is about (the Result itself accounts for
-// them; see docs/PERF.md).
+// standard grid, one single-worker sweep per strategy: Direct forces
+// replay off (every point through sim.Scratch); Replay is per-point
+// replay (ReplayPoint — one capture per (kernel, N) group, one stream
+// pass per grid point); Batch is the full planner (ReplayOn — one
+// stream pass per capture group classifying the whole group at once).
+// Speedup and BatchSpeedup are each leg's win over Direct.
+// SteadyAllocsPerPoint measures Replayer.Run alone — repeated replays
+// of one captured stream, capture excluded — the steady state the ≤5
+// allocations budget is about (the Result itself accounts for them;
+// see docs/PERF.md); SteadyBatchAllocsPerPoint is the same for
+// RunBatch, amortized over the batch's points.
 type benchReplay struct {
-	Points               int      `json:"points"`
-	Captures             int64    `json:"captures"`
-	Direct               benchLeg `json:"direct"`
-	Replay               benchLeg `json:"replay"`
-	Speedup              float64  `json:"speedup"`
-	SteadyAllocsPerPoint float64  `json:"steady_allocs_per_point"`
+	Points                    int      `json:"points"`
+	Captures                  int64    `json:"captures"`
+	Direct                    benchLeg `json:"direct"`
+	Replay                    benchLeg `json:"replay"`
+	Batch                     benchLeg `json:"batch"`
+	Speedup                   float64  `json:"speedup"`
+	BatchSpeedup              float64  `json:"batch_speedup"`
+	SteadyAllocsPerPoint      float64  `json:"steady_allocs_per_point"`
+	SteadyBatchAllocsPerPoint float64  `json:"steady_batch_allocs_per_point"`
 }
 
 // standardGrid is the grid the benchmark sweeps: every paper-studied
@@ -187,12 +194,19 @@ func runBench(out string) error {
 	if replay.Direct, _, err = replayLeg(sweep.ReplayOff); err != nil {
 		return fmt.Errorf("bench: direct grid: %w", err)
 	}
-	if replay.Replay, replay.Captures, err = replayLeg(sweep.ReplayOn); err != nil {
+	if replay.Replay, replay.Captures, err = replayLeg(sweep.ReplayPoint); err != nil {
 		return fmt.Errorf("bench: replay grid: %w", err)
 	}
+	if replay.Batch, _, err = replayLeg(sweep.ReplayOn); err != nil {
+		return fmt.Errorf("bench: batch grid: %w", err)
+	}
 	replay.Speedup = replay.Direct.Sec / replay.Replay.Sec
+	replay.BatchSpeedup = replay.Direct.Sec / replay.Batch.Sec
 	if replay.SteadyAllocsPerPoint, err = steadyReplayAllocs(); err != nil {
 		return fmt.Errorf("bench: steady-state replay: %w", err)
+	}
+	if replay.SteadyBatchAllocsPerPoint, err = steadyBatchAllocs(); err != nil {
+		return fmt.Errorf("bench: steady-state batch replay: %w", err)
 	}
 	rep.Replay = replay
 
@@ -229,6 +243,42 @@ func steadyReplayAllocs() (float64, error) {
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / iters, nil
+}
+
+// steadyBatchAllocs is steadyReplayAllocs for RunBatch: one captured
+// stream, a warmed Replayer, repeated batch passes over the standard
+// grid's configuration set for one kernel, allocations amortized over
+// the batch's points.
+func steadyBatchAllocs() (float64, error) {
+	k := loops.PaperSet()[0]
+	st, err := refstream.Capture(k, 0)
+	if err != nil {
+		return 0, err
+	}
+	var cfgs []sim.Config
+	for _, npe := range sweep.PaperPEs {
+		for _, ps := range []int{32, 64} {
+			cfg := sim.PaperConfig(npe, ps)
+			cfgs = append(cfgs, cfg)
+			cfg.CacheElems = 0
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	r := refstream.NewReplayer()
+	if _, err := r.RunBatch(st, cfgs); err != nil { // warm-up: slabs grow on first use
+		return 0, err
+	}
+	const iters = 100
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if _, err := r.RunBatch(st, cfgs); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters*len(cfgs)), nil
 }
 
 // appendBenchHistory renders the benchmark file contents via the
@@ -328,11 +378,25 @@ func renderBenchCompare(path string, entries int, old, cur benchReport) string {
 	case old.Replay == nil:
 		p("replay: new section, no baseline (%d points, %d captures, %.2fx over direct, %.1f steady allocs/point)",
 			cur.Replay.Points, cur.Replay.Captures, cur.Replay.Speedup, cur.Replay.SteadyAllocsPerPoint)
+		if cur.Replay.Batch.Sec > 0 {
+			p("  batch   %.4g sec/point, %.2fx over direct, %.1f steady allocs/point",
+				cur.Replay.Batch.SecPerPoint, cur.Replay.BatchSpeedup, cur.Replay.SteadyBatchAllocsPerPoint)
+		}
 	default:
 		p("replay (%d → %d points, %d → %d captures):", old.Replay.Points, cur.Replay.Points, old.Replay.Captures, cur.Replay.Captures)
 		p("  direct    sec/point %s", benchDelta(old.Replay.Direct.SecPerPoint, cur.Replay.Direct.SecPerPoint, ""))
 		p("  replay    sec/point %s  steady allocs/point %s", benchDelta(old.Replay.Replay.SecPerPoint, cur.Replay.Replay.SecPerPoint, ""), benchDelta(old.Replay.SteadyAllocsPerPoint, cur.Replay.SteadyAllocsPerPoint, ""))
 		p("  speedup   %.2fx → %.2fx", old.Replay.Speedup, cur.Replay.Speedup)
+		switch {
+		case cur.Replay.Batch.Sec == 0:
+			// Batch leg absent in the newer entry; say nothing.
+		case old.Replay.Batch.Sec == 0:
+			p("  batch     new leg, no baseline (%.4g sec/point, %.2fx over direct, %.1f steady allocs/point)",
+				cur.Replay.Batch.SecPerPoint, cur.Replay.BatchSpeedup, cur.Replay.SteadyBatchAllocsPerPoint)
+		default:
+			p("  batch     sec/point %s  steady allocs/point %s", benchDelta(old.Replay.Batch.SecPerPoint, cur.Replay.Batch.SecPerPoint, ""), benchDelta(old.Replay.SteadyBatchAllocsPerPoint, cur.Replay.SteadyBatchAllocsPerPoint, ""))
+			p("  batch speedup %.2fx → %.2fx", old.Replay.BatchSpeedup, cur.Replay.BatchSpeedup)
+		}
 	}
 	switch {
 	case cur.Serve == nil && old.Serve == nil:

@@ -121,12 +121,23 @@ func TestBenchCompareRendersSections(t *testing.T) {
 	cur := testReport("t2")
 	cur.Grid.Points = 308
 	cur.Grid.Serial.SecPerPoint = 3e-4
-	cur.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.2, SteadyAllocsPerPoint: 4}
+	cur.Replay = &benchReplay{Points: 308, Captures: 11, Speedup: 2.2, SteadyAllocsPerPoint: 4,
+		Batch: benchLeg{Sec: 0.025, SecPerPoint: 8e-5}, BatchSpeedup: 4.9, SteadyBatchAllocsPerPoint: 0.1}
 	out := renderBenchCompare("h.json", 2, old, cur)
-	for _, want := range []string{"t1", "t2", "suite:", "grid", "replay", "2.00x → 2.20x", "-25.0%"} {
+	for _, want := range []string{"t1", "t2", "suite:", "grid", "replay", "2.00x → 2.20x", "-25.0%",
+		// The batch leg is new in cur: rendered as baseline-less, not a diff.
+		"batch     new leg, no baseline", "4.90x"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("compare output missing %q:\n%s", want, out)
 		}
+	}
+
+	// Both entries carrying a batch leg diff it numerically.
+	old.Replay.Batch = benchLeg{Sec: 0.030, SecPerPoint: 9.7e-5}
+	old.Replay.BatchSpeedup = 4.0
+	out2 := renderBenchCompare("h.json", 2, old, cur)
+	if !strings.Contains(out2, "batch speedup 4.00x → 4.90x") {
+		t.Errorf("batch diff missing:\n%s", out2)
 	}
 }
 

@@ -1,0 +1,1050 @@
+package refstream
+
+// batch.go — the batch replayer: classify a whole capture group in one
+// stream pass. A sweep group shares one captured stream but used to pay
+// one decode walk per configuration; RunBatch walks the decoded event
+// columns once and fans every event down all configurations of the
+// group. The paper's single-assignment pages make this sound: replay
+// state is pure per-configuration arithmetic (owner tables, slot
+// caches, counters), so configurations never interact and one decoded
+// access can be applied to all of them in any interleaving.
+//
+// State is structure-of-arrays: per-PE counters, traffic matrices,
+// owner tables, reduce tallies and last-touched page ids live in flat
+// slabs indexed by configuration (through the peOff/trafOff/ownOff
+// prefix tables), grown once and reused, so a steady-state RunBatch
+// allocates nothing beyond the returned Results. Configurations are
+// bucketed by page size: within a bucket the global page-id column and
+// the run-length histogram are shared, so gid computation happens once
+// per bucket rather than once per configuration.
+//
+// The fast paths layer per configuration class:
+//
+//   - order-free configurations (frameless cache, or one PE) never
+//     touch the event columns: fold-eligible ones (NPE=1, or Modulo
+//     layout with power-of-two NPE ≤ 64) classify from the memoized
+//     64×64 fold table (foldClassify), the rest from the lazily built
+//     run-length read histogram (aggregateClassify);
+//   - framed configurations normally classify config-major over the
+//     shared context-resolved read column (the cache is the only
+//     order-dependent piece): small Modulo LRU caches ride packed SWAR
+//     rows — four uint16 frame lanes per uint64 word, recency
+//     maintained with shifts and masks instead of array writes
+//     (classifyReadsLRUP1/P2) — larger LRU caches walk plain frame
+//     rows (classifyReadsLRU), and everything else drives the real
+//     slot caches (classifyReadsCache) with a per-(configuration, PE)
+//     last-touched page id short-circuiting the dominant repeated-read
+//     pattern: a PE re-reading the page it just touched is a
+//     guaranteed hit (the prior op left the page resident and, for
+//     every policy, a second touch is structurally a no-op — LRU
+//     re-fronts the front entry, FIFO/Clock/Random do not reorder and
+//     the reference bit is already set), so the hit is counted without
+//     consulting the cache;
+//   - only when the structural summary is unusable (non-contiguous
+//     reduction terms) does the general event pass run, sweeping each
+//     decoded event down every order-dependent configuration of the
+//     bucket (batchEventPass).
+//
+// Results are bit-identical to per-configuration Replayer.Run and to
+// direct sim.Run; refstream_test.go and FuzzBatchVsSingle hold the
+// equivalence across kernels, and docs/PERF.md records the measured
+// win.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Observability names recorded by RunBatch on Replayer.Metrics.
+const (
+	// MetricBatchGroups counts RunBatch invocations (capture groups
+	// classified by the batch path).
+	MetricBatchGroups = "refstream.batch.groups"
+	// MetricBatchConfigsPerPass is a histogram of how many
+	// configurations each shared event pass classified (obs.DepthBuckets).
+	MetricBatchConfigsPerPass = "refstream.batch.configs_per_pass"
+	// MetricBatchDecodePasses counts event-column walks: the quantity
+	// batching minimizes (one per page-size bucket with at least one
+	// order-dependent configuration, instead of one per configuration).
+	MetricBatchDecodePasses = "refstream.batch.decode_passes"
+)
+
+// BatchError attributes a RunBatch failure to the configuration that
+// caused it: Index is the position in the cfgs slice handed to
+// RunBatch. Configurations are validated and set up in input order, so
+// Index is always the lowest failing position — callers mapping batch
+// positions back to grid indices keep the sweep engine's lowest-index
+// error contract.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string { return fmt.Sprintf("config %d: %v", e.Index, e.Err) }
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// batchState is RunBatch's reusable scratch: flat structure-of-arrays
+// slabs indexed by configuration (directly, or per (configuration, PE)
+// through the peOff prefix table). Everything grows on first use and is
+// reused across calls.
+type batchState struct {
+	// Per-configuration geometry and classification class.
+	npe       []int
+	frameless []bool // the configuration's cache holds zero page frames
+	eventPath []bool // order-dependent: classified against the read column or event pass
+	fold      []bool // order-free and servable from the foldSize² contingency table
+
+	// Inline LRU state. Framed LRU configurations — the standard grid's
+	// entire framed population — are classified against a recency-ordered
+	// row of maxPages gids per (configuration, PE) instead of the full
+	// cache machinery: lookup is a linear scan of one cache line, hit is
+	// a move-to-front, miss shifts the row and drops the tail. The
+	// decisions are exactly cache.Cache's LRU (same policy, and replay
+	// inserts only after misses, so Stats reduce to closed form:
+	// Inserts = Misses, Evictions = Inserts − resident, no refreshes or
+	// partial misses).
+	lru      []bool  // per configuration: classified by the inline LRU rows
+	packed   []bool  // inline LRU rows live in the packed word slab instead
+	maxPages []int   // per configuration: page frames (CacheElems/PageSize)
+	frames   []int32 // recency rows, npe×maxPages per configuration, -1 = empty
+
+	// Packed recency rows: when a framed LRU configuration has at most
+	// eight frames, modulo layout with a power-of-two machine width, and
+	// a page space that fits 16-bit tags, its rows are packed four
+	// uint16 lanes per word (lane 0 = most recent, 0xFFFF = empty), so
+	// lookup is a SWAR compare and replacement a pair of word shifts —
+	// the batch replayer's vector unit, and the shape the standard
+	// grid's entire framed population takes.
+	pframes []uint64
+
+	// Prefix tables into the flat slabs, all len(cfgs)+1.
+	peOff    []int // sums of NPE: per-(configuration, PE) slab offsets
+	trafOff  []int // sums of NPE²: traffic-slab offsets
+	ownOff   []int // sums of the page count under the configuration's page size
+	frameOff []int // sums of NPE×maxPages: inline-LRU row offsets
+	pfOff    []int // sums of NPE×words-per-row: packed-LRU row offsets
+
+	// Flat per-(configuration, PE) state.
+	perPE    stats.PerPE
+	lastGid  []int32 // last page id the PE's cache operated on; -1 initially
+	xhits    []int64 // short-circuited hits, folded into cache.Stats at assembly
+	particip []bool  // reduction participation marks
+
+	// Flat per-configuration slabs.
+	traf   []int64 // npe×npe traffic matrices, row-major
+	owners []int32 // owner tables under the configuration's page size
+
+	// Per-configuration reduce tallies.
+	reduceS []int64
+	reduceB []int64
+
+	pageBase []int32   // appendPageTable scratch
+	psList   []int     // distinct page sizes, first-appearance order
+	evIdx    []int     // order-dependent configurations of the current bucket
+	evs      []evState // event-pass views of the current bucket's configurations
+}
+
+// evState is the event pass's view of one configuration: slice headers
+// into the batchState slabs plus the tiny mutable context the stream
+// state machine tracks per configuration. Keeping the headers together
+// makes the per-event inner loop one pointer hop per configuration.
+type evState struct {
+	owners   []int32
+	perPE    stats.PerPE
+	traf     []int64
+	lastGid  []int32
+	xhits    []int64
+	particip []bool
+	caches   []*cache.Cache
+
+	frames []int32 // inline-LRU recency rows, npe×mp; nil for the cache path
+
+	npe       int32
+	mp        int32 // frames per row; >0 selects the inline LRU
+	cur       int32 // open context PE, -1 when none (mirrors runEvents)
+	frameless bool
+	anyTerms  bool
+	reduceS   int64
+	reduceB   int64
+	cfgIdx    int // position in the RunBatch cfgs slice
+}
+
+// lruCap bounds the inline LRU: beyond this many frames the linear
+// row scan loses to the cache's O(1) slot table, so wide caches keep
+// the cache path. packCap bounds the packed rows (two words of four
+// 16-bit lanes); packEmpty is the empty-lane sentinel, so packing
+// requires every page id to stay below it. laneOnes/laneHighs are the
+// SWAR constants for the per-lane equality test.
+const (
+	lruCap    = 64
+	packCap   = 8
+	lanes     = 4
+	packEmpty = 0xFFFF
+	laneOnes  = 0x0001000100010001
+	laneHighs = 0x8000800080008000
+)
+
+// RunBatch classifies the stream under every configuration of a capture
+// group in one pass and returns the Results in cfgs order. Each Result
+// is bit-identical to Run(st, cfgs[i]) — and therefore to a direct
+// sim.Run of the same point. On failure the returned error is a
+// *BatchError whose Index is the lowest failing position in cfgs.
+// Beyond the Results themselves, a steady-state call allocates nothing.
+func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	b := &r.bat
+	n := len(cfgs)
+
+	// Size and zero the slabs. Invalid geometry contributes nothing
+	// here; the setup pass below rejects it, in input order, with the
+	// exact error a single-config Run of the same point reports.
+	b.npe = grown(b.npe, n)
+	b.frameless = grown(b.frameless, n)
+	b.eventPath = grown(b.eventPath, n)
+	b.fold = grown(b.fold, n)
+	b.reduceS = grown(b.reduceS, n)
+	b.reduceB = grown(b.reduceB, n)
+	b.lru = grown(b.lru, n)
+	b.packed = grown(b.packed, n)
+	b.maxPages = grown(b.maxPages, n)
+	b.peOff = grown(b.peOff, n+1)
+	b.trafOff = grown(b.trafOff, n+1)
+	b.ownOff = grown(b.ownOff, n+1)
+	b.frameOff = grown(b.frameOff, n+1)
+	b.pfOff = grown(b.pfOff, n+1)
+	pe, tr, ow, fr, pf := 0, 0, 0, 0, 0
+	for i, cfg := range cfgs {
+		b.peOff[i], b.trafOff[i], b.ownOff[i], b.frameOff[i], b.pfOff[i] = pe, tr, ow, fr, pf
+		if cfg.NPE > 0 && cfg.PageSize > 0 {
+			pe += cfg.NPE
+			tr += cfg.NPE * cfg.NPE
+			pages := 0
+			for _, elems := range st.ArrayLens {
+				pages += (elems + cfg.PageSize - 1) / cfg.PageSize
+			}
+			ow += pages
+			mp := cfg.CacheElems / cfg.PageSize
+			if mp > 0 && mp <= lruCap {
+				fr += cfg.NPE * mp
+			}
+			if mp > 0 && mp <= packCap && pages < packEmpty &&
+				cfg.NPE&(cfg.NPE-1) == 0 && cfg.Layout == partition.KindModulo {
+				pf += cfg.NPE * ((mp + lanes - 1) / lanes)
+			}
+		}
+	}
+	b.peOff[n], b.trafOff[n], b.ownOff[n], b.frameOff[n], b.pfOff[n] = pe, tr, ow, fr, pf
+	b.perPE = grown(b.perPE, pe)
+	b.lastGid = grown(b.lastGid, pe)
+	for i := range b.lastGid {
+		b.lastGid[i] = -1
+	}
+	b.xhits = grown(b.xhits, pe)
+	b.particip = grown(b.particip, pe)
+	b.traf = grown(b.traf, tr)
+	b.owners = grown(b.owners, ow)
+	b.frames = grown(b.frames, fr)
+	b.pframes = grown(b.pframes, pf)
+	if len(r.caches) < pe {
+		r.caches = append(r.caches, make([]*cache.Cache, pe-len(r.caches))...)
+	}
+
+	// Per-configuration machine setup, strictly in input order so the
+	// first error is the lowest-index one: validation, owner tables,
+	// cache frames (all of a framed event-path configuration's PEs;
+	// one cache otherwise, for parameter validation only — order-free
+	// and frameless classification never consults it, exactly like Run).
+	for i := range cfgs {
+		if err := r.setupBatchConfig(st, i, cfgs[i]); err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+	}
+
+	// Classification, bucketed by page size: the gid column and the
+	// run-length histogram are per page size, so sharing a bucket means
+	// computing them once for every configuration in it.
+	heads, _ := st.decoded()
+	b.psList = b.psList[:0]
+	for _, cfg := range cfgs {
+		known := false
+		for _, ps := range b.psList {
+			if ps == cfg.PageSize {
+				known = true
+				break
+			}
+		}
+		if !known {
+			b.psList = append(b.psList, cfg.PageSize)
+		}
+	}
+	passes := 0
+	var hConfigs *obs.Histogram
+	if r.Metrics != nil {
+		hConfigs = r.Metrics.Histogram(MetricBatchConfigsPerPass, obs.DepthBuckets)
+	}
+	for _, ps := range b.psList {
+		gids := st.gidColumn(ps)
+		agg := st.frameAgg(ps)
+		b.evIdx = b.evIdx[:0]
+		first := -1
+		for i, cfg := range cfgs {
+			if cfg.PageSize != ps {
+				continue
+			}
+			if first < 0 {
+				first = i
+			}
+			if b.eventPath[i] {
+				b.evIdx = append(b.evIdx, i)
+				continue
+			}
+			npe := b.npe[i]
+			if b.fold[i] {
+				foldClassify(st.foldTable(ps), npe,
+					b.perPE[b.peOff[i]:b.peOff[i+1]],
+					b.traf[b.trafOff[i]:b.trafOff[i+1]])
+				b.reduceS[i], b.reduceB[i] = aggregateReduces(agg, npe,
+					b.owners[b.ownOff[i]:b.ownOff[i+1]],
+					b.traf[b.trafOff[i]:b.trafOff[i+1]],
+					b.particip[b.peOff[i]:b.peOff[i+1]])
+				continue
+			}
+			b.reduceS[i], b.reduceB[i] = aggregateClassify(agg, st.readsHist(ps), npe,
+				b.owners[b.ownOff[i]:b.ownOff[i+1]],
+				b.perPE[b.peOff[i]:b.peOff[i+1]],
+				b.traf[b.trafOff[i]:b.trafOff[i+1]],
+				b.particip[b.peOff[i]:b.peOff[i+1]])
+		}
+		if len(b.evIdx) == 0 {
+			continue
+		}
+		if len(gids) != len(heads) {
+			return nil, &BatchError{Index: first, Err: fmt.Errorf(
+				"refstream: %s: corrupt stream: %d gids for %d events", st.Kernel.Key, len(gids), len(heads))}
+		}
+		passes++
+		hConfigs.Observe(int64(len(b.evIdx)))
+		if agg.ok {
+			// Config-major classification over the context-resolved read
+			// column: the cache part is the only order-dependent piece, so
+			// each framed configuration scans the dense column once while
+			// writes and reductions come from the shared histogram.
+			col := st.readColumn(ps)
+			for _, i := range b.evIdx {
+				npe := b.npe[i]
+				lo := b.peOff[i]
+				owners := b.owners[b.ownOff[i]:b.ownOff[i+1]]
+				perPE := b.perPE[lo : lo+npe]
+				traf := b.traf[b.trafOff[i]:b.trafOff[i+1]]
+				switch {
+				case b.packed[i]:
+					rows := b.pframes[b.pfOff[i]:b.pfOff[i+1]]
+					if b.maxPages[i] <= lanes {
+						classifyReadsLRUP1(col, npe, b.maxPages[i], owners, rows, perPE, traf)
+					} else {
+						classifyReadsLRUP2(col, npe, b.maxPages[i], owners, rows, perPE, traf)
+					}
+				case b.lru[i]:
+					classifyReadsLRU(col, npe, b.maxPages[i], owners,
+						b.frames[b.frameOff[i]:b.frameOff[i+1]], perPE, traf)
+				default:
+					classifyReadsCache(col, npe, owners, r.caches[lo:lo+npe],
+						b.lastGid[lo:lo+npe], b.xhits[lo:lo+npe], perPE, traf)
+				}
+				aggregateWrites(agg, owners, perPE)
+				b.reduceS[i], b.reduceB[i] = aggregateReduces(agg, npe, owners, traf,
+					b.particip[lo:lo+npe])
+			}
+		} else {
+			// Histogram unusable (non-contiguous reduction terms): the
+			// general event pass sweeps each decoded event down every
+			// order-dependent configuration of the bucket.
+			b.evs = b.evs[:0]
+			for _, i := range b.evIdx {
+				b.evs = append(b.evs, r.evView(i))
+			}
+			if err := batchEventPass(st, heads, gids[:len(heads)], b.evs); err != nil {
+				return nil, &BatchError{Index: first, Err: err}
+			}
+			for j := range b.evs {
+				e := &b.evs[j]
+				b.reduceS[e.cfgIdx], b.reduceB[e.cfgIdx] = e.reduceS, e.reduceB
+			}
+		}
+	}
+	if r.Metrics != nil {
+		r.Metrics.Counter(MetricBatchGroups).Inc()
+		r.Metrics.Counter(MetricBatchDecodePasses).Add(int64(passes))
+	}
+
+	// Result assembly, mirroring Run exactly: fresh counter and traffic
+	// copies, shared (immutable) checksums, synthesized cache stats for
+	// frameless configurations, and short-circuited hits folded into the
+	// cache's own counters.
+	for i := range cfgs {
+		npe := b.npe[i]
+		peBase := b.peOff[i]
+		perPE := b.perPE[peBase : peBase+npe]
+		res := &sim.Result{
+			Kernel: st.Kernel.Key, N: st.N, Config: cfgs[i],
+			PerPE:        append(stats.PerPE(nil), perPE...),
+			ReduceSends:  b.reduceS[i],
+			ReduceBcasts: b.reduceB[i],
+			Checksums:    st.Checksums,
+		}
+		res.Totals = res.PerPE.Totals()
+		slab := append([]int64(nil), b.traf[b.trafOff[i]:b.trafOff[i+1]]...)
+		res.Traffic = make([][]int64, npe)
+		for p := range res.Traffic {
+			res.Traffic[p] = slab[p*npe : (p+1)*npe : (p+1)*npe]
+		}
+		res.Cache = make([]cache.Stats, npe)
+		for p := 0; p < npe; p++ {
+			switch {
+			case b.frameless[i]:
+				res.Cache[p] = cache.Stats{Misses: perPE[p].RemoteReads}
+			case b.lru[i]:
+				// Closed-form cache stats: framed replay hits are exactly
+				// CachedReads and misses exactly RemoteReads; every miss
+				// inserted, and each insert past the row's capacity
+				// evicted. No refreshes or partial misses can occur.
+				var resident int64
+				if b.packed[i] {
+					words := (b.maxPages[i] + lanes - 1) / lanes
+					for _, w := range b.pframes[b.pfOff[i]+p*words : b.pfOff[i]+(p+1)*words] {
+						for l := 0; l < lanes; l++ {
+							if w&packEmpty != packEmpty {
+								resident++
+							}
+							w >>= 16
+						}
+					}
+				} else {
+					mp := b.maxPages[i]
+					for _, g := range b.frames[b.frameOff[i]+p*mp : b.frameOff[i]+(p+1)*mp] {
+						if g >= 0 {
+							resident++
+						}
+					}
+				}
+				res.Cache[p] = cache.Stats{
+					Hits:      perPE[p].CachedReads,
+					Misses:    perPE[p].RemoteReads,
+					Inserts:   perPE[p].RemoteReads,
+					Evictions: perPE[p].RemoteReads - resident,
+				}
+			default:
+				s := r.caches[peBase+p].Stats()
+				s.Hits += b.xhits[peBase+p]
+				res.Cache[p] = s
+			}
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// setupBatchConfig validates cfgs[i] and derives its machine properties
+// into the batch slabs: the owner table under its page size and layout,
+// and freshly reset cache frames. The work and the error messages match
+// what Run performs for the same configuration.
+func (r *Replayer) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
+	if err := validateConfig(cfg); err != nil {
+		return err
+	}
+	b := &r.bat
+	npe := cfg.NPE
+	b.npe[i] = npe
+	var totalPages int
+	b.pageBase, totalPages = appendPageTable(b.pageBase, st.ArrayLens, cfg.PageSize)
+	owners := b.owners[b.ownOff[i]:b.ownOff[i+1]]
+	for a, elems := range st.ArrayLens {
+		pages := (elems + cfg.PageSize - 1) / cfg.PageSize
+		l, err := r.layout(cfg.Layout, npe, pages, cfg.LayoutRun)
+		if err != nil {
+			return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
+		}
+		base := b.pageBase[a]
+		for p := 0; p < pages; p++ {
+			owners[base+int32(p)] = int32(l.Owner(p))
+		}
+	}
+	mp := cfg.CacheElems / cfg.PageSize
+	b.maxPages[i] = mp
+	b.frameless[i] = mp == 0 || totalPages == 0
+	agg := st.frameAgg(cfg.PageSize)
+	b.eventPath[i] = !((b.frameless[i] || npe == 1) && agg.ok)
+	b.lru[i] = b.eventPath[i] && !b.frameless[i] && cfg.Policy == cache.LRU && mp <= lruCap
+	b.packed[i] = b.lru[i] && agg.ok && mp <= packCap && totalPages < packEmpty &&
+		npe&(npe-1) == 0 && cfg.Layout == partition.KindModulo
+	// The contingency table serves an order-free configuration whenever
+	// the folded page key determines the owner (see foldEligible);
+	// everything else falls back to the lazily built read histogram.
+	b.fold[i] = !b.eventPath[i] && foldEligible(cfg, npe)
+	if b.packed[i] {
+		// Packed rows: every lane empty. The read-column walk is the only
+		// consumer, so the int32 rows stay untouched.
+		rows := b.pframes[b.pfOff[i]:b.pfOff[i+1]]
+		for j := range rows {
+			rows[j] = ^uint64(0)
+		}
+		return nil
+	}
+	if b.lru[i] {
+		// Inline LRU rows replace the cache machinery entirely. No cache
+		// parameter can be invalid here (the policy is LRU and
+		// validateConfig covered the geometry), so skipping NewSlots
+		// loses no validation.
+		rows := b.frames[b.frameOff[i]:b.frameOff[i+1]]
+		for j := range rows {
+			rows[j] = -1
+		}
+		return nil
+	}
+	ncaches := 1 // validation only: frameless/order-free classification never consults frames
+	if b.eventPath[i] && !b.frameless[i] {
+		ncaches = npe
+	}
+	for p := 0; p < ncaches; p++ {
+		slot := b.peOff[i] + p
+		if r.caches[slot] == nil {
+			c, err := cache.NewSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages)
+			if err != nil {
+				return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
+			}
+			r.caches[slot] = c
+		} else if err := r.caches[slot].ReconfigureSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages); err != nil {
+			return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
+		}
+	}
+	return nil
+}
+
+// evView builds the event pass's view of configuration i.
+func (r *Replayer) evView(i int) evState {
+	b := &r.bat
+	lo, hi := b.peOff[i], b.peOff[i+1]
+	e := evState{
+		owners:    b.owners[b.ownOff[i]:b.ownOff[i+1]],
+		perPE:     b.perPE[lo:hi],
+		traf:      b.traf[b.trafOff[i]:b.trafOff[i+1]],
+		lastGid:   b.lastGid[lo:hi],
+		xhits:     b.xhits[lo:hi],
+		particip:  b.particip[lo:hi],
+		caches:    r.caches[lo:hi],
+		npe:       int32(b.npe[i]),
+		cur:       -1,
+		frameless: b.frameless[i],
+		cfgIdx:    i,
+	}
+	if b.lru[i] {
+		e.frames = b.frames[b.frameOff[i]:b.frameOff[i+1]]
+		e.mp = int32(b.maxPages[i])
+	}
+	return e
+}
+
+// batchEventPass streams the decoded events once, sweeping each event
+// down every order-dependent configuration of one page-size bucket.
+// Per configuration it is runEvents' state machine verbatim, plus the
+// lastGid short circuit: a PE whose cache's previous operation was on
+// the same page takes a guaranteed hit without touching the cache (the
+// page is resident, and re-touching it mutates no replacement state
+// under any policy — see the package comment above).
+func batchEventPass(st *Stream, heads []uint32, gids []int32, evs []evState) error {
+	for i, h := range heads {
+		op := h & 7
+		if op == opRead {
+			gid := gids[i]
+			for j := range evs {
+				e := &evs[j]
+				if cur := e.cur; cur >= 0 {
+					owner := e.owners[gid]
+					switch {
+					case owner == cur:
+						e.perPE[cur].LocalReads++
+					case e.frameless:
+						npe := int(e.npe)
+						e.perPE[cur].RemoteReads++
+						e.traf[int(cur)*npe+int(owner)]++
+						e.traf[int(owner)*npe+int(cur)]++
+					case e.lastGid[cur] == gid:
+						e.perPE[cur].CachedReads++
+						e.xhits[cur]++
+					default:
+						e.lastGid[cur] = gid
+						e.classifyMiss(int(cur), int(owner), gid)
+					}
+				} else {
+					e.controlRead(gid)
+				}
+			}
+			continue
+		}
+		switch op {
+		case opAssign:
+			for j := range evs {
+				e := &evs[j]
+				e.cur = e.owners[gids[i]]
+				e.perPE[e.cur].Writes++ // writes are always local (§7)
+			}
+		case opEnd:
+			for j := range evs {
+				evs[j].cur = -1
+			}
+		case opTerm:
+			for j := range evs {
+				e := &evs[j]
+				e.cur = e.owners[gids[i]]
+				e.particip[e.cur] = true
+				e.anyTerms = true
+			}
+		case opEndReduce:
+			for j := range evs {
+				evs[j].endReduce(int(h >> 3))
+			}
+		default:
+			return fmt.Errorf("refstream: %s: corrupt stream: opcode %d", st.Kernel.Key, h&7)
+		}
+	}
+	return nil
+}
+
+// foldClassify charges reads, control reads and writes from the
+// stream's contingency table: the owner of every folded page key is
+// key & (npe-1), so the whole classification is a fixed foldSize² walk
+// regardless of stream length. Exact for order-free configurations
+// whose owner function the fold preserves (see batchState.fold).
+func foldClassify(t *foldTable, npe int, perPE stats.PerPE, traf []int64) {
+	m := npe - 1
+	for ck := 0; ck < foldSize; ck++ {
+		p := ck & m
+		row := t.reads[ck<<foldBits : ck<<foldBits+foldSize]
+		for gk, cnt := range row {
+			if cnt == 0 {
+				continue
+			}
+			q := gk & m
+			if p == q {
+				perPE[p].LocalReads += cnt
+			} else {
+				perPE[p].RemoteReads += cnt
+				traf[p*npe+q] += cnt
+				traf[q*npe+p] += cnt
+			}
+		}
+	}
+	for gk, cnt := range t.ctrl {
+		if cnt == 0 {
+			continue
+		}
+		q := gk & m
+		perPE[q].LocalReads += cnt
+		for pe := 0; pe < npe; pe++ {
+			if pe == q {
+				continue
+			}
+			perPE[pe].RemoteReads += cnt
+			traf[pe*npe+q] += cnt
+			traf[q*npe+pe] += cnt
+		}
+	}
+	for gk, cnt := range t.wr {
+		if cnt != 0 {
+			perPE[gk&m].Writes += cnt
+		}
+	}
+}
+
+// classifyReadsLRU walks the context-resolved read column for one
+// framed LRU configuration, classifying against its inline recency
+// rows. The front-of-row check doubles as the guaranteed-hit short
+// circuit (the most recent page is by definition row[0]).
+func classifyReadsLRU(col []readRec, npe, mp int, owners, frames []int32, perPE stats.PerPE, traf []int64) {
+	lastCtx, cur := int32(-2), -1 // -2: no owner lookup cached yet
+	for _, rc := range col {
+		if rc.ctx != lastCtx {
+			lastCtx = rc.ctx
+			if lastCtx >= 0 {
+				cur = int(owners[lastCtx])
+			} else {
+				cur = -1
+			}
+		}
+		gid := rc.gid
+		c := int64(rc.count)
+		if cur >= 0 {
+			owner := int(owners[gid])
+			if owner == cur {
+				perPE[cur].LocalReads += c
+				continue
+			}
+			lruTouch(frames[cur*mp:cur*mp+mp], gid, cur, owner, npe, c, perPE, traf)
+		} else {
+			owner := int(owners[gid])
+			for pe := 0; pe < npe; pe++ {
+				if pe == owner {
+					perPE[pe].LocalReads += c
+					continue
+				}
+				lruTouch(frames[pe*mp:pe*mp+mp], gid, pe, owner, npe, c, perPE, traf)
+			}
+		}
+	}
+}
+
+// lruTouch performs one run of c lookups against an inline LRU row:
+// scan for the page, re-front it on a hit, shift-insert on a miss with
+// the tail falling off — exactly cache.Cache's LRU decisions for
+// replay's lookup-then-insert-on-miss discipline. After the first
+// lookup the page is the row's front, so the run's remaining c−1
+// lookups are hits regardless of how the first resolved.
+func lruTouch(row []int32, gid int32, pe, owner, npe int, c int64, perPE stats.PerPE, traf []int64) {
+	if row[0] == gid {
+		perPE[pe].CachedReads += c
+		return
+	}
+	for i := 1; i < len(row); i++ {
+		if row[i] == gid { // hit: refresh recency, exactly LRU's touch
+			for j := i; j > 0; j-- {
+				row[j] = row[j-1]
+			}
+			row[0] = gid
+			perPE[pe].CachedReads += c
+			return
+		}
+	}
+	for j := len(row) - 1; j > 0; j-- { // miss: insert at front, tail falls off
+		row[j] = row[j-1]
+	}
+	row[0] = gid
+	perPE[pe].RemoteReads++
+	perPE[pe].CachedReads += c - 1
+	traf[pe*npe+owner]++ // page request
+	traf[owner*npe+pe]++ // page reply
+}
+
+// classifyReadsLRUP1 is classifyReadsLRU for packed single-word rows
+// (at most four frames): the row scan is one SWAR halfword compare and
+// recency maintenance a pair of shifts, all inlined into the walk. The
+// modulo-layout and power-of-two preconditions (batchState.packed) let
+// the owner come from the read's array-local page index by mask,
+// skipping the owner-table load entirely.
+func classifyReadsLRUP1(col []readRec, npe, mp int, owners []int32, rows []uint64, perPE stats.PerPE, traf []int64) {
+	m := int32(npe - 1)
+	keep := uint64(1)<<(16*uint(mp)) - 1 // mp=4 shifts past the word: keep = ^0
+	lastCtx, cur := int32(-2), -1        // -2: no owner lookup cached yet
+	for _, rc := range col {
+		if rc.ctx != lastCtx {
+			lastCtx = rc.ctx
+			if lastCtx >= 0 {
+				cur = int(owners[lastCtx])
+			} else {
+				cur = -1
+			}
+		}
+		g := uint64(uint32(rc.gid))
+		owner := int(rc.loc & m)
+		c := int64(rc.count)
+		if cur >= 0 {
+			if owner == cur {
+				perPE[cur].LocalReads += c
+				continue
+			}
+			w := rows[cur]
+			if w&packEmpty == g { // front lane: the guaranteed-hit short circuit
+				perPE[cur].CachedReads += c
+				continue
+			}
+			x := w ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[cur] = w&^(uint64(1)<<(s+16)-1) | (w&(uint64(1)<<s-1))<<16 | g
+				perPE[cur].CachedReads += c
+			} else {
+				rows[cur] = ((w<<16 | g) & keep) | ^keep
+				perPE[cur].RemoteReads++
+				perPE[cur].CachedReads += c - 1 // the rest of the run re-hits the new front
+				traf[cur*npe+owner]++           // page request
+				traf[owner*npe+cur]++           // page reply
+			}
+			continue
+		}
+		for pe := 0; pe < npe; pe++ { // control read: every PE executes it
+			if pe == owner {
+				perPE[pe].LocalReads += c
+				continue
+			}
+			w := rows[pe]
+			if w&packEmpty == g {
+				perPE[pe].CachedReads += c
+				continue
+			}
+			x := w ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[pe] = w&^(uint64(1)<<(s+16)-1) | (w&(uint64(1)<<s-1))<<16 | g
+				perPE[pe].CachedReads += c
+			} else {
+				rows[pe] = ((w<<16 | g) & keep) | ^keep
+				perPE[pe].RemoteReads++
+				perPE[pe].CachedReads += c - 1
+				traf[pe*npe+owner]++
+				traf[owner*npe+pe]++
+			}
+		}
+	}
+}
+
+// classifyReadsLRUP2 extends the packed walk to two-word rows (five to
+// eight frames). Recency runs lane 0 of word 0 (most recent) through
+// lane 3 of word 1: a hit in word 1 extracts the lane, slides word 0 up
+// with its last lane spilling into word 1's front, and a miss shifts
+// both words with word 1's tail falling off.
+func classifyReadsLRUP2(col []readRec, npe, mp int, owners []int32, rows []uint64, perPE stats.PerPE, traf []int64) {
+	m := int32(npe - 1)
+	keep1 := uint64(1)<<(16*uint(mp-lanes)) - 1 // mp=8: keep = ^0
+	lastCtx, cur := int32(-2), -1
+	for _, rc := range col {
+		if rc.ctx != lastCtx {
+			lastCtx = rc.ctx
+			if lastCtx >= 0 {
+				cur = int(owners[lastCtx])
+			} else {
+				cur = -1
+			}
+		}
+		g := uint64(uint32(rc.gid))
+		owner := int(rc.loc & m)
+		c := int64(rc.count)
+		if cur >= 0 {
+			if owner == cur {
+				perPE[cur].LocalReads += c
+				continue
+			}
+			j := cur * 2
+			w0 := rows[j]
+			if w0&packEmpty == g {
+				perPE[cur].CachedReads += c
+				continue
+			}
+			x := w0 ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[j] = w0&^(uint64(1)<<(s+16)-1) | (w0&(uint64(1)<<s-1))<<16 | g
+				perPE[cur].CachedReads += c
+				continue
+			}
+			w1 := rows[j+1]
+			x = w1 ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[j+1] = w1&^(uint64(1)<<(s+16)-1) | (w1&(uint64(1)<<s-1))<<16 | w0>>48
+				rows[j] = w0<<16 | g
+				perPE[cur].CachedReads += c
+			} else {
+				rows[j] = w0<<16 | g
+				rows[j+1] = ((w1<<16 | w0>>48) & keep1) | ^keep1
+				perPE[cur].RemoteReads++
+				perPE[cur].CachedReads += c - 1
+				traf[cur*npe+owner]++
+				traf[owner*npe+cur]++
+			}
+			continue
+		}
+		for pe := 0; pe < npe; pe++ {
+			if pe == owner {
+				perPE[pe].LocalReads += c
+				continue
+			}
+			j := pe * 2
+			w0 := rows[j]
+			if w0&packEmpty == g {
+				perPE[pe].CachedReads += c
+				continue
+			}
+			x := w0 ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[j] = w0&^(uint64(1)<<(s+16)-1) | (w0&(uint64(1)<<s-1))<<16 | g
+				perPE[pe].CachedReads += c
+				continue
+			}
+			w1 := rows[j+1]
+			x = w1 ^ (g * laneOnes)
+			if d := (x - laneOnes) & ^x & laneHighs; d != 0 {
+				s := uint(bits.TrailingZeros64(d)) &^ 15
+				rows[j+1] = w1&^(uint64(1)<<(s+16)-1) | (w1&(uint64(1)<<s-1))<<16 | w0>>48
+				rows[j] = w0<<16 | g
+				perPE[pe].CachedReads += c
+			} else {
+				rows[j] = w0<<16 | g
+				rows[j+1] = ((w1<<16 | w0>>48) & keep1) | ^keep1
+				perPE[pe].RemoteReads++
+				perPE[pe].CachedReads += c - 1
+				traf[pe*npe+owner]++
+				traf[owner*npe+pe]++
+			}
+		}
+	}
+}
+
+// classifyReadsCache is classifyReadsLRU for the remaining framed
+// configurations (non-LRU policies, or caches wider than the inline
+// row bound): same column walk, against the real slot caches, with the
+// lastGid guaranteed-hit short circuit and its xhits fold-back.
+func classifyReadsCache(col []readRec, npe int, owners []int32, caches []*cache.Cache, lastGid []int32, xhits []int64, perPE stats.PerPE, traf []int64) {
+	lastCtx, cur := int32(-2), -1
+	for _, rc := range col {
+		if rc.ctx != lastCtx {
+			lastCtx = rc.ctx
+			if lastCtx >= 0 {
+				cur = int(owners[lastCtx])
+			} else {
+				cur = -1
+			}
+		}
+		gid := rc.gid
+		c := int64(rc.count)
+		if cur >= 0 {
+			owner := int(owners[gid])
+			switch {
+			case owner == cur:
+				perPE[cur].LocalReads += c
+			case lastGid[cur] == gid:
+				perPE[cur].CachedReads += c
+				xhits[cur] += c
+			default:
+				lastGid[cur] = gid
+				cacheTouch(caches[cur], gid, cur, owner, npe, c, perPE, traf, xhits)
+			}
+		} else {
+			owner := int(owners[gid])
+			for pe := 0; pe < npe; pe++ {
+				switch {
+				case pe == owner:
+					perPE[pe].LocalReads += c
+				case lastGid[pe] == gid:
+					perPE[pe].CachedReads += c
+					xhits[pe] += c
+				default:
+					lastGid[pe] = gid
+					cacheTouch(caches[pe], gid, pe, owner, npe, c, perPE, traf, xhits)
+				}
+			}
+		}
+	}
+}
+
+// cacheTouch is one lookup-and-insert against a real slot cache, for a
+// run of cnt reads: the first consults the cache, the remaining cnt−1
+// are the short-circuited hits single-config replay counts via lastGid
+// (folded into the cache's Stats through xhits at assembly).
+func cacheTouch(c *cache.Cache, gid int32, pe, owner, npe int, cnt int64, perPE stats.PerPE, traf []int64, xhits []int64) {
+	switch c.LookupSlot(int(gid), 0) {
+	case cache.Hit:
+		perPE[pe].CachedReads += cnt
+	default: // Miss (PartialMiss cannot occur without partial-fill modeling)
+		perPE[pe].RemoteReads++
+		perPE[pe].CachedReads += cnt - 1
+		traf[pe*npe+owner]++ // page request
+		traf[owner*npe+pe]++ // page reply
+		c.InsertSlot(int(gid), nil)
+	}
+	xhits[pe] += cnt - 1
+}
+
+// controlRead charges one replicated control read — executed by every
+// PE — to the configuration, with the same per-PE short circuit as
+// context reads.
+func (e *evState) controlRead(gid int32) {
+	owner := int(e.owners[gid])
+	npe := int(e.npe)
+	for pe := 0; pe < npe; pe++ {
+		switch {
+		case owner == pe:
+			e.perPE[pe].LocalReads++
+		case e.frameless:
+			e.perPE[pe].RemoteReads++
+			e.traf[pe*npe+owner]++
+			e.traf[owner*npe+pe]++
+		case e.lastGid[pe] == gid:
+			e.perPE[pe].CachedReads++
+			e.xhits[pe]++
+		default:
+			e.lastGid[pe] = gid
+			e.classifyMiss(pe, owner, gid)
+		}
+	}
+}
+
+// classifyMiss consults the PE's cache — the inline LRU row when the
+// configuration qualifies, the real cache otherwise. The real-cache arm
+// is the same arithmetic as Replayer.classifyMiss, against this
+// configuration's state views.
+func (e *evState) classifyMiss(pe, owner int, gid int32) {
+	if mp := int(e.mp); mp > 0 {
+		row := e.frames[pe*mp : pe*mp+mp]
+		for i, g := range row {
+			if g == gid { // hit: refresh recency, exactly LRU's touch
+				copy(row[1:i+1], row[:i])
+				row[0] = gid
+				e.perPE[pe].CachedReads++
+				return
+			}
+		}
+		copy(row[1:], row) // miss: insert at front, tail falls off
+		row[0] = gid
+		npe := int(e.npe)
+		e.perPE[pe].RemoteReads++
+		e.traf[pe*npe+owner]++ // page request
+		e.traf[owner*npe+pe]++ // page reply
+		return
+	}
+	switch e.caches[pe].LookupSlot(int(gid), 0) {
+	case cache.Hit:
+		e.perPE[pe].CachedReads++
+	default: // Miss (PartialMiss cannot occur without partial-fill modeling)
+		npe := int(e.npe)
+		e.perPE[pe].RemoteReads++
+		e.traf[pe*npe+owner]++ // page request
+		e.traf[owner*npe+pe]++ // page reply
+		e.caches[pe].InsertSlot(int(gid), nil)
+	}
+}
+
+// endReduce accounts the host-processor collection (§9) for one
+// configuration: one send per participating PE, then a broadcast.
+func (e *evState) endReduce(array int) {
+	e.cur = -1
+	npe := int(e.npe)
+	host := array % npe
+	for pe := 0; pe < npe; pe++ {
+		if !e.particip[pe] {
+			continue
+		}
+		e.reduceS++
+		if pe != host {
+			e.traf[pe*npe+host]++
+		}
+		e.particip[pe] = false
+	}
+	if e.anyTerms {
+		e.reduceB += int64(npe - 1)
+		for pe := 0; pe < npe; pe++ {
+			if pe != host {
+				e.traf[host*npe+pe]++
+			}
+		}
+	}
+	e.anyTerms = false
+}

@@ -1,0 +1,308 @@
+package refstream
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestBatchMatchesSingleAllKernels is the batch replayer's equivalence
+// contract: for every kernel, classifying the whole seeded shape grid
+// in one RunBatch pass must produce Results bit-identical to
+// per-configuration Replayer.Run — and, by Run's own contract, to
+// direct sim.Run of every point.
+func TestBatchMatchesSingleAllKernels(t *testing.T) {
+	cfgs := shapeGrid()
+	for _, k := range loops.All() {
+		k := k
+		t.Run(k.Key, func(t *testing.T) {
+			t.Parallel()
+			n := smallN(k)
+			st, err := Capture(k, n)
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			got, err := NewReplayer().RunBatch(st, cfgs)
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+			if len(got) != len(cfgs) {
+				t.Fatalf("batch returned %d results for %d configs", len(got), len(cfgs))
+			}
+			single := NewReplayer()
+			for i, cfg := range cfgs {
+				want, err := single.Run(st, cfg)
+				if err != nil {
+					t.Fatalf("single npe=%d ps=%d: %v", cfg.NPE, cfg.PageSize, err)
+				}
+				if !reflect.DeepEqual(got[i], want) {
+					t.Errorf("npe=%d ps=%d ce=%d %s/%s: batch diverges from single-config replay\nbatch:  totals %v reduce %d/%d cache %v\nsingle: totals %v reduce %d/%d cache %v",
+						cfg.NPE, cfg.PageSize, cfg.CacheElems, cfg.Layout, cfg.Policy,
+						got[i].Totals, got[i].ReduceSends, got[i].ReduceBcasts, got[i].Cache,
+						want.Totals, want.ReduceSends, want.ReduceBcasts, want.Cache)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchReplayerReuse interleaves RunBatch groups and single Run
+// calls on one Replayer across streams — the sweep-worker usage — and
+// requires every Result to match a fresh Replayer's.
+func TestBatchReplayerReuse(t *testing.T) {
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k24, err := loops.ByKey("k24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, err := Capture(k1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st24, err := Capture(k24, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groupA := []sim.Config{sim.PaperConfig(8, 32), sim.PaperConfig(2, 8), sim.NoCacheConfig(16, 32)}
+	groupB := []sim.Config{sim.PaperConfig(64, 16), sim.PaperConfig(1, 32)}
+	r := NewReplayer()
+	steps := []struct {
+		st   *Stream
+		cfgs []sim.Config
+	}{
+		{st1, groupA},
+		{st24, groupB}, // wider machine, different stream
+		{st1, groupB},
+		{st24, groupA},
+		{st1, groupA}, // back to the first group
+	}
+	for i, s := range steps {
+		got, err := r.RunBatch(s.st, s.cfgs)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		// A single Run interleaved between batches must not perturb them.
+		if _, err := r.Run(s.st, sim.PaperConfig(4, 32)); err != nil {
+			t.Fatalf("step %d interleaved Run: %v", i, err)
+		}
+		for j, cfg := range s.cfgs {
+			want, err := NewReplayer().Run(s.st, cfg)
+			if err != nil {
+				t.Fatalf("step %d config %d: %v", i, j, err)
+			}
+			if !reflect.DeepEqual(got[j], want) {
+				t.Errorf("step %d config %d: reused batch Replayer diverges from fresh single-config replay", i, j)
+			}
+		}
+	}
+}
+
+// TestBatchSharedStreamConcurrently runs RunBatch against one Stream
+// from many goroutines (each with its own Replayer); under -race this
+// proves the batch path keeps the Stream read-only too.
+func TestBatchSharedStreamConcurrently(t *testing.T) {
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []sim.Config{sim.PaperConfig(8, 32), sim.PaperConfig(8, 16), sim.NoCacheConfig(4, 32)}
+	want, err := NewReplayer().RunBatch(st, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := NewReplayer()
+			for i := 0; i < 10; i++ {
+				got, err := r.RunBatch(st, cfgs)
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errs[g] = errMismatch
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+// TestBatchErrorAttribution: a failing configuration is reported as a
+// *BatchError carrying the lowest failing index, with the same
+// underlying error the single-config path reports — the contract the
+// sweep engine's lowest-grid-index error propagation builds on.
+func TestBatchErrorAttribution(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badPolicy := sim.PaperConfig(8, 32)
+	badPolicy.Policy = cache.Policy(99)
+	cfgs := []sim.Config{
+		sim.PaperConfig(4, 32),  // 0: fine
+		badPolicy,               // 1: first failure, must win
+		sim.PaperConfig(8, 32),  // 2: fine
+		{NPE: -1, PageSize: 32}, // 3: second failure, must not win
+	}
+	_, err = NewReplayer().RunBatch(st, cfgs)
+	if err == nil {
+		t.Fatal("batch with invalid configs succeeded")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError: %v", err, err)
+	}
+	if be.Index != 1 {
+		t.Errorf("BatchError.Index = %d, want 1 (lowest failing position)", be.Index)
+	}
+	_, werr := NewReplayer().Run(st, badPolicy)
+	if werr == nil {
+		t.Fatal("single-config run accepted the bad policy")
+	}
+	if be.Err.Error() != werr.Error() {
+		t.Errorf("batch error %q != single-config error %q", be.Err, werr)
+	}
+
+	pf := sim.PaperConfig(8, 32)
+	pf.ModelPartialFill = true
+	if _, err := NewReplayer().RunBatch(st, []sim.Config{sim.PaperConfig(2, 32), pf}); err == nil {
+		t.Error("ineligible partial-fill config accepted by batch replay")
+	} else if !errors.Is(err, ErrUnsupported) {
+		t.Errorf("ineligible config error does not unwrap to ErrUnsupported: %v", err)
+	}
+}
+
+// TestBatchDegenerateGroups: the empty group and the singleton group
+// are valid batches, and a singleton matches single-config replay.
+func TestBatchDegenerateGroups(t *testing.T) {
+	k, err := loops.ByKey("k12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplayer()
+	res, err := r.RunBatch(st, nil)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: got %d results, err %v", len(res), err)
+	}
+	cfg := sim.PaperConfig(8, 32)
+	got, err := r.RunBatch(st, []sim.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewReplayer().Run(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got[0], want) {
+		t.Error("singleton batch diverges from single-config replay")
+	}
+}
+
+// TestBatchMetrics audits the batch observability surface: one group
+// counter per call, decode passes bounded by the distinct page sizes
+// (not the configuration count), and one configs-per-pass observation
+// per shared event pass.
+func TestBatchMetrics(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	r := NewReplayer()
+	r.Metrics = reg
+	// Six framed multi-PE configurations across two page sizes: two
+	// shared event passes classify all six.
+	cfgs := []sim.Config{
+		sim.PaperConfig(8, 32), sim.PaperConfig(16, 32), sim.PaperConfig(4, 32),
+		sim.PaperConfig(8, 16), sim.PaperConfig(16, 16), sim.PaperConfig(4, 16),
+	}
+	if _, err := r.RunBatch(st, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricBatchGroups).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricBatchGroups, got)
+	}
+	if got := reg.Counter(MetricBatchDecodePasses).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2 (one per page-size bucket)", MetricBatchDecodePasses, got)
+	}
+	if got := reg.Histogram(MetricBatchConfigsPerPass, obs.DepthBuckets).Count(); got != 2 {
+		t.Errorf("%s count = %d, want 2", MetricBatchConfigsPerPass, got)
+	}
+	// Order-free groups never walk the event columns at all.
+	if _, err := r.RunBatch(st, []sim.Config{sim.NoCacheConfig(8, 32), sim.NoCacheConfig(16, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricBatchDecodePasses).Value(); got != 2 {
+		t.Errorf("order-free group walked the event columns: %s = %d, want still 2", MetricBatchDecodePasses, got)
+	}
+	if got := reg.Counter(MetricBatchGroups).Value(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricBatchGroups, got)
+	}
+}
+
+// TestBatchReplayAllocs is the batch alloc guard: in steady state every
+// additional configuration in a group costs only its Result (at most
+// the same 5 allocations single-config replay is held to), because all
+// classification state lives in the Replayer's reused slabs. The slack
+// for the results slice itself is one allocation per call.
+func TestBatchReplayAllocs(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := shapeGrid()
+	r := NewReplayer()
+	if _, err := r.RunBatch(st, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.RunBatch(st, cfgs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	limit := float64(5*len(cfgs) + 1)
+	if allocs > limit {
+		t.Errorf("%.0f allocs per steady-state batch of %d configs, want <= %.0f (5 per Result + the results slice)",
+			allocs, len(cfgs), limit)
+	}
+}

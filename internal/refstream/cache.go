@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/loops"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // Cache is a bounded, deduplicating store of captured reference
@@ -71,6 +72,15 @@ func NewCache(capacity int) *Cache {
 // use. Safe for concurrent use; concurrent Gets of one key perform a
 // single capture.
 func (c *Cache) Get(k *loops.Kernel, n int) (*Stream, error) {
+	return c.GetScratch(nil, k, n)
+}
+
+// GetScratch is Get with the capture — should this call be the one to
+// perform it — running against the caller's reusable simulator scratch
+// (see CaptureScratch). Long-lived consumers that already hold a
+// per-worker scratch pass it here so a cache miss costs no fresh
+// kernel-array allocations.
+func (c *Cache) GetScratch(sc *sim.Scratch, k *loops.Kernel, n int) (*Stream, error) {
 	if k == nil {
 		return nil, fmt.Errorf("refstream: nil kernel")
 	}
@@ -98,7 +108,7 @@ func (c *Cache) Get(k *loops.Kernel, n int) (*Stream, error) {
 
 	e.once.Do(func() {
 		c.Captures.Inc()
-		e.st, e.err = Capture(k, key.n)
+		e.st, e.err = CaptureScratch(sc, k, key.n)
 		if e.err != nil {
 			// Drop the failed entry (if still ours) so a later Get
 			// retries instead of replaying a stale error forever.

@@ -64,6 +64,17 @@ func (e *encoder) EndReduce(driver int) {
 // one classified event per access, and the recorded stream plus its
 // structural markers are independent of every machine parameter.
 func Capture(k *loops.Kernel, n int) (*Stream, error) {
+	return CaptureScratch(nil, k, n)
+}
+
+// CaptureScratch is Capture against a reusable simulator scratch: the
+// capture run borrows sc's buffers instead of allocating fresh kernel
+// arrays, which removes most of a capture's cost beyond the one
+// unavoidable execution (sweep workers and the serving engine hold a
+// scratch per worker for exactly this). A nil sc runs with a private
+// one. The returned Stream is identical either way and shares nothing
+// with sc.
+func CaptureScratch(sc *sim.Scratch, k *loops.Kernel, n int) (*Stream, error) {
 	if k == nil {
 		return nil, fmt.Errorf("refstream: nil kernel")
 	}
@@ -85,7 +96,13 @@ func Capture(k *loops.Kernel, n int) (*Stream, error) {
 		Layout:   partition.KindModulo,
 		Tracer:   enc,
 	}
-	res, err := sim.Run(k, n, cfg)
+	var res *sim.Result
+	var err error
+	if sc != nil {
+		res, err = sc.Run(k, n, cfg)
+	} else {
+		res, err = sim.Run(k, n, cfg)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("refstream: capturing %s/n=%d: %w", k.Key, n, err)
 	}

@@ -76,3 +76,53 @@ func FuzzReplayVsDirect(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchVsSingle drives the batch replayer's equivalence contract
+// through randomized capture groups: RunBatch over a fuzzer-shaped
+// group of configurations must match looped single-config Run result
+// for result, bit-identically, with the group's page-size mix, PE
+// widths, cache shapes and policies all varied together.
+func FuzzBatchVsSingle(f *testing.F) {
+	f.Add(uint8(0), uint16(200), uint8(8), uint8(32), uint16(256), uint8(0), uint8(1), uint8(0), uint8(3))
+	f.Add(uint8(3), uint16(100), uint8(1), uint8(1), uint16(0), uint8(1), uint8(2), uint8(1), uint8(7))
+	f.Add(uint8(7), uint16(333), uint8(64), uint8(16), uint16(64), uint8(2), uint8(3), uint8(2), uint8(1))
+	f.Add(uint8(23), uint16(400), uint8(16), uint8(64), uint16(1024), uint8(1), uint8(1), uint8(3), uint8(5))
+	kernels := loops.All()
+	f.Fuzz(func(t *testing.T, kIdx uint8, n uint16, npe, ps uint8, ce uint16, layout, run, policy, k uint8) {
+		kernel := kernels[int(kIdx)%len(kernels)]
+		size := int(n)%400 + 1
+		// Derive a group of up to 8 configurations from the seed shape by
+		// stepping each axis deterministically, so one fuzz input covers
+		// mixed page sizes and mixed fast-path classes in a single batch.
+		group := int(k)%8 + 1
+		cfgs := make([]sim.Config, 0, group)
+		for i := 0; i < group; i++ {
+			cfgs = append(cfgs, sim.Config{
+				NPE:        (int(npe)+i*3)%64 + 1,
+				PageSize:   (int(ps)+i*7)%96 + 1,
+				CacheElems: (int(ce) + i*128) % 2048,
+				Policy:     cache.Policy((int(policy) + i) % 4),
+				Layout:     partition.Kind((int(layout) + i) % 3),
+				LayoutRun:  (int(run)+i)%6 + 1,
+			})
+		}
+		st := cachedCapture(t, kernel, size)
+		got, err := NewReplayer().RunBatch(st, cfgs)
+		if err != nil {
+			t.Fatalf("batch rejected group %+v: %v", cfgs, err)
+		}
+		single := NewReplayer()
+		for i, cfg := range cfgs {
+			want, err := single.Run(st, cfg)
+			if err != nil {
+				t.Fatalf("single-config replay rejected %+v the batch accepted: %v", cfg, err)
+			}
+			if !reflect.DeepEqual(got[i], want) {
+				t.Errorf("%s n=%d config %d %+v: batch diverges from single-config replay\nbatch:  totals %v reduce %d/%d\nsingle: totals %v reduce %d/%d",
+					kernel.Key, size, i, cfg,
+					got[i].Totals, got[i].ReduceSends, got[i].ReduceBcasts,
+					want.Totals, want.ReduceSends, want.ReduceBcasts)
+			}
+		}
+	})
+}

@@ -23,11 +23,20 @@
 //     math, no defined-bit bookkeeping, and no steady-state
 //     allocations beyond the Result itself.
 //
-// Replay results are bit-identical to a direct sim.Run of the same
-// point; internal/sweep uses that equivalence to execute each
-// (kernel, N) pair once per sweep and classify every grid point
-// against the shared stream. See docs/PERF.md for the design and the
-// measured win, and Eligible for the two configurations that still
+// Replayer.Run classifies one configuration per decode walk;
+// Replayer.RunBatch (batch.go) classifies a whole capture group —
+// every configuration sharing the stream — in one pass, holding all
+// replay state in flat structure-of-arrays slabs indexed by
+// configuration and bucketing configurations by page size so page-id
+// derivation and the memoized stream summaries are computed once per
+// bucket. internal/sweep submits whole groups to RunBatch and
+// internal/serve rides the same path for /v1/sweep.
+//
+// Replay results — single and batch — are bit-identical to a direct
+// sim.Run of the same point; internal/sweep uses that equivalence to
+// execute each (kernel, N) pair once per sweep and classify every grid
+// point against the shared stream. See docs/PERF.md for the design and
+// the measured win, and Eligible for the two configurations that still
 // require direct execution.
 //
 // The encoding is a struct-of-arrays pair of byte columns. Per event,
@@ -100,8 +109,11 @@ type Stream struct {
 	dheads     []uint32 // per event: arrayID<<3 | opcode, fixed width
 	dlins      []int32  // per event: absolute element index (0 when the opcode has none)
 	gidMu      sync.RWMutex
-	gidCols    map[int][]int32   // page size → per-event global page id
-	aggCols    map[int]*frameAgg // page size → run-length access histogram
+	gidCols    map[int][]int32    // page size → per-event global page id
+	aggCols    map[int]*frameAgg  // page size → structural summary (writes, reduces, read totals)
+	histCols   map[int]*readsHist // page size → run-length read histogram
+	readCols   map[int][]readRec  // page size → context-resolved read column
+	foldTabs   map[int]*foldTable // page size → folded access contingency table
 }
 
 // Events returns the number of captured events.
@@ -289,24 +301,26 @@ type reduceRun struct {
 	count        int64
 }
 
-// frameAgg is the run-length access histogram of a stream under one
-// page size. When a configuration's classification is order-free —
-// a frameless cache misses every lookup, and a 1-PE machine makes
-// every access local — per-PE counters and the traffic matrix are
-// pure sums over page-granular access counts, so replay can walk this
-// histogram instead of the event stream. Livermore kernels touch pages
-// sequentially, which collapses the event stream by two to three
-// orders of magnitude.
+// frameAgg is the structural summary of a stream under one page size:
+// the write and reduction run-length histograms plus raw read counts.
+// Writes and reductions never consult the cache, so these runs are
+// exact for every configuration class; the read side is deliberately
+// just two totals, because the two views that classify reads — the
+// fold table for the common order-free shapes, the read histogram for
+// the rest — are memoized separately and built only when a
+// configuration actually needs them. Keeping reads out of this builder
+// makes it a cheap single dispatch per event, which matters because
+// every replay mode consults frameAgg to pick its classification path.
 type frameAgg struct {
-	reads   []aggRun // context reads: ctx is the open assignment/term page
-	ctrl    []aggRun // replicated control reads (ctx unused)
-	assigns []aggRun // assignment openings per target page (ctx unused)
-	reduces []reduceRun
-	ok      bool // false: term pages were not contiguous; use the event loop
+	assigns    []aggRun // assignment openings per target page (ctx unused)
+	reduces    []reduceRun
+	readsTotal int64 // context reads (an assignment or term page is open)
+	ctrlTotal  int64 // replicated control reads
+	ok         bool  // false: term pages were not contiguous; use the event loop
 }
 
-// frameAgg returns the stream's access histogram under the given page
-// size, memoized alongside the gid columns.
+// frameAgg returns the stream's structural summary under the given
+// page size, memoized alongside the gid columns.
 func (s *Stream) frameAgg(pageSize int) *frameAgg {
 	s.gidMu.RLock()
 	a := s.aggCols[pageSize]
@@ -317,9 +331,107 @@ func (s *Stream) frameAgg(pageSize int) *frameAgg {
 	heads, _ := s.decoded()
 	gids := s.gidColumn(pageSize)
 	a = &frameAgg{ok: true}
-	cur := int32(-1) // open context page, -1 when none
+	inCtx := false // an assignment or term page is open
 	var rLo, rHi int32
 	inTerms := false
+	for i, h := range heads {
+		switch h & 7 {
+		case opRead:
+			// The dominant opcode: a bare count, no gid load. Which page
+			// was read only matters to the lazily built read views.
+			if inCtx {
+				a.readsTotal++
+			} else {
+				a.ctrlTotal++
+			}
+		case opAssign:
+			g := gids[i]
+			inCtx = true
+			if n := len(a.assigns); n > 0 && a.assigns[n-1].gid == g {
+				a.assigns[n-1].count++
+			} else {
+				a.assigns = append(a.assigns, aggRun{ctx: -1, gid: g, count: 1})
+			}
+		case opEnd:
+			inCtx = false
+		case opTerm:
+			g := gids[i]
+			inCtx = true
+			switch {
+			case !inTerms:
+				inTerms, rLo, rHi = true, g, g+1
+			case g == rHi:
+				rHi = g + 1
+			case g >= rLo && g < rHi:
+				// revisiting a page already in the range
+			default:
+				a.ok = false // non-contiguous terms: range iteration would lie
+			}
+		case opEndReduce:
+			inCtx = false
+			rr := reduceRun{array: int32(h >> 3), count: 1}
+			if inTerms {
+				rr.gidLo, rr.gidHi = rLo, rHi
+			}
+			inTerms = false
+			if n := len(a.reduces); n > 0 &&
+				a.reduces[n-1].array == rr.array &&
+				a.reduces[n-1].gidLo == rr.gidLo &&
+				a.reduces[n-1].gidHi == rr.gidHi {
+				a.reduces[n-1].count++
+			} else {
+				a.reduces = append(a.reduces, rr)
+			}
+		default:
+			a.ok = false // unknown opcode: let the event loop report it
+		}
+	}
+	s.gidMu.Lock()
+	if prior := s.aggCols[pageSize]; prior != nil {
+		a = prior // lost a benign build race; both histograms are identical
+	} else {
+		if s.aggCols == nil {
+			s.aggCols = make(map[int]*frameAgg)
+		}
+		s.aggCols[pageSize] = a
+	}
+	s.gidMu.Unlock()
+	return a
+}
+
+// readsHist is the run-length read histogram of a stream under one
+// page size. When a configuration's classification is order-free —
+// a frameless cache misses every lookup, and a 1-PE machine makes
+// every access local — per-PE counters and the traffic matrix are
+// pure sums over page-granular access counts, so replay can walk this
+// histogram instead of the event stream. Livermore kernels touch pages
+// sequentially, which collapses the event stream by two to three
+// orders of magnitude.
+//
+// Most order-free configurations are served by the fixed-size fold
+// table instead; this histogram exists for the layouts the fold cannot
+// represent (block and block-cyclic partitioning, non-power-of-two
+// widths), so it is built lazily on first demand rather than as a side
+// effect of frameAgg — the block-scan folding below is the most
+// expensive per-event work of any replay view.
+type readsHist struct {
+	reads []aggRun // context reads: ctx is the open assignment/term page
+	ctrl  []aggRun // replicated control reads (ctx unused)
+}
+
+// readsHist returns the stream's run-length read histogram under the
+// given page size, memoized alongside the gid columns.
+func (s *Stream) readsHist(pageSize int) *readsHist {
+	s.gidMu.RLock()
+	a := s.histCols[pageSize]
+	s.gidMu.RUnlock()
+	if a != nil {
+		return a
+	}
+	heads, _ := s.decoded()
+	gids := s.gidColumn(pageSize)
+	a = &readsHist{}
+	cur := int32(-1) // open context page, -1 when none
 
 	// Context reads are accumulated per context block: within one
 	// context page (one assignment target page, typically pageSize
@@ -388,66 +500,169 @@ func (s *Stream) frameAgg(pageSize int) *frameAgg {
 					ctrlN++
 				}
 			}
-		case opAssign:
-			g := gids[i]
-			cur = g
-			if n := len(a.assigns); n > 0 && a.assigns[n-1].gid == g {
-				a.assigns[n-1].count++
-			} else {
-				a.assigns = append(a.assigns, aggRun{ctx: -1, gid: g, count: 1})
-			}
-		case opEnd:
+		case opAssign, opTerm:
+			cur = gids[i]
+		case opEnd, opEndReduce:
 			cur = -1
-		case opTerm:
-			g := gids[i]
-			cur = g
-			switch {
-			case !inTerms:
-				inTerms, rLo, rHi = true, g, g+1
-			case g == rHi:
-				rHi = g + 1
-			case g >= rLo && g < rHi:
-				// revisiting a page already in the range
-			default:
-				a.ok = false // non-contiguous terms: range iteration would lie
-			}
-		case opEndReduce:
-			cur = -1
-			rr := reduceRun{array: int32(h >> 3), count: 1}
-			if inTerms {
-				rr.gidLo, rr.gidHi = rLo, rHi
-			}
-			inTerms = false
-			if n := len(a.reduces); n > 0 &&
-				a.reduces[n-1].array == rr.array &&
-				a.reduces[n-1].gidLo == rr.gidLo &&
-				a.reduces[n-1].gidHi == rr.gidHi {
-				a.reduces[n-1].count++
-			} else {
-				a.reduces = append(a.reduces, rr)
-			}
-		default:
-			a.ok = false // unknown opcode: let the event loop report it
 		}
 	}
 	flush()
 	flushCtrl()
 	s.gidMu.Lock()
-	if prior := s.aggCols[pageSize]; prior != nil {
+	if prior := s.histCols[pageSize]; prior != nil {
 		a = prior // lost a benign build race; both histograms are identical
 	} else {
-		if s.aggCols == nil {
-			s.aggCols = make(map[int]*frameAgg)
+		if s.histCols == nil {
+			s.histCols = make(map[int]*readsHist)
 		}
-		s.aggCols[pageSize] = a
+		s.histCols[pageSize] = a
 	}
 	s.gidMu.Unlock()
 	return a
 }
 
+// readRec is one entry of the context-resolved read column: the global
+// page id the read touches, its array-local page index (loc, which
+// determines the owner under modulo layout: loc mod NPE), and the
+// global page id of the open context (the assignment or term target
+// page whose owner executes the read), or -1 for a replicated control
+// read. The column is what is left of the event stream once assignment
+// boundaries are folded into each read: the exact input the
+// order-dependent cache classification consumes, with every other
+// opcode's effect pre-applied.
+//
+// Adjacent records with the same (ctx, gid) collapse into one with a
+// count — the kernels scan arrays element by element, so one page is
+// read PageSize times in a row, and the column shrinks by an order of
+// magnitude. The collapse is order-exact: after a run's first read the
+// page is the PE's most recent, so the remaining count−1 reads are
+// guaranteed cache hits under every policy (the same invariant behind
+// the single-config lastGid short circuit), and replacement state after
+// the run equals one touch.
+type readRec struct {
+	ctx, gid, loc int32
+	count         int32
+}
+
+// readColumn returns the stream's context-resolved read column under
+// the given page size, memoized like the gid columns. The batch
+// replayer walks it once per framed configuration: a dense 8-byte
+// record stream with no opcode dispatch, so the walk is bounded by the
+// cache arithmetic rather than by decoding.
+func (s *Stream) readColumn(pageSize int) []readRec {
+	s.gidMu.RLock()
+	col := s.readCols[pageSize]
+	s.gidMu.RUnlock()
+	if col != nil {
+		return col
+	}
+	heads, lins := s.decoded()
+	gids := s.gidColumn(pageSize)
+	col = make([]readRec, 0, len(heads))
+	ps := int32(pageSize)
+	cur := int32(-1)
+	for i, h := range heads {
+		switch h & 7 {
+		case opRead:
+			if k := len(col) - 1; k >= 0 && col[k].ctx == cur && col[k].gid == gids[i] {
+				col[k].count++
+			} else {
+				col = append(col, readRec{ctx: cur, gid: gids[i], loc: lins[i] / ps, count: 1})
+			}
+		case opAssign, opTerm:
+			cur = gids[i]
+		case opEnd, opEndReduce:
+			cur = -1
+		}
+	}
+	s.gidMu.Lock()
+	if prior := s.readCols[pageSize]; prior != nil {
+		col = prior // lost a benign build race; both columns are identical
+	} else {
+		if s.readCols == nil {
+			s.readCols = make(map[int][]readRec)
+		}
+		s.readCols[pageSize] = col
+	}
+	s.gidMu.Unlock()
+	return col
+}
+
+// foldBits/foldSize dimension the fold table: access counts are keyed
+// by the array-local page index modulo foldSize. Under the paper's
+// modulo partitioning the owner of a page is its array-local index mod
+// NPE, so for any power-of-two NPE ≤ foldSize the owner is fully
+// determined by the folded key — which is what lets one table serve
+// every such machine width.
+const (
+	foldBits = 6
+	foldSize = 1 << foldBits
+)
+
+// foldTable is the stream's access contingency table under one page
+// size: context reads bucketed by (context key, page key), control
+// reads and assignments bucketed by page key, where a key is the
+// array-local page index folded modulo foldSize. For an order-free
+// configuration with modulo layout and power-of-two NPE ≤ foldSize,
+// per-PE counters and the traffic matrix are exact sums over this
+// table (owner = key & (NPE-1)), so classification costs a fixed
+// foldSize² walk per configuration no matter how long the stream is —
+// the histogram's run count grows with the kernel's working set, this
+// does not.
+type foldTable struct {
+	reads [foldSize * foldSize]int64 // [ctxKey<<foldBits | pageKey] context-read counts
+	ctrl  [foldSize]int64            // [pageKey] replicated control-read counts
+	wr    [foldSize]int64            // [pageKey] assignment counts
+}
+
+// foldTable returns the stream's access contingency table under the
+// given page size, memoized alongside the other replay views.
+func (s *Stream) foldTable(pageSize int) *foldTable {
+	s.gidMu.RLock()
+	t := s.foldTabs[pageSize]
+	s.gidMu.RUnlock()
+	if t != nil {
+		return t
+	}
+	heads, lins := s.decoded()
+	t = &foldTable{}
+	ps := int32(pageSize)
+	cur := int32(-1) // folded key of the open context page, -1 when none
+	for i, h := range heads {
+		switch h & 7 {
+		case opRead:
+			k := (lins[i] / ps) & (foldSize - 1)
+			if cur >= 0 {
+				t.reads[cur<<foldBits|k]++
+			} else {
+				t.ctrl[k]++
+			}
+		case opAssign:
+			k := (lins[i] / ps) & (foldSize - 1)
+			t.wr[k]++
+			cur = k
+		case opTerm:
+			cur = (lins[i] / ps) & (foldSize - 1)
+		case opEnd, opEndReduce:
+			cur = -1
+		}
+	}
+	s.gidMu.Lock()
+	if prior := s.foldTabs[pageSize]; prior != nil {
+		t = prior // lost a benign build race; both tables are identical
+	} else {
+		if s.foldTabs == nil {
+			s.foldTabs = make(map[int]*foldTable)
+		}
+		s.foldTabs[pageSize] = t
+	}
+	s.gidMu.Unlock()
+	return t
+}
+
 // grown returns buf resized to n, reusing its backing array when
 // possible, with every element zeroed.
-func grown[T int | int32 | int64 | bool](buf []T, n int) []T {
+func grown[T any](buf []T, n int) []T {
 	if cap(buf) < n {
 		return make([]T, n)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -30,7 +31,15 @@ func Eligible(cfg sim.Config) bool {
 // so its steady state allocates nothing beyond the returned Result.
 // A Replayer is not safe for concurrent use; give each worker its own.
 // Distinct Replayers may replay the same Stream concurrently.
+//
+// Run classifies one configuration per stream pass; RunBatch classifies
+// a whole capture group of configurations in one pass (batch.go).
 type Replayer struct {
+	// Metrics, when non-nil, receives the batch-replay counters
+	// (MetricBatchGroups, MetricBatchConfigsPerPass,
+	// MetricBatchDecodePasses). Nil disables them.
+	Metrics *obs.Registry
+
 	npe       int
 	frameless bool // the configured cache holds zero page frames
 	pageBase  []int32
@@ -39,6 +48,58 @@ type Replayer struct {
 	perPE     stats.PerPE
 	trafBuf   []int64 // flat npe×npe traffic matrix, row-major
 	particip  []bool
+
+	layouts map[layoutKey]partition.Layout // memoized boxed layouts, shared by Run and RunBatch
+
+	bat batchState // RunBatch's structure-of-arrays scratch (batch.go)
+}
+
+// layoutKey identifies a partition layout: the full parameter set
+// partition.Make consumes. Layouts are stateless value types, so
+// memoizing the boxed interface keeps steady-state replay allocation-free
+// for the non-default layout kinds too.
+type layoutKey struct {
+	kind  partition.Kind
+	npe   int
+	pages int
+	run   int
+}
+
+// layout returns the memoized partition layout for the key, building it
+// on first use.
+func (r *Replayer) layout(kind partition.Kind, npe, pages, run int) (partition.Layout, error) {
+	lk := layoutKey{kind, npe, pages, run}
+	if l, ok := r.layouts[lk]; ok {
+		return l, nil
+	}
+	l, err := partition.Make(kind, npe, pages, run)
+	if err != nil {
+		return nil, err
+	}
+	if r.layouts == nil {
+		r.layouts = make(map[layoutKey]partition.Layout)
+	}
+	r.layouts[lk] = l
+	return l, nil
+}
+
+// validateConfig rejects configurations replay cannot serve or that no
+// engine accepts; Run and RunBatch share it so a batch fails with
+// exactly the error a single-config replay of the same point reports.
+func validateConfig(cfg sim.Config) error {
+	if !Eligible(cfg) {
+		return fmt.Errorf("%w (tracer=%v, partialfill=%v)", ErrUnsupported, cfg.Tracer != nil, cfg.ModelPartialFill)
+	}
+	if cfg.NPE <= 0 {
+		return fmt.Errorf("refstream: NPE must be positive, got %d", cfg.NPE)
+	}
+	if cfg.PageSize <= 0 {
+		return fmt.Errorf("refstream: page size must be positive, got %d", cfg.PageSize)
+	}
+	if cfg.CacheElems < 0 {
+		return fmt.Errorf("refstream: negative cache size %d", cfg.CacheElems)
+	}
+	return nil
 }
 
 // NewReplayer returns an empty Replayer; buffers grow on first use.
@@ -51,17 +112,8 @@ func NewReplayer() *Replayer { return &Replayer{} }
 // returned Result is independent of the Replayer, except that
 // Checksums aliases the stream's memoized (immutable) slice.
 func (r *Replayer) Run(st *Stream, cfg sim.Config) (*sim.Result, error) {
-	if !Eligible(cfg) {
-		return nil, fmt.Errorf("%w (tracer=%v, partialfill=%v)", ErrUnsupported, cfg.Tracer != nil, cfg.ModelPartialFill)
-	}
-	if cfg.NPE <= 0 {
-		return nil, fmt.Errorf("refstream: NPE must be positive, got %d", cfg.NPE)
-	}
-	if cfg.PageSize <= 0 {
-		return nil, fmt.Errorf("refstream: page size must be positive, got %d", cfg.PageSize)
-	}
-	if cfg.CacheElems < 0 {
-		return nil, fmt.Errorf("refstream: negative cache size %d", cfg.CacheElems)
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 
 	// Machine-property setup: page table, owner tables, caches — the
@@ -72,7 +124,7 @@ func (r *Replayer) Run(st *Stream, cfg sim.Config) (*sim.Result, error) {
 	r.owners = grown(r.owners, totalPages)
 	for i, elems := range st.ArrayLens {
 		pages := (elems + cfg.PageSize - 1) / cfg.PageSize
-		l, err := partition.Make(cfg.Layout, npe, pages, cfg.LayoutRun)
+		l, err := r.layout(cfg.Layout, npe, pages, cfg.LayoutRun)
 		if err != nil {
 			return nil, fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
 		}
@@ -130,7 +182,7 @@ func (r *Replayer) Run(st *Stream, cfg sim.Config) (*sim.Result, error) {
 	// repeated pointer loads and bounds checks.
 	var reduceS, reduceB int64
 	if agg := st.frameAgg(cfg.PageSize); (r.frameless || npe == 1) && agg.ok {
-		reduceS, reduceB = r.runAggregate(agg)
+		reduceS, reduceB = r.runAggregate(st, cfg, agg)
 	} else if s, b, err := r.runEvents(st, cfg); err != nil {
 		return nil, err
 	} else {
@@ -253,21 +305,43 @@ func (r *Replayer) runEvents(st *Stream, cfg sim.Config) (reduceS, reduceB int64
 	return reduceS, reduceB, nil
 }
 
-// runAggregate classifies via the stream's run-length histogram: the
-// fast path for order-free configurations (frameless cache, or a
-// single PE where every access is local and the cache is never
-// consulted). The sums it computes are exactly what runEvents would
+// foldEligible reports whether an order-free configuration can be
+// classified from the stream's fold table: the folded page key must
+// determine the owner, which holds for modulo layout with a
+// power-of-two machine width up to the fold size — and trivially on
+// one PE, where every layout maps every page to PE 0.
+func foldEligible(cfg sim.Config, npe int) bool {
+	return npe == 1 ||
+		(cfg.Layout == partition.KindModulo && npe <= foldSize && npe&(npe-1) == 0)
+}
+
+// runAggregate classifies an order-free configuration (frameless
+// cache, or a single PE where every access is local and the cache is
+// never consulted) without touching the event stream. Configurations
+// whose owner function survives the fold are served by the fold
+// table's fixed-size walk; the rest — block and block-cyclic layouts,
+// non-power-of-two widths — walk the lazily built run-length read
+// histogram. Either way the sums are exactly what runEvents would
 // accumulate event by event, because without cache state no outcome
 // depends on access order.
-func (r *Replayer) runAggregate(a *frameAgg) (reduceS, reduceB int64) {
-	npe := r.npe
-	owners := r.owners
-	perPE := r.perPE
-	traf := r.trafBuf
-	for _, run := range a.assigns {
-		perPE[owners[run.gid]].Writes += run.count
+func (r *Replayer) runAggregate(st *Stream, cfg sim.Config, a *frameAgg) (reduceS, reduceB int64) {
+	if foldEligible(cfg, r.npe) {
+		foldClassify(st.foldTable(cfg.PageSize), r.npe, r.perPE, r.trafBuf)
+		return aggregateReduces(a, r.npe, r.owners, r.trafBuf, r.particip)
 	}
-	for _, run := range a.reads {
+	return aggregateClassify(a, st.readsHist(cfg.PageSize), r.npe, r.owners, r.perPE, r.trafBuf, r.particip)
+}
+
+// aggregateClassify is the histogram walk over explicit state views,
+// so the batch replayer can classify each order-free configuration of
+// a group against its own slice of the structure-of-arrays slabs.
+// There is one definition of the walk; single-config replay delegates
+// here, and the batch replayer reuses the write and reduce pieces for
+// framed configurations too (their accounting never consults the
+// cache, so it is order-free for every configuration class).
+func aggregateClassify(a *frameAgg, h *readsHist, npe int, owners []int32, perPE stats.PerPE, traf []int64, particip []bool) (reduceS, reduceB int64) {
+	aggregateWrites(a, owners, perPE)
+	for _, run := range h.reads {
 		ctxPE := int(owners[run.ctx])
 		owner := int(owners[run.gid])
 		if ctxPE == owner {
@@ -278,7 +352,7 @@ func (r *Replayer) runAggregate(a *frameAgg) (reduceS, reduceB int64) {
 			traf[owner*npe+ctxPE] += run.count
 		}
 	}
-	for _, run := range a.ctrl {
+	for _, run := range h.ctrl {
 		owner := int(owners[run.gid])
 		perPE[owner].LocalReads += run.count
 		for pe := 0; pe < npe; pe++ {
@@ -290,12 +364,27 @@ func (r *Replayer) runAggregate(a *frameAgg) (reduceS, reduceB int64) {
 			traf[owner*npe+pe] += run.count
 		}
 	}
+	return aggregateReduces(a, npe, owners, traf, particip)
+}
+
+// aggregateWrites charges the histogram's assignment counts: writes are
+// always local to the target page's owner, independent of cache state.
+func aggregateWrites(a *frameAgg, owners []int32, perPE stats.PerPE) {
+	for _, run := range a.assigns {
+		perPE[owners[run.gid]].Writes += run.count
+	}
+}
+
+// aggregateReduces charges the histogram's reduction runs: the
+// host-processor collection and broadcast of §9, summed per run. The
+// arithmetic never touches the cache, so it is exact for framed
+// configurations as well, as long as the histogram is usable (a.ok).
+func aggregateReduces(a *frameAgg, npe int, owners []int32, traf []int64, particip []bool) (reduceS, reduceB int64) {
 	for _, rr := range a.reduces {
 		if rr.gidHi == rr.gidLo {
 			continue // zero terms: no participants, no broadcast
 		}
 		host := int(rr.array) % npe
-		particip := r.particip
 		for g := rr.gidLo; g < rr.gidHi; g++ {
 			particip[owners[g]] = true
 		}

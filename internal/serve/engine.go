@@ -13,12 +13,14 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/refstream"
@@ -149,10 +151,27 @@ func (f *flight) resolve(body []byte, err error) {
 	close(f.done)
 }
 
+// task is one unit of worker-pool execution: a single point, or — when
+// batch is set — a whole sweep batch classified in one stream pass.
 type task struct {
-	p   point
-	key string
-	fl  *flight
+	p     point
+	key   string
+	fl    *flight
+	batch *batchTask
+}
+
+// batchTask is a group of replay-eligible sweep points sharing one
+// (kernel, problem size): the worker captures (or cache-fetches) the
+// group's reference stream once and classifies every member in a
+// single batch pass (refstream.Replayer.RunBatch). Members keep their
+// individual flights and result-cache entries, so concurrent classify
+// requests join and are answered byte-identically.
+type batchTask struct {
+	kernel *loops.Kernel
+	n      int
+	pts    []point
+	keys   []string
+	fls    []*flight
 }
 
 // Engine executes canonical points with caching, deduplication,
@@ -284,17 +303,146 @@ func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
 	}
 }
 
-// worker executes queued points, reusing one scratch simulator and one
+// DoSweep answers a whole grid of canonical points, in grid order,
+// riding one batch pass per capture group: every point still goes
+// through the result cache and the flight table exactly like Do — so
+// sweep and classify bodies stay interchangeable bit-for-bit and
+// concurrent identical work is joined, not repeated — but the points
+// this request must execute itself are bucketed by (kernel, problem
+// size) and submitted to the pool as batch tasks, one capture and one
+// stream pass per bucket. Ineligible points (partial fill) fall back
+// to single-point tasks. The error of the lowest-index failing point
+// wins; on context expiry DoSweep returns ctx.Err() while queued work
+// still completes and populates the cache for the next request.
+func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, error) {
+	bodies := make([]json.RawMessage, len(pts))
+	fls := make([]*flight, len(pts)) // per point; nil = served from cache
+	var leaders []int                // points whose flight this request must execute
+	for i, p := range pts {
+		key := p.key()
+		if body, ok := e.results.get(key); ok {
+			e.cHits.Inc()
+			bodies[i] = body
+			continue
+		}
+		e.cMisses.Inc()
+		e.stateMu.Lock()
+		fl := e.flights[key]
+		leader := fl == nil
+		if leader {
+			fl = &flight{done: make(chan struct{})}
+			e.flights[key] = fl
+		}
+		e.stateMu.Unlock()
+		fls[i] = fl
+		if leader {
+			leaders = append(leaders, i)
+		} else {
+			e.cDedup.Inc()
+		}
+	}
+
+	// Bucket the leaders into batch tasks by capture group, preserving
+	// grid order within each bucket (RunBatch blames the lowest input
+	// index, so grid order in = lowest grid index blamed).
+	type groupKey struct {
+		kernel *loops.Kernel
+		n      int
+	}
+	groups := map[groupKey]*batchTask{}
+	var queue []*task
+	for _, i := range leaders {
+		p := pts[i]
+		if !refstream.Eligible(p.cfg) {
+			queue = append(queue, &task{p: p, key: p.key(), fl: fls[i]})
+			continue
+		}
+		gk := groupKey{p.kernel, p.n}
+		bt := groups[gk]
+		if bt == nil {
+			bt = &batchTask{kernel: p.kernel, n: p.n}
+			groups[gk] = bt
+			queue = append(queue, &task{batch: bt})
+		}
+		bt.pts = append(bt.pts, p)
+		bt.keys = append(bt.keys, p.key())
+		bt.fls = append(bt.fls, fls[i])
+	}
+
+	var err error
+	for qi, t := range queue {
+		select {
+		case e.tasks <- t:
+			e.gQueue.Add(1)
+		case <-ctx.Done():
+			// Never enqueued: resolve the remaining flights ourselves so
+			// joined waiters are not stranded.
+			err = ctx.Err()
+			for _, t := range queue[qi:] {
+				e.abandonTask(t, err)
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+
+	// Collect in grid order; scanning in order makes the first error
+	// seen the lowest-index failure.
+	for i, fl := range fls {
+		if fl == nil {
+			continue
+		}
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			bodies[i] = fl.body
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bodies, nil
+}
+
+// abandonTask resolves a task that will never reach the pool (context
+// expiry before enqueue), releasing its flight waiters.
+func (e *Engine) abandonTask(t *task, err error) {
+	if t.batch == nil {
+		e.stateMu.Lock()
+		delete(e.flights, t.key)
+		e.stateMu.Unlock()
+		t.fl.resolve(nil, err)
+		return
+	}
+	for i := range t.batch.pts {
+		e.stateMu.Lock()
+		delete(e.flights, t.batch.keys[i])
+		e.stateMu.Unlock()
+		t.batch.fls[i].resolve(nil, err)
+	}
+}
+
+// worker executes queued tasks, reusing one scratch simulator and one
 // replayer for its lifetime.
 func (e *Engine) worker() {
 	defer e.workWG.Done()
 	scratch := sim.NewScratch()
 	scratch.Metrics = e.reg
 	replayer := refstream.NewReplayer()
+	replayer.Metrics = e.reg
 	for t := range e.tasks {
 		e.gQueue.Add(-1)
 		if e.execHook != nil {
 			e.execHook()
+		}
+		if t.batch != nil {
+			e.executeBatch(scratch, replayer, t.batch)
+			continue
 		}
 		body, err := e.execute(scratch, replayer, t.p)
 		if err == nil {
@@ -318,7 +466,7 @@ func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, p p
 	)
 	if refstream.Eligible(p.cfg) {
 		var st *refstream.Stream
-		if st, err = e.streams.Get(p.kernel, p.n); err == nil {
+		if st, err = e.streams.GetScratch(scratch, p.kernel, p.n); err == nil {
 			res, err = replayer.Run(st, p.cfg)
 		}
 		engine = "replay"
@@ -331,6 +479,58 @@ func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, p p
 	}
 	e.cPoints.Inc()
 	return encodePoint(p, engine, res)
+}
+
+// executeBatch runs one batch task: fetch the group's stream, classify
+// every member in one pass, then cache and resolve each member exactly
+// as the single-point path would — every body goes through the same
+// encodePoint with engine "replay", so a sweep-produced body is
+// byte-identical to the classify-produced body of the same point. On
+// failure every member's flight resolves with the error attributed to
+// the member RunBatch blamed (the lowest input index), keeping sweep
+// error reporting deterministic.
+func (e *Engine) executeBatch(scratch *sim.Scratch, replayer *refstream.Replayer, bt *batchTask) {
+	var bodies [][]byte
+	st, err := e.streams.GetScratch(scratch, bt.kernel, bt.n)
+	if err == nil {
+		cfgs := make([]sim.Config, len(bt.pts))
+		for i, p := range bt.pts {
+			cfgs[i] = p.cfg
+		}
+		var res []*sim.Result
+		if res, err = replayer.RunBatch(st, cfgs); err == nil {
+			bodies = make([][]byte, len(bt.pts))
+			for i, p := range bt.pts {
+				if bodies[i], err = encodePoint(p, "replay", res[i]); err != nil {
+					break
+				}
+			}
+		}
+	}
+	if err != nil {
+		blame := 0
+		var be *refstream.BatchError
+		if errors.As(err, &be) {
+			blame = be.Index
+			err = be.Err
+		}
+		err = fmt.Errorf("point %s: %w", bt.pts[blame].key(), err)
+		for i := range bt.pts {
+			e.stateMu.Lock()
+			delete(e.flights, bt.keys[i])
+			e.stateMu.Unlock()
+			bt.fls[i].resolve(nil, err)
+		}
+		return
+	}
+	e.cPoints.Add(int64(len(bt.pts)))
+	for i := range bt.pts {
+		e.results.add(bt.keys[i], bodies[i])
+		e.stateMu.Lock()
+		delete(e.flights, bt.keys[i])
+		e.stateMu.Unlock()
+		bt.fls[i].resolve(bodies[i], nil)
+	}
 }
 
 // deadline resolves the per-request deadline: an explicit deadline_ms

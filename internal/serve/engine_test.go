@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/refstream"
 )
 
 // TestConcurrentIdenticalSweepsSingleCapture is the acceptance test of
@@ -68,6 +69,23 @@ func TestConcurrentIdenticalSweepsSingleCapture(t *testing.T) {
 	}
 	if misses != points+dedup {
 		t.Fatalf("misses %d != executed %d + dedup-joined %d", misses, points, dedup)
+	}
+}
+
+// TestSweepRidesBatchReplay pins the sweep handler to the batch path:
+// a sweep touching two kernels is served by exactly two batch passes
+// (one per capture group), not one replay per point.
+func TestSweepRidesBatchReplay(t *testing.T) {
+	_, ts, reg := newTestService(t, Options{})
+	code, _, body := post(t, ts, "/v1/sweep", `{"kernels":["k1","k3"],"npes":[1,2,4,8]}`)
+	if code != http.StatusOK {
+		t.Fatalf("sweep status = %d (body %s)", code, body)
+	}
+	if groups := counter(reg, refstream.MetricBatchGroups); groups != 2 {
+		t.Fatalf("batch groups = %d, want 2 (one per kernel)", groups)
+	}
+	if points := counter(reg, MetricPointsExecuted); points != 8 {
+		t.Fatalf("points executed = %d, want 8", points)
 	}
 }
 

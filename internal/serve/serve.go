@@ -39,7 +39,6 @@ import (
 
 	"repro/internal/loops"
 	"repro/internal/obs"
-	"repro/internal/sweep"
 )
 
 // Server is the HTTP face of the classification service. Create one
@@ -221,14 +220,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.eng.deadline(req.DeadlineMS, maxNPE, maxN))
 	defer cancel()
 
-	// Fan the points out over the engine through sweep.Map: grid-order
-	// results, lowest-index error, bounded goroutines. Each point passes
-	// through the same cache/dedup path as /v1/classify, so sweep and
-	// classify bodies are interchangeable bit-for-bit.
-	bodies, err := sweep.Map(ctx, 2*s.eng.opts.Workers, pts,
-		func(ctx context.Context, _ int, p point) (json.RawMessage, error) {
-			return s.eng.Do(ctx, p)
-		})
+	// One batch pass per capture group: grid-order results, lowest-index
+	// error, the work bounded by the engine's own pool. Each point still
+	// passes through the same cache/dedup path as /v1/classify, so sweep
+	// and classify bodies are interchangeable bit-for-bit.
+	bodies, err := s.eng.DoSweep(ctx, pts)
 	if err != nil {
 		s.finishErr(w, err)
 		return

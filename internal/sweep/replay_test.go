@@ -50,7 +50,7 @@ func TestReplayModesBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, mode := range []ReplayMode{ReplayAuto, ReplayOn} {
+	for _, mode := range []ReplayMode{ReplayAuto, ReplayOn, ReplayPoint} {
 		for _, workers := range []int{1, 4} {
 			got, err := RunOpts(context.Background(), pts, Options{Workers: workers, Replay: mode})
 			if err != nil {
@@ -78,8 +78,9 @@ func TestReplayPlanCounters(t *testing.T) {
 		captures int64
 		replayed int64
 	}{
-		{ReplayOn, 3, 7},   // singleton group still captures and replays
-		{ReplayAuto, 2, 6}, // singleton runs direct: capture would not amortize
+		{ReplayOn, 3, 7},    // singleton group still captures and replays
+		{ReplayAuto, 2, 6},  // singleton runs direct: capture would not amortize
+		{ReplayPoint, 3, 7}, // same plan as ReplayOn, one pass per point
 		{ReplayOff, 0, 0},
 	}
 	for _, c := range cases {
@@ -176,5 +177,60 @@ func TestPlanReplay(t *testing.T) {
 	}
 	if on[2] != nil || on[4] != nil {
 		t.Errorf("ReplayOn: ineligible/nil-kernel points got groups")
+	}
+}
+
+// TestPlanTasks pins the dispatch shapes: one batch task per group at
+// its first member's index, per-point tasks for everything else, and
+// ReplayPoint demoting groups back to per-point tasks.
+func TestPlanTasks(t *testing.T) {
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := sim.PaperConfig(4, 32)
+	pf.ModelPartialFill = true
+	pts := []Point{
+		{Kernel: k1, N: 100, Config: sim.PaperConfig(1, 32)}, // 0: group A
+		{Kernel: k1, N: 100, Config: pf},                     // 1: ineligible, direct
+		{Kernel: k1, N: 100, Config: sim.PaperConfig(8, 32)}, // 2: group A
+		{Kernel: k1, N: 200, Config: sim.PaperConfig(2, 32)}, // 3: singleton
+	}
+
+	on := planTasks(pts, ReplayOn)
+	if len(on) != 3 {
+		t.Fatalf("ReplayOn: %d tasks, want 3", len(on))
+	}
+	if on[0].minIdx != 0 || !reflect.DeepEqual(on[0].indices, []int{0, 2}) || on[0].g == nil {
+		t.Errorf("ReplayOn task 0 = %+v, want batch {0, 2}", on[0])
+	}
+	if on[1].minIdx != 1 || on[1].indices != nil || on[1].g != nil {
+		t.Errorf("ReplayOn task 1 = %+v, want direct point 1", on[1])
+	}
+	if on[2].minIdx != 3 || !reflect.DeepEqual(on[2].indices, []int{3}) || on[2].g == nil {
+		t.Errorf("ReplayOn task 2 = %+v, want singleton batch {3}", on[2])
+	}
+
+	pt := planTasks(pts, ReplayPoint)
+	if len(pt) != len(pts) {
+		t.Fatalf("ReplayPoint: %d tasks, want %d", len(pt), len(pts))
+	}
+	for i, tk := range pt {
+		if tk.minIdx != i || tk.indices != nil {
+			t.Errorf("ReplayPoint task %d = %+v, want per-point", i, tk)
+		}
+	}
+	if pt[0].g == nil || pt[0].g != pt[2].g || pt[1].g != nil || pt[3].g == nil {
+		t.Errorf("ReplayPoint group sharing wrong: %+v", pt)
+	}
+
+	off := planTasks(pts, ReplayOff)
+	if len(off) != len(pts) {
+		t.Fatalf("ReplayOff: %d tasks, want %d", len(off), len(pts))
+	}
+	for i, tk := range off {
+		if tk.minIdx != i || tk.indices != nil || tk.g != nil {
+			t.Errorf("ReplayOff task %d = %+v, want direct point", i, tk)
+		}
 	}
 }

@@ -23,14 +23,17 @@
 //
 // On top of the worker pool sits the execute-once/classify-many
 // planner (docs/PERF.md): grid points are grouped by (kernel, problem
-// size), each group's reference stream is captured once — lazily, by
-// the first worker to reach the group, and shared read-only from then
-// on — and every other point of the group is classified by replaying
-// the stream (internal/refstream), skipping the kernel's floating-point
-// execution entirely. Replay results are proven bit-identical to
-// direct runs, so the guarantees above are preserved; points that
-// replay cannot serve (tracing runs, partial-fill ablations) fall back
-// to direct execution per point.
+// size), each group's reference stream is captured once — by the
+// worker that picks the group up, against that worker's reusable
+// scratch — and the whole group is classified in a single batch pass
+// over the stream (refstream.Replayer.RunBatch), so the decode work is
+// paid once per group rather than once per point and the kernel's
+// floating-point execution is skipped entirely. Replay results are
+// proven bit-identical to direct runs, so the guarantees above are
+// preserved; points that replay cannot serve (tracing runs,
+// partial-fill ablations) fall back to direct execution per point, and
+// ReplayPoint demotes the batch pass to one replay per point for
+// benchmarking the two strategies against each other.
 //
 // See docs/SWEEP.md for grid semantics and how to build an experiment
 // on the engine.
@@ -38,7 +41,9 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -184,6 +189,11 @@ const (
 	// ReplayOn replays every eligible point, even singleton groups.
 	// Ineligible points (tracing, partial-fill) still run directly.
 	ReplayOn
+	// ReplayPoint groups like ReplayOn but classifies each point with
+	// its own replay pass instead of batching the group — the
+	// pre-batching planner, kept so benchmarks can separate the
+	// execute-once win from the decode-once win.
+	ReplayPoint
 )
 
 func (m ReplayMode) String() string {
@@ -194,6 +204,8 @@ func (m ReplayMode) String() string {
 		return "off"
 	case ReplayOn:
 		return "on"
+	case ReplayPoint:
+		return "point"
 	}
 	return fmt.Sprintf("ReplayMode(%d)", int(m))
 }
@@ -248,13 +260,13 @@ type replayGroup struct {
 	err  error
 }
 
-// capture runs the group's one-shot capture, recording it in the
-// registry. Safe to call from any number of workers; only the first
-// executes.
-func (g *replayGroup) capture(captures *obs.Counter) (*refstream.Stream, error) {
+// capture runs the group's one-shot capture against the calling
+// worker's scratch, recording it in the registry. Safe to call from
+// any number of workers; only the first executes.
+func (g *replayGroup) capture(sc *sim.Scratch, captures *obs.Counter) (*refstream.Stream, error) {
 	g.once.Do(func() {
 		captures.Inc()
-		g.st, g.err = refstream.Capture(g.kernel, g.n)
+		g.st, g.err = refstream.CaptureScratch(sc, g.kernel, g.n)
 	})
 	return g.st, g.err
 }
@@ -264,8 +276,8 @@ func (g *replayGroup) capture(captures *obs.Counter) (*refstream.Stream, error) 
 // the key the reference stream depends on. Under ReplayAuto only
 // groups with at least two eligible points get a group (a singleton
 // would pay capture — an instrumented direct run — without amortizing
-// it); under ReplayOn every eligible point does; under ReplayOff the
-// plan is all-nil.
+// it); under ReplayOn and ReplayPoint every eligible point does; under
+// ReplayOff the plan is all-nil.
 func planReplay(pts []Point, mode ReplayMode) []*replayGroup {
 	plan := make([]*replayGroup, len(pts))
 	if mode == ReplayOff {
@@ -299,6 +311,46 @@ func planReplay(pts []Point, mode ReplayMode) []*replayGroup {
 		plan[i] = g
 	}
 	return plan
+}
+
+// execTask is one unit of worker dispatch: a whole replay group
+// classified in a single batch pass (indices set, in grid order), or a
+// single grid point (indices nil) — run directly when g is nil, or by
+// a per-point replay of the group's stream under ReplayPoint.
+type execTask struct {
+	minIdx  int   // lowest grid index covered: dispatch order and abandon cut
+	indices []int // batch group members, grid order; nil for a single point
+	g       *replayGroup
+}
+
+// planTasks turns the per-point replay plan into the dispatch list, in
+// grid order of each task's lowest index. A replay group becomes one
+// batch task at its first member's position — one capture and one
+// stream pass serve the whole group — except under ReplayPoint, where
+// every member stays its own task and shares only the capture.
+func planTasks(pts []Point, mode ReplayMode) []execTask {
+	plan := planReplay(pts, mode)
+	tasks := make([]execTask, 0, len(pts))
+	if mode == ReplayPoint {
+		for i := range pts {
+			tasks = append(tasks, execTask{minIdx: i, g: plan[i]})
+		}
+		return tasks
+	}
+	members := make(map[*replayGroup][]int)
+	for i, g := range plan {
+		if g != nil {
+			members[g] = append(members[g], i)
+		}
+	}
+	for i, g := range plan {
+		if g == nil {
+			tasks = append(tasks, execTask{minIdx: i})
+		} else if m := members[g]; m[0] == i {
+			tasks = append(tasks, execTask{minIdx: i, indices: m, g: g})
+		}
+	}
+	return tasks
 }
 
 // tracker serializes progress accounting and callback delivery.
@@ -370,47 +422,100 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 	)
 	reg.Counter(MetricPointsTotal).Add(int64(len(pts)))
 	tr := newTracker(len(pts), opts.Progress)
-	plan := planReplay(pts, opts.Replay)
+	tasks := planTasks(pts, opts.Replay)
 
 	results := make([]*sim.Result, len(pts))
-	err := dispatch(ctx, opts.Workers, len(pts), func(context.Context) func(int) error {
-		scratch := sim.NewScratch()
-		scratch.Metrics = reg
-		replayer := refstream.NewReplayer()
-		return func(i int) error {
-			cStarted.Inc()
-			tr.update(func(p *Progress) { p.Started++ })
-			p := pts[i]
-			if p.Kernel == nil {
-				cFailed.Inc()
-				tr.update(func(p *Progress) { p.Failed++ })
-				return fmt.Errorf("sweep: point %d (%s): nil kernel", i, p)
-			}
-			var (
-				res *sim.Result
-				err error
-			)
-			if g := plan[i]; g != nil {
-				var st *refstream.Stream
-				if st, err = g.capture(cCaptures); err == nil {
-					res, err = replayer.Run(st, p.Config)
-					cReplay.Inc()
+	err := fanOut(ctx, opts.Workers, tasks, func(t execTask) int { return t.minIdx },
+		func(context.Context) func(execTask) (int, error) {
+			scratch := sim.NewScratch()
+			scratch.Metrics = reg
+			replayer := refstream.NewReplayer()
+			replayer.Metrics = reg
+			var cfgs []sim.Config // batch-task staging, reused across groups
+
+			// runPoint serves a single-point task: direct execution, or
+			// one replay pass against the group's stream (ReplayPoint).
+			runPoint := func(t execTask) (int, error) {
+				i := t.minIdx
+				cStarted.Inc()
+				tr.update(func(p *Progress) { p.Started++ })
+				p := pts[i]
+				if p.Kernel == nil {
+					cFailed.Inc()
+					tr.update(func(p *Progress) { p.Failed++ })
+					return i, fmt.Errorf("sweep: point %d (%s): nil kernel", i, p)
 				}
-			} else {
-				res, err = scratch.Run(p.Kernel, p.N, p.Config)
-				cDirect.Inc()
+				var (
+					res *sim.Result
+					err error
+				)
+				if t.g != nil {
+					var st *refstream.Stream
+					if st, err = t.g.capture(scratch, cCaptures); err == nil {
+						res, err = replayer.Run(st, p.Config)
+						cReplay.Inc()
+					}
+				} else {
+					res, err = scratch.Run(p.Kernel, p.N, p.Config)
+					cDirect.Inc()
+				}
+				if err != nil {
+					cFailed.Inc()
+					tr.update(func(p *Progress) { p.Failed++ })
+					return i, fmt.Errorf("sweep: point %d (%s): %w", i, p, err)
+				}
+				results[i] = res
+				cDone.Inc()
+				tr.update(func(p *Progress) { p.Done++ })
+				return i, nil
 			}
-			if err != nil {
+
+			// runGroup serves a batch task: capture once, classify every
+			// member in one stream pass, scatter results to grid order.
+			// On failure the blamed index is the group's failing member —
+			// RunBatch reports the lowest input index, and members are in
+			// grid order — so lowest-index error semantics match the
+			// per-point path exactly.
+			runGroup := func(t execTask) (int, error) {
+				n := len(t.indices)
+				cStarted.Add(int64(n))
+				tr.update(func(p *Progress) { p.Started += n })
+				st, err := t.g.capture(scratch, cCaptures)
+				if err == nil {
+					cfgs = cfgs[:0]
+					for _, i := range t.indices {
+						cfgs = append(cfgs, pts[i].Config)
+					}
+					var res []*sim.Result
+					res, err = replayer.RunBatch(st, cfgs)
+					cReplay.Add(int64(n))
+					if err == nil {
+						for j, i := range t.indices {
+							results[i] = res[j]
+						}
+						cDone.Add(int64(n))
+						tr.update(func(p *Progress) { p.Done += n })
+						return t.minIdx, nil
+					}
+				}
+				fi := t.minIdx
+				var be *refstream.BatchError
+				if errors.As(err, &be) {
+					fi = t.indices[be.Index]
+					err = be.Err
+				}
 				cFailed.Inc()
 				tr.update(func(p *Progress) { p.Failed++ })
-				return fmt.Errorf("sweep: point %d (%s): %w", i, p, err)
+				return fi, fmt.Errorf("sweep: point %d (%s): %w", fi, pts[fi], err)
 			}
-			results[i] = res
-			cDone.Inc()
-			tr.update(func(p *Progress) { p.Done++ })
-			return nil
-		}
-	})
+
+			return func(t execTask) (int, error) {
+				if t.indices != nil {
+					return runGroup(t)
+				}
+				return runPoint(t)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -440,23 +545,40 @@ func Map[T, R any](ctx context.Context, workers int, items []T, f func(ctx conte
 	return out, nil
 }
 
-// dispatch fans indices [0, n) out over a worker pool. newWorker is
-// called once per goroutine to build per-worker state — it receives the
-// pool's derived context, which is canceled on the first error or when
-// the parent is canceled — and the returned closure runs one index.
-//
-// The error at the lowest failing index wins deterministically: after a
-// failure, indices above the current winner are abandoned, but lower
-// indices still run (one of them may fail and become the new winner).
-// Cancellation of the parent context abandons everything.
+// dispatch fans indices [0, n) out over a worker pool: fanOut where
+// item i is index i and a failure at index i is blamed on index i.
 func dispatch(parent context.Context, workers, n int, newWorker func(ctx context.Context) func(int) error) error {
+	idxs := make([]int, n)
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return fanOut(parent, workers, idxs, func(i int) int { return i },
+		func(ctx context.Context) func(int) (int, error) {
+			run := newWorker(ctx)
+			return func(i int) (int, error) { return i, run(i) }
+		})
+}
+
+// fanOut feeds the items, in order, to a bounded worker pool. newWorker
+// is called once per goroutine to build per-worker state — it receives
+// the pool's derived context, which is canceled on the first error or
+// when the parent is canceled — and the returned closure runs one item,
+// reporting the grid index to blame if it failed. minIdx gives the
+// lowest grid index an item covers (a batch task spans several).
+//
+// The error at the lowest blamed index wins deterministically: after a
+// failure, items wholly above the current winner are abandoned, but
+// items reaching lower indices still run (one of them may fail and
+// become the new winner). Cancellation of the parent context abandons
+// everything.
+func fanOut[T any](parent context.Context, workers int, items []T, minIdx func(T) int, newWorker func(ctx context.Context) func(T) (int, error)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > n {
-		workers = n
+	if workers > len(items) {
+		workers = len(items)
 	}
-	if n == 0 {
+	if len(items) == 0 {
 		return parent.Err()
 	}
 	ctx, cancel := context.WithCancel(parent)
@@ -465,7 +587,7 @@ func dispatch(parent context.Context, workers, n int, newWorker func(ctx context
 	var (
 		mu       sync.Mutex
 		firstErr error
-		errIdx   = n
+		errIdx   = math.MaxInt
 	)
 	report := func(i int, err error) {
 		mu.Lock()
@@ -481,33 +603,33 @@ func dispatch(parent context.Context, workers, n int, newWorker func(ctx context
 		return errIdx
 	}
 
-	idx := make(chan int)
+	feed := make(chan T)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			run := newWorker(ctx)
-			for i := range idx {
+			for it := range feed {
 				// Drain without running (so the feeder never blocks)
 				// when the caller canceled, or when a lower-index error
-				// already decided the outcome. Indices below the
-				// current winner still run: only a lower index can
-				// displace it, which keeps the reported error the
-				// lowest-index failure regardless of scheduling.
-				if parent.Err() != nil || i > cut() {
+				// already decided the outcome. Items below the current
+				// winner still run: only a lower index can displace it,
+				// which keeps the reported error the lowest-index
+				// failure regardless of scheduling.
+				if parent.Err() != nil || minIdx(it) > cut() {
 					continue
 				}
-				if err := run(i); err != nil {
+				if i, err := run(it); err != nil {
 					report(i, err)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		idx <- i
+	for _, it := range items {
+		feed <- it
 	}
-	close(idx)
+	close(feed)
 	wg.Wait()
 
 	if err := parent.Err(); err != nil {

@@ -30,11 +30,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -110,7 +113,7 @@ func runDaemon(opts serve.Options, addr string, drain time.Duration) error {
 		return fmt.Errorf("listening on %s: %w", addr, err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep; GET /v1/kernels /healthz /metrics /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep; GET /v1/kernels /healthz /metrics /debug/trace /debug/pprof/)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -144,6 +147,9 @@ func runLoadgen(opts serve.Options, target string, requests, concurrency int, du
 		reg := obs.NewRegistry()
 		obs.SetDefault(reg)
 		opts.Metrics = reg
+		// The in-process server exists only to absorb synthetic load;
+		// thousands of access-log lines would drown the report.
+		opts.AccessLog = io.Discard
 		srv := serve.New(opts)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -214,6 +220,20 @@ func printReport(r *serve.LoadReport) {
 		r.CacheHitRate*100, r.DedupWaits, r.PointsExecuted, r.StreamCaptures)
 	if r.Errors > 0 || r.Rejected > 0 {
 		fmt.Printf("  %d errors, %d rejected (429)\n", r.Errors, r.Rejected)
+	}
+	if len(r.Stages) > 0 {
+		fmt.Printf("  server-side stage latency (histogram estimates over this run):\n")
+		names := make([]string, 0, len(r.Stages))
+		for name := range r.Stages {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			q := r.Stages[name]
+			stage := strings.TrimSuffix(strings.TrimPrefix(name, "serve.stage."), "_us")
+			fmt.Printf("    %-14s p50 %8.3fms  p99 %8.3fms  p999 %8.3fms  (n=%d)\n",
+				stage, q.P50MS, q.P99MS, q.P999MS, q.Count)
+		}
 	}
 }
 

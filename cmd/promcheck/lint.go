@@ -1,0 +1,150 @@
+package main
+
+// lint.go — the exposition checks themselves, kept separate from the
+// stdin plumbing so tests can drive them with strings.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var (
+	typeRe = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	helpRe = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) `)
+	// sampleRe matches one sample line: name, optional label set,
+	// decimal value (integer, float or +Inf/-Inf/NaN).
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$`)
+	leRe     = regexp.MustCompile(`le="([^"]*)"`)
+)
+
+// histState accumulates one histogram's samples for the cumulativity
+// and +Inf checks.
+type histState struct {
+	buckets  []bucket
+	hasInf   bool
+	infCount float64
+	count    float64
+	hasCount bool
+}
+
+type bucket struct {
+	le    float64
+	value float64
+}
+
+// Lint checks one exposition document and returns the list of problems
+// (empty = valid) plus the number of sample lines seen.
+func Lint(doc string) (problems []string, samples int) {
+	types := map[string]string{}
+	hists := map[string]*histState{}
+
+	// base maps a histogram's series names (_bucket/_sum/_count) back to
+	// the declared histogram name.
+	base := func(name string) (string, string) {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			b := strings.TrimSuffix(name, suffix)
+			if b != name && types[b] == "histogram" {
+				return b, suffix
+			}
+		}
+		return "", ""
+	}
+
+	for ln, line := range strings.Split(doc, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				if _, dup := types[m[1]]; dup {
+					problems = append(problems, fmt.Sprintf("line %d: duplicate # TYPE for %s", lineNo, m[1]))
+				}
+				types[m[1]] = m[2]
+				if m[2] == "histogram" {
+					hists[m[1]] = &histState{}
+				}
+				continue
+			}
+			if helpRe.MatchString(line) {
+				continue
+			}
+			problems = append(problems, fmt.Sprintf("line %d: malformed comment line %q", lineNo, line))
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			problems = append(problems, fmt.Sprintf("line %d: malformed sample line %q", lineNo, line))
+			continue
+		}
+		samples++
+		name, labels, valueStr := m[1], m[2], m[3]
+		value, _ := strconv.ParseFloat(valueStr, 64)
+
+		declared := types[name] != ""
+		hbase, suffix := base(name)
+		if !declared && hbase == "" {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s has no preceding # TYPE", lineNo, name))
+			continue
+		}
+		if hbase == "" {
+			continue // plain counter/gauge sample; nothing more to check
+		}
+		h := hists[hbase]
+		switch suffix {
+		case "_bucket":
+			le := leRe.FindStringSubmatch(labels)
+			if le == nil {
+				problems = append(problems, fmt.Sprintf("line %d: %s_bucket without le label", lineNo, hbase))
+				continue
+			}
+			if le[1] == "+Inf" {
+				h.hasInf = true
+				h.infCount = value
+				continue
+			}
+			bound, err := strconv.ParseFloat(le[1], 64)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("line %d: unparseable le=%q", lineNo, le[1]))
+				continue
+			}
+			h.buckets = append(h.buckets, bucket{le: bound, value: value})
+		case "_count":
+			h.count = value
+			h.hasCount = true
+		}
+	}
+
+	names := make([]string, 0, len(hists))
+	for name := range hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := hists[name]
+		if !h.hasInf {
+			problems = append(problems, fmt.Sprintf("histogram %s: missing le=\"+Inf\" bucket", name))
+			continue
+		}
+		prev := 0.0
+		for i, b := range h.buckets {
+			if i > 0 && b.le <= h.buckets[i-1].le {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket bounds not increasing at le=%g", name, b.le))
+			}
+			if b.value < prev {
+				problems = append(problems, fmt.Sprintf("histogram %s: bucket counts not cumulative at le=%g (%g < %g)", name, b.le, b.value, prev))
+			}
+			prev = b.value
+		}
+		if h.infCount < prev {
+			problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket %g below last bucket %g", name, h.infCount, prev))
+		}
+		if h.hasCount && h.count != h.infCount {
+			problems = append(problems, fmt.Sprintf("histogram %s: _count %g != +Inf bucket %g", name, h.count, h.infCount))
+		}
+	}
+	return problems, samples
+}

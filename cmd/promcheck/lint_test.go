@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLintAcceptsObsExposition(t *testing.T) {
+	// The end-to-end pairing the CI smoke relies on: whatever
+	// obs.WritePrometheus emits must pass the checker.
+	r := obs.NewRegistry()
+	r.Counter("serve.classify_requests").Add(7)
+	r.Gauge("build.info").Set(1)
+	h := r.Histogram("serve.stage.replay_us", obs.MicrosBuckets)
+	for _, v := range []int64{1, 5, 50, 500, 5000, 1 << 30} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := obs.WritePrometheus(&b, r.Snapshot(), map[string]string{
+		"serve.classify_requests": "classify requests",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	problems, samples := Lint(b.String())
+	if len(problems) != 0 {
+		t.Fatalf("obs exposition rejected: %v\n%s", problems, b.String())
+	}
+	if samples == 0 {
+		t.Fatal("no samples counted")
+	}
+}
+
+func TestLintRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"undeclared metric": "orphan_metric 5\n",
+		"bad sample line":   "# TYPE m counter\nm not-a-number\n",
+		"bad name":          "# TYPE m counter\nm 1\n9bad 2\n",
+		"missing inf": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"non-cumulative": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n",
+		"bounds not increasing": "# TYPE h histogram\n" +
+			"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"duplicate type": "# TYPE m counter\n# TYPE m counter\nm 1\n",
+	}
+	for name, doc := range cases {
+		if problems, _ := Lint(doc); len(problems) == 0 {
+			t.Errorf("%s: accepted invalid exposition:\n%s", name, doc)
+		}
+	}
+}
+
+func TestLintAcceptsWellFormed(t *testing.T) {
+	doc := "# HELP m a counter\n# TYPE m counter\nm 5\n" +
+		"# TYPE g gauge\ng{label=\"x\"} -3\n" +
+		"# TYPE h histogram\n" +
+		"h_bucket{le=\"1\"} 1\nh_bucket{le=\"4\"} 3\nh_bucket{le=\"+Inf\"} 4\nh_sum 10\nh_count 4\n"
+	problems, samples := Lint(doc)
+	if len(problems) != 0 {
+		t.Fatalf("well-formed exposition rejected: %v", problems)
+	}
+	if samples != 7 {
+		t.Fatalf("samples = %d, want 7", samples)
+	}
+}

@@ -1,0 +1,45 @@
+// Command promcheck validates a Prometheus text-exposition (format
+// 0.0.4) stream on stdin: every sample line must match the exposition
+// grammar, every metric must be declared by a preceding # TYPE line,
+// and every histogram must have cumulative buckets ending in an +Inf
+// bucket whose value equals the _count sample. CI pipes the daemon's
+// GET /metrics?format=prom through it so a malformed exposition fails
+// the smoke job instead of a scrape in production.
+//
+// Usage:
+//
+//	curl -s localhost:8077/metrics?format=prom | go run ./cmd/promcheck
+//
+// Exit status 0 when the stream parses, 1 with one line per problem on
+// stderr otherwise.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	problems, samples, err := check(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "promcheck: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d samples)\n", samples)
+}
+
+func check(r io.Reader) ([]string, int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	problems, samples := Lint(string(data))
+	return problems, samples, nil
+}

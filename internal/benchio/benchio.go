@@ -1,11 +1,12 @@
 // Package benchio reads and appends the repository's JSON benchmark
 // history (BENCH_sweep.json): an array of report entries, oldest first.
 // Both front ends write it — lfksim -bench appends sweep/replay
-// sections, lfksimd -loadgen appends serve sections — so the shared
-// parsing/appending lives here. A legacy single-object file (the
-// pre-history format) is accepted and becomes the history's first
-// entry; an unparseable file is an error rather than silently
-// overwritten.
+// sections, lfksimd -loadgen appends serve sections (including the
+// stages map of server-side per-stage p50/p99/p999 from the
+// serve.stage.* histograms) — so the shared parsing/appending lives
+// here. A legacy single-object file (the pre-history format) is
+// accepted and becomes the history's first entry; an unparseable file
+// is an error rather than silently overwritten.
 package benchio
 
 import (

@@ -1,0 +1,132 @@
+package obs
+
+// prom.go — Prometheus text exposition (format version 0.0.4) for a
+// registry snapshot, so the daemon's GET /metrics can be scraped by a
+// standard Prometheus/OpenMetrics collector as an alternative to the
+// canonical JSON snapshot. Registry names use dots as separators
+// (serve.stage.capture_us); the exposition charset does not allow
+// dots, so PromName maps them to underscores. Rendering is
+// deterministic: metrics sorted by name, histogram buckets cumulative
+// in bound order with the required +Inf terminal bucket.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromName maps a registry metric name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots (the registry's separator)
+// and any other illegal character become underscores, and a leading
+// digit is prefixed with one.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		legal := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+		}
+		if legal {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format: one # TYPE comment per metric (plus # HELP when
+// help has an entry under the metric's registry name), counters and
+// gauges as single samples, histograms as cumulative _bucket series
+// with le labels ending in +Inf, plus _sum and _count. Output is
+// deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, s *Snapshot, help map[string]string) error {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	header := func(name, kind string) error {
+		if h := help[name]; h != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", PromName(name), promEscapeHelp(h)); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", PromName(name), kind)
+		return err
+	}
+
+	for _, name := range names {
+		pn := PromName(name)
+		if v, ok := s.Counters[name]; ok {
+			if err := header(name, "counter"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", pn, v); err != nil {
+				return err
+			}
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			if err := header(name, "gauge"); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", pn, v); err != nil {
+				return err
+			}
+			continue
+		}
+		h := s.Histograms[name]
+		if err := header(name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, bound, cum); err != nil {
+				return err
+			}
+		}
+		if len(h.Counts) > len(h.Bounds) {
+			cum += h.Counts[len(h.Bounds)]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promEscapeHelp escapes a HELP string per the exposition format
+// (backslash and newline).
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

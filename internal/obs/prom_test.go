@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"serve.stage.capture_us": "serve_stage_capture_us",
+		"build.info":             "build_info",
+		"already_legal:x":        "already_legal:x",
+		"9starts.with.digit":     "_9starts_with_digit",
+		"weird-chars%here":       "weird_chars_here",
+		"":                       "_",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.classify_requests").Add(5)
+	r.Gauge("serve.inflight").Set(2)
+	h := r.Histogram("serve.stage.capture_us", []int64{1, 4, 16})
+	h.Observe(2)  // bucket le=4
+	h.Observe(3)  // bucket le=4
+	h.Observe(99) // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot(), map[string]string{
+		"serve.classify_requests": "classify requests served",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP serve_classify_requests classify requests served\n",
+		"# TYPE serve_classify_requests counter\nserve_classify_requests 5\n",
+		"# TYPE serve_inflight gauge\nserve_inflight 2\n",
+		"# TYPE serve_stage_capture_us histogram\n",
+		"serve_stage_capture_us_bucket{le=\"1\"} 0\n",
+		"serve_stage_capture_us_bucket{le=\"4\"} 2\n",
+		"serve_stage_capture_us_bucket{le=\"16\"} 2\n",
+		"serve_stage_capture_us_bucket{le=\"+Inf\"} 3\n",
+		"serve_stage_capture_us_sum 104\n",
+		"serve_stage_capture_us_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") {
+		t.Fatalf("exposition contains a dot (illegal metric-name charset):\n%s", out)
+	}
+
+	// Deterministic: a second render of an equal snapshot is byte-equal.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, r.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var b3 strings.Builder
+	if err := WritePrometheus(&b3, r.Snapshot(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != b3.String() {
+		t.Fatal("equal snapshots rendered differently")
+	}
+}
+
+func TestWritePrometheusEmptyAndNil(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePrometheus(&b, &Snapshot{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "" {
+		t.Fatalf("empty snapshots produced output: %q", b.String())
+	}
+}

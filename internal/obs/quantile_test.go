@@ -1,0 +1,106 @@
+package obs
+
+// quantile_test.go — edge-case and property coverage for
+// HistSnapshot.Quantile: the estimator behind the serving stack's
+// p50/p99/p999 reporting (docs/OBSERVABILITY.md). The estimate
+// interpolates linearly inside the bucket holding the target rank,
+// clamped to the observed [Min, Max]; these tests pin the edges where
+// that can go wrong.
+
+import (
+	"math"
+	"testing"
+)
+
+// snap builds a HistSnapshot the way Registry.Snapshot would, from raw
+// observations, so the tests exercise the same bucket assignment as
+// production.
+func snap(bounds []int64, obs ...int64) HistSnapshot {
+	r := NewRegistry()
+	h := r.Histogram("h", bounds)
+	for _, v := range obs {
+		h.Observe(v)
+	}
+	return r.Snapshot().Histograms["h"]
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := snap([]int64{1, 10, 100})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	// Five observations, all in the le=10 bucket, spanning [3, 9]:
+	// interpolation runs from Min to min(bound, Max) = 9.
+	h := snap([]int64{10}, 3, 5, 6, 8, 9)
+	if got := h.Quantile(0); got != 3 {
+		t.Fatalf("Quantile(0) = %g, want the observed min 3", got)
+	}
+	if got := h.Quantile(1); got != 9 {
+		t.Fatalf("Quantile(1) = %g, want the observed max 9", got)
+	}
+	// target = .5*5 = 2.5 ranks into a 5-count bucket spanning [3, 9].
+	want := 3 + (2.5/5)*(9-3)
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %g, want %g", got, want)
+	}
+	if got := h.Quantile(0.5); got < 3 || got > 9 {
+		t.Fatalf("Quantile(0.5) = %g escapes the observed range [3, 9]", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Every observation beyond the last bound: the overflow bucket's
+	// upper edge is the observed max, so estimates stay finite and
+	// clamped to [Min, Max] = [12, 20].
+	h := snap([]int64{10}, 12, 14, 18, 20)
+	if got := h.Quantile(0.5); got < 12 || got > 20 {
+		t.Fatalf("overflow Quantile(0.5) = %g, want within [12, 20]", got)
+	}
+	want := 12 + (2.0/4)*(20-12) // target rank 2 of 4 across [12, 20]
+	if got := h.Quantile(0.5); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overflow Quantile(0.5) = %g, want %g", got, want)
+	}
+	if got := h.Quantile(1); got != 20 {
+		t.Fatalf("overflow Quantile(1) = %g, want 20", got)
+	}
+}
+
+func TestQuantileExactBucketEdge(t *testing.T) {
+	// Two buckets filled 2+2: the median rank lands exactly on the
+	// first bucket's upper bound, so interpolation must return the
+	// bucket edge itself.
+	h := snap([]int64{10, 20}, 5, 7, 15, 20)
+	if got := h.Quantile(0.5); got != 10 {
+		t.Fatalf("Quantile(0.5) = %g, want the exact bucket edge 10", got)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	shapes := map[string]HistSnapshot{
+		"uniform":   snap(ExpBuckets(1, 2, 10), 1, 2, 4, 8, 16, 32, 64, 128, 256, 512),
+		"skewed":    snap(ExpBuckets(1, 2, 6), 1, 1, 1, 1, 1, 1, 1, 2, 900),
+		"overflow":  snap([]int64{4}, 100, 200, 300),
+		"singleton": snap([]int64{10, 100}, 42),
+		"edges":     snap([]int64{10, 20, 40}, 10, 10, 20, 20, 40, 40),
+	}
+	for name, h := range shapes {
+		prev := math.Inf(-1)
+		for i := 0; i <= 1000; i++ {
+			q := float64(i) / 1000
+			got := h.Quantile(q)
+			if got < prev {
+				t.Fatalf("%s: Quantile not monotone: Quantile(%g) = %g < Quantile(%g) = %g",
+					name, q, got, float64(i-1)/1000, prev)
+			}
+			if h.Count > 0 && (got < float64(h.Min) || got > float64(h.Max)) {
+				t.Fatalf("%s: Quantile(%g) = %g escapes [Min=%d, Max=%d]", name, q, got, h.Min, h.Max)
+			}
+			prev = got
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// DefaultRingEntries is the capacity NewRing substitutes for a
+// non-positive request.
+const DefaultRingEntries = 256
+
+// Ring is a bounded buffer of recent traces: the storage behind
+// GET /debug/trace. Adding the N+1th trace overwrites the oldest, so
+// memory is fixed at capacity × the per-trace bound. All methods are
+// safe on a nil *Ring (no-ops / empty results) and for concurrent use.
+type Ring struct {
+	mu  sync.Mutex
+	buf []*Trace
+	pos int // next write slot
+	n   int // live entries
+}
+
+// NewRing returns an empty ring holding up to capacity traces (<= 0
+// selects DefaultRingEntries).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingEntries
+	}
+	return &Ring{buf: make([]*Trace, capacity)}
+}
+
+// Add records t, evicting the oldest entry when full.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.pos] = t
+	r.pos = (r.pos + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// Get returns the newest trace with the given ID, or nil.
+func (r *Ring) Get(id string) *Trace {
+	if r == nil || id == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := 0; i < r.n; i++ {
+		t := r.buf[(r.pos-1-i+len(r.buf))%len(r.buf)]
+		if t != nil && t.id == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Recent returns up to max traces, newest first (max <= 0 means all).
+func (r *Ring) Recent(max int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.n
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(r.pos-1-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of stored traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -10,12 +10,21 @@ package serve
 // form of the sweep planner's execute-once/classify-many guarantee: a
 // burst of a million identical requests costs one capture, one replay
 // and N-1 cache hits.
+//
+// Every stage of that path is individually observable: the engine
+// feeds the serve.stage.* histograms (admission wait, cache lookup,
+// singleflight wait, capture, replay/direct execution, encode) and,
+// when the request carries an obs/trace.Trace on its context, records
+// the same stages as parent/child spans. Instrumentation observes and
+// never participates — response bodies are byte-identical with and
+// without a trace attached (pinned by tests).
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"time"
@@ -23,13 +32,15 @@ import (
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 	"repro/internal/refstream"
 	"repro/internal/sim"
 )
 
 // Observability names recorded by the service. Counters/gauges are
 // registered on the engine's registry; see docs/SERVING.md for the
-// full signal list.
+// full signal list and docs/OBSERVABILITY.md for the histogram bucket
+// families.
 const (
 	MetricClassifyRequests = "serve.classify_requests"
 	MetricSweepRequests    = "serve.sweep_requests"
@@ -50,6 +61,25 @@ const (
 
 	MetricClassifyLatencyUS = "serve.classify_latency_us" // histogram (obs.MicrosBuckets)
 	MetricSweepLatencyUS    = "serve.sweep_latency_us"    // histogram (obs.MicrosBuckets)
+
+	// MetricBuildInfo is the gauge-style build marker: constant 1 while
+	// the process serves; the version/revision details ride GET /healthz.
+	MetricBuildInfo = "build.info"
+)
+
+// Per-stage latency histograms (all obs.MicrosBuckets): the request
+// path decomposed, feeding real server-side p50/p99/p999 per stage.
+// Stage span names in a trace are the metric's last segment without
+// the unit suffix (e.g. "cache_lookup").
+const (
+	MetricStageDecodeUS      = "serve.stage.decode_us"       // body decode + canonicalization
+	MetricStageAdmitWaitUS   = "serve.stage.admit_wait_us"   // admission-slot acquisition
+	MetricStageCacheLookupUS = "serve.stage.cache_lookup_us" // result-cache lookup (per classify, per sweep grid)
+	MetricStageFlightWaitUS  = "serve.stage.flight_wait_us"  // enqueue + singleflight wait until resolution
+	MetricStageCaptureUS     = "serve.stage.capture_us"      // reference-stream fetch/capture (stream-cache hit or miss)
+	MetricStageReplayUS      = "serve.stage.replay_us"       // replayer Run/RunBatch pass
+	MetricStageDirectUS      = "serve.stage.direct_us"       // direct simulator run (partial-fill ablation)
+	MetricStageEncodeUS      = "serve.stage.encode_us"       // result → canonical JSON body
 )
 
 // Errors surfaced by Engine.Do and Engine admission; the HTTP layer
@@ -93,6 +123,13 @@ type Options struct {
 	// Metrics receives the service's signals; nil falls back to
 	// obs.Default() (disabled unless a front end enabled it).
 	Metrics *obs.Registry
+	// AccessLog receives one structured JSON line per /v1/classify and
+	// /v1/sweep request (request ID, route, status, cache behavior,
+	// per-stage timings). nil selects os.Stderr; io.Discard disables.
+	AccessLog io.Writer
+	// TraceRingEntries bounds the recent-trace ring served at
+	// GET /debug/trace (<= 0 selects trace.DefaultRingEntries).
+	TraceRingEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -153,11 +190,16 @@ func (f *flight) resolve(body []byte, err error) {
 
 // task is one unit of worker-pool execution: a single point, or — when
 // batch is set — a whole sweep batch classified in one stream pass.
+// tr/parent carry the leader request's trace so worker-side stages
+// (capture, replay, encode) appear as children of its singleflight
+// wait; both are nil-safe.
 type task struct {
-	p     point
-	key   string
-	fl    *flight
-	batch *batchTask
+	p      point
+	key    string
+	fl     *flight
+	batch  *batchTask
+	tr     *trace.Trace
+	parent trace.SpanRef
 }
 
 // batchTask is a group of replay-eligible sweep points sharing one
@@ -172,6 +214,8 @@ type batchTask struct {
 	pts    []point
 	keys   []string
 	fls    []*flight
+	tr     *trace.Trace
+	parent trace.SpanRef
 }
 
 // Engine executes canonical points with caching, deduplication,
@@ -184,6 +228,10 @@ type Engine struct {
 	cHits, cMisses, cDedup *obs.Counter
 	cRejected, cPoints     *obs.Counter
 	gQueue, gInflight      *obs.Gauge
+
+	// Per-stage latency histograms; see the MetricStage* constants.
+	hDecode, hAdmit, hCacheLookup, hFlightWait *obs.Histogram
+	hCapture, hReplay, hDirect, hEncode        *obs.Histogram
 
 	results *lruCache
 	streams *refstream.Cache
@@ -206,19 +254,27 @@ func newEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
 	reg := opts.Metrics
 	e := &Engine{
-		opts:      opts,
-		reg:       reg,
-		cHits:     reg.Counter(MetricCacheHits),
-		cMisses:   reg.Counter(MetricCacheMisses),
-		cDedup:    reg.Counter(MetricDedupWaits),
-		cRejected: reg.Counter(MetricRejected),
-		cPoints:   reg.Counter(MetricPointsExecuted),
-		gQueue:    reg.Gauge(MetricQueueDepth),
-		gInflight: reg.Gauge(MetricInflight),
-		results:   newLRU(opts.ResultCacheEntries),
-		streams:   refstream.NewCache(opts.StreamCacheEntries),
-		tasks:     make(chan *task, opts.MaxInflight),
-		flights:   map[string]*flight{},
+		opts:         opts,
+		reg:          reg,
+		cHits:        reg.Counter(MetricCacheHits),
+		cMisses:      reg.Counter(MetricCacheMisses),
+		cDedup:       reg.Counter(MetricDedupWaits),
+		cRejected:    reg.Counter(MetricRejected),
+		cPoints:      reg.Counter(MetricPointsExecuted),
+		gQueue:       reg.Gauge(MetricQueueDepth),
+		gInflight:    reg.Gauge(MetricInflight),
+		hDecode:      reg.Histogram(MetricStageDecodeUS, obs.MicrosBuckets),
+		hAdmit:       reg.Histogram(MetricStageAdmitWaitUS, obs.MicrosBuckets),
+		hCacheLookup: reg.Histogram(MetricStageCacheLookupUS, obs.MicrosBuckets),
+		hFlightWait:  reg.Histogram(MetricStageFlightWaitUS, obs.MicrosBuckets),
+		hCapture:     reg.Histogram(MetricStageCaptureUS, obs.MicrosBuckets),
+		hReplay:      reg.Histogram(MetricStageReplayUS, obs.MicrosBuckets),
+		hDirect:      reg.Histogram(MetricStageDirectUS, obs.MicrosBuckets),
+		hEncode:      reg.Histogram(MetricStageEncodeUS, obs.MicrosBuckets),
+		results:      newLRU(opts.ResultCacheEntries),
+		streams:      refstream.NewCache(opts.StreamCacheEntries),
+		tasks:        make(chan *task, opts.MaxInflight),
+		flights:      map[string]*flight{},
 	}
 	e.streams.Captures = reg.Counter(MetricStreamCaptures)
 	e.streams.Hits = reg.Counter(MetricStreamHits)
@@ -259,14 +315,22 @@ func (e *Engine) admit() (release func(), err error) {
 // must hold an admission slot (see admit); the HTTP handlers do. On
 // context expiry Do returns ctx.Err() — the execution itself, if
 // already queued, still completes and populates the cache for the next
-// request.
+// request. A trace on ctx (trace.FromContext) receives cache_lookup
+// and flight_wait spans plus cache-outcome counts; execution stages
+// land on the leader's trace from the worker.
 func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
+	tr := trace.FromContext(ctx)
 	key := p.key()
-	if body, ok := e.results.get(key); ok {
+	sp := tr.Start("cache_lookup")
+	body, ok := e.results.get(key)
+	e.hCacheLookup.Observe(sp.End().Microseconds())
+	if ok {
 		e.cHits.Inc()
+		tr.Count("cache_hits", 1)
 		return body, nil
 	}
 	e.cMisses.Inc()
+	tr.Count("cache_misses", 1)
 
 	e.stateMu.Lock()
 	fl := e.flights[key]
@@ -277,8 +341,9 @@ func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
 	}
 	e.stateMu.Unlock()
 
+	wsp := tr.Start("flight_wait")
 	if leader {
-		t := &task{p: p, key: key, fl: fl}
+		t := &task{p: p, key: key, fl: fl, tr: tr, parent: wsp}
 		select {
 		case e.tasks <- t:
 			e.gQueue.Add(1)
@@ -289,16 +354,20 @@ func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
 			delete(e.flights, key)
 			e.stateMu.Unlock()
 			fl.resolve(nil, ctx.Err())
+			wsp.End()
 			return nil, ctx.Err()
 		}
 	} else {
 		e.cDedup.Inc()
+		tr.Count("dedup_waits", 1)
 	}
 
 	select {
 	case <-fl.done:
+		e.hFlightWait.Observe(wsp.End().Microseconds())
 		return fl.body, fl.err
 	case <-ctx.Done():
+		wsp.End()
 		return nil, ctx.Err()
 	}
 }
@@ -315,17 +384,21 @@ func (e *Engine) Do(ctx context.Context, p point) ([]byte, error) {
 // wins; on context expiry DoSweep returns ctx.Err() while queued work
 // still completes and populates the cache for the next request.
 func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, error) {
+	tr := trace.FromContext(ctx)
 	bodies := make([]json.RawMessage, len(pts))
 	fls := make([]*flight, len(pts)) // per point; nil = served from cache
 	var leaders []int                // points whose flight this request must execute
+	sp := tr.Start("cache_lookup")
 	for i, p := range pts {
 		key := p.key()
 		if body, ok := e.results.get(key); ok {
 			e.cHits.Inc()
+			tr.Count("cache_hits", 1)
 			bodies[i] = body
 			continue
 		}
 		e.cMisses.Inc()
+		tr.Count("cache_misses", 1)
 		e.stateMu.Lock()
 		fl := e.flights[key]
 		leader := fl == nil
@@ -339,12 +412,15 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 			leaders = append(leaders, i)
 		} else {
 			e.cDedup.Inc()
+			tr.Count("dedup_waits", 1)
 		}
 	}
+	e.hCacheLookup.Observe(sp.End().Microseconds())
 
 	// Bucket the leaders into batch tasks by capture group, preserving
 	// grid order within each bucket (RunBatch blames the lowest input
 	// index, so grid order in = lowest grid index blamed).
+	wsp := tr.Start("flight_wait")
 	type groupKey struct {
 		kernel *loops.Kernel
 		n      int
@@ -354,13 +430,13 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 	for _, i := range leaders {
 		p := pts[i]
 		if !refstream.Eligible(p.cfg) {
-			queue = append(queue, &task{p: p, key: p.key(), fl: fls[i]})
+			queue = append(queue, &task{p: p, key: p.key(), fl: fls[i], tr: tr, parent: wsp})
 			continue
 		}
 		gk := groupKey{p.kernel, p.n}
 		bt := groups[gk]
 		if bt == nil {
-			bt = &batchTask{kernel: p.kernel, n: p.n}
+			bt = &batchTask{kernel: p.kernel, n: p.n, tr: tr, parent: wsp}
 			groups[gk] = bt
 			queue = append(queue, &task{batch: bt})
 		}
@@ -396,13 +472,16 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 		select {
 		case <-fl.done:
 			if fl.err != nil {
+				wsp.End()
 				return nil, fl.err
 			}
 			bodies[i] = fl.body
 		case <-ctx.Done():
+			wsp.End()
 			return nil, ctx.Err()
 		}
 	}
+	e.hFlightWait.Observe(wsp.End().Microseconds())
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +523,7 @@ func (e *Engine) worker() {
 			e.executeBatch(scratch, replayer, t.batch)
 			continue
 		}
-		body, err := e.execute(scratch, replayer, t.p)
+		body, err := e.execute(scratch, replayer, t)
 		if err == nil {
 			e.results.add(t.key, body)
 		}
@@ -457,28 +536,42 @@ func (e *Engine) worker() {
 
 // execute runs one point: stream replay when eligible (sharing one
 // capture per (kernel, N) across all requests), direct simulation
-// otherwise (the partial-fill ablation).
-func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, p point) ([]byte, error) {
+// otherwise (the partial-fill ablation). Each stage feeds its
+// histogram and, when the task carries a trace, a child span under the
+// requester's flight_wait.
+func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, t *task) ([]byte, error) {
+	p := t.p
 	var (
 		res    *sim.Result
 		engine string
 		err    error
 	)
 	if refstream.Eligible(p.cfg) {
-		var st *refstream.Stream
-		if st, err = e.streams.GetScratch(scratch, p.kernel, p.n); err == nil {
+		sp := t.tr.StartChild(t.parent, "capture")
+		st, cerr := e.streams.GetScratch(scratch, p.kernel, p.n)
+		e.hCapture.Observe(sp.End().Microseconds())
+		if cerr == nil {
+			sp = t.tr.StartChild(t.parent, "replay")
 			res, err = replayer.Run(st, p.cfg)
+			e.hReplay.Observe(sp.End().Microseconds())
+		} else {
+			err = cerr
 		}
 		engine = "replay"
 	} else {
+		sp := t.tr.StartChild(t.parent, "direct")
 		res, err = scratch.Run(p.kernel, p.n, p.cfg)
+		e.hDirect.Observe(sp.End().Microseconds())
 		engine = "direct"
 	}
 	if err != nil {
 		return nil, fmt.Errorf("point %s: %w", p.key(), err)
 	}
 	e.cPoints.Inc()
-	return encodePoint(p, engine, res)
+	sp := t.tr.StartChild(t.parent, "encode")
+	body, err := encodePoint(p, engine, res)
+	e.hEncode.Observe(sp.End().Microseconds())
+	return body, err
 }
 
 // executeBatch runs one batch task: fetch the group's stream, classify
@@ -491,20 +584,28 @@ func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, p p
 // error reporting deterministic.
 func (e *Engine) executeBatch(scratch *sim.Scratch, replayer *refstream.Replayer, bt *batchTask) {
 	var bodies [][]byte
+	sp := bt.tr.StartChild(bt.parent, "capture")
 	st, err := e.streams.GetScratch(scratch, bt.kernel, bt.n)
+	e.hCapture.Observe(sp.End().Microseconds())
 	if err == nil {
 		cfgs := make([]sim.Config, len(bt.pts))
 		for i, p := range bt.pts {
 			cfgs[i] = p.cfg
 		}
+		bt.tr.Event(bt.parent, "batch_configs", int64(len(cfgs)), "configs")
+		sp = bt.tr.StartChild(bt.parent, "replay")
 		var res []*sim.Result
-		if res, err = replayer.RunBatch(st, cfgs); err == nil {
+		res, err = replayer.RunBatch(st, cfgs)
+		e.hReplay.Observe(sp.End().Microseconds())
+		if err == nil {
+			sp = bt.tr.StartChild(bt.parent, "encode")
 			bodies = make([][]byte, len(bt.pts))
 			for i, p := range bt.pts {
 				if bodies[i], err = encodePoint(p, "replay", res[i]); err != nil {
 					break
 				}
 			}
+			e.hEncode.Observe(sp.End().Microseconds())
 		}
 	}
 	if err != nil {

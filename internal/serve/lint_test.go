@@ -1,0 +1,135 @@
+package serve
+
+// lint_test.go — the metrics-naming contract: after a full
+// classify + sweep run touching every execution path, every metric
+// name registered anywhere in the stack matches the canonical charset
+// ^[a-z][a-z0-9_.]*$, and every histogram declares its bucket family
+// in the docs/OBSERVABILITY.md inventory table. A metric added without
+// a doc row fails here, which is the point.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+	"repro/internal/sim"
+)
+
+// exerciseAll drives a fresh service through every execution path so
+// each layer registers its full metric set: replay-eligible classify
+// (capture + replay + encode), a cache hit, a partial-fill point
+// (direct simulation), a sweep (batch path), and a bad request.
+func exerciseAll(t *testing.T) *obs.Registry {
+	t.Helper()
+	reg := obs.NewRegistry()
+	_, ts, _ := newTestService(t, Options{Metrics: reg})
+	for _, rq := range []struct{ path, body string }{
+		{"/v1/classify", `{"kernel":"k1","npe":16,"page_size":32}`},
+		{"/v1/classify", `{"kernel":"k1","npe":16,"page_size":32}`},
+		{"/v1/classify", `{"kernel":"k6","npe":8,"partial_fill":true}`},
+		{"/v1/sweep", `{"kernels":["k2","k12"],"npes":[4,8],"page_sizes":[32]}`},
+		{"/v1/classify", `{"kernel":"nope"}`},
+	} {
+		post(t, ts, rq.path, rq.body)
+	}
+	return reg
+}
+
+func TestMetricNamesCanonical(t *testing.T) {
+	nameRe := regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+	snap := exerciseAll(t).Snapshot()
+	seen := 0
+	checkName := func(name string) {
+		seen++
+		if !nameRe.MatchString(name) {
+			t.Errorf("metric %q violates the naming charset %s", name, nameRe)
+		}
+	}
+	for name := range snap.Counters {
+		checkName(name)
+	}
+	for name := range snap.Gauges {
+		checkName(name)
+	}
+	for name := range snap.Histograms {
+		checkName(name)
+	}
+	if seen < 20 {
+		t.Fatalf("only %d metrics registered — the exercise run no longer covers the stack", seen)
+	}
+	// The exercise must have reached every layer the serving path uses
+	// (the machine/network layers belong to the executable-machine mode,
+	// not the counting-simulator service; their names are linted via the
+	// constants below).
+	for _, want := range []string{
+		MetricCacheHits, MetricPointsExecuted, MetricStageReplayUS, MetricStageDirectUS,
+		sim.MetricRuns, sim.MetricRunMicros, refstream.MetricBatchGroups, refstream.MetricBatchConfigsPerPass,
+	} {
+		_, c := snap.Counters[want]
+		_, g := snap.Gauges[want]
+		_, h := snap.Histograms[want]
+		if !c && !g && !h {
+			t.Errorf("expected metric %q missing from the exercised snapshot", want)
+		}
+	}
+	// Machine/network names never register through the serving path;
+	// lint their exported constants directly.
+	for _, name := range []string{
+		machine.MetricRuns, machine.MetricFetchLatency, machine.MetricDeferredLen,
+		machine.MetricWatchdogStalls, machine.MetricAborts, machine.MetricFetchRetries,
+		machine.MetricDupReplies, machine.MetricDupRequests, machine.MetricRedundantDiscards,
+		network.MetricInboxDepth, network.MetricMsgBytes,
+		network.MetricFaultsDropped, network.MetricFaultsDuplicated, network.MetricFaultsDelayed,
+		network.MetricFaultsStalls, network.MetricFaultsRedundantBytes, network.MetricFaultsDiscarded,
+	} {
+		if !nameRe.MatchString(name) {
+			t.Errorf("metric constant %q violates the naming charset %s", name, nameRe)
+		}
+	}
+}
+
+// TestHistogramsDocumented cross-checks the live registry against the
+// bucket-family inventory in docs/OBSERVABILITY.md: every registered
+// histogram name must appear backticked in a table row.
+func TestHistogramsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading docs/OBSERVABILITY.md: %v", err)
+	}
+	rows := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range regexp.MustCompile("`([a-z][a-z0-9_.]*)`").FindAllStringSubmatch(line, -1) {
+			rows[m[1]] = true
+		}
+	}
+
+	snap := exerciseAll(t).Snapshot()
+	for name := range snap.Histograms {
+		if !rows[name] {
+			t.Errorf("histogram %q has no bucket-family row in docs/OBSERVABILITY.md", name)
+		}
+	}
+	// Known histogram constants stay pinned even if an exercise path
+	// regresses silently.
+	for _, name := range []string{
+		sim.MetricRunMicros, machine.MetricFetchLatency, machine.MetricDeferredLen,
+		network.MetricInboxDepth, network.MetricMsgBytes, refstream.MetricBatchConfigsPerPass,
+		MetricClassifyLatencyUS, MetricSweepLatencyUS,
+		MetricStageDecodeUS, MetricStageAdmitWaitUS, MetricStageCacheLookupUS,
+		MetricStageFlightWaitUS, MetricStageCaptureUS, MetricStageReplayUS,
+		MetricStageDirectUS, MetricStageEncodeUS,
+	} {
+		if !rows[name] {
+			t.Errorf("histogram constant %q has no bucket-family row in docs/OBSERVABILITY.md", name)
+		}
+	}
+}

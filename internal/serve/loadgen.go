@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,6 +63,77 @@ type LoadReport struct {
 	DedupWaits     int64   `json:"dedup_waits"`
 	PointsExecuted int64   `json:"points_executed"`
 	StreamCaptures int64   `json:"stream_captures"`
+	// Stages holds server-side per-stage latency quantiles over the run,
+	// one entry per serve.stage.* histogram (delta of the before/after
+	// /metrics snapshots), keyed by full metric name.
+	Stages map[string]StageQuantiles `json:"stages,omitempty"`
+}
+
+// StageQuantiles is one stage histogram's quantile summary, estimated
+// server-side from its bucket counts (obs.HistSnapshot.Quantile).
+type StageQuantiles struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+}
+
+// deltaHist subtracts the before-run state of one histogram from its
+// after-run state bucket by bucket, so quantiles reflect only this
+// run's observations even against a warm daemon. When before is empty
+// the delta is exact; when it has observations Min/Max are unknown for
+// the delta and are approximated by the after-snapshot's (the estimate
+// stays clamped and monotone). Mismatched bucket layouts fall back to
+// the after-snapshot unchanged.
+func deltaHist(before, after obs.HistSnapshot) obs.HistSnapshot {
+	if before.Count == 0 {
+		return after
+	}
+	if len(before.Bounds) != len(after.Bounds) || len(before.Counts) != len(after.Counts) {
+		return after
+	}
+	d := obs.HistSnapshot{
+		Count:  after.Count - before.Count,
+		Sum:    after.Sum - before.Sum,
+		Min:    after.Min,
+		Max:    after.Max,
+		Bounds: after.Bounds,
+		Counts: make([]int64, len(after.Counts)),
+	}
+	for i := range after.Counts {
+		d.Counts[i] = after.Counts[i] - before.Counts[i]
+	}
+	if d.Count > 0 {
+		d.Mean = float64(d.Sum) / float64(d.Count)
+	}
+	return d
+}
+
+// stageQuantiles builds the per-stage report from the before/after
+// snapshots: every histogram under the serve.stage.* prefix with at
+// least one observation during the run.
+func stageQuantiles(before, after *obs.Snapshot) map[string]StageQuantiles {
+	const prefix = "serve.stage."
+	out := map[string]StageQuantiles{}
+	for name, h := range after.Histograms {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		d := deltaHist(before.Histograms[name], h)
+		if d.Count <= 0 {
+			continue
+		}
+		out[name] = StageQuantiles{
+			Count:  d.Count,
+			P50MS:  d.Quantile(0.50) / 1000, // histograms record microseconds
+			P99MS:  d.Quantile(0.99) / 1000,
+			P999MS: d.Quantile(0.999) / 1000,
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // hotSet is the duplicate side of the mix: a handful of baseline
@@ -274,5 +346,6 @@ feed:
 	rep.DedupWaits = delta(MetricDedupWaits)
 	rep.PointsExecuted = delta(MetricPointsExecuted)
 	rep.StreamCaptures = delta(MetricStreamCaptures)
+	rep.Stages = stageQuantiles(before, after)
 	return rep, nil
 }

@@ -10,8 +10,10 @@
 //	POST /v1/classify   one grid point → PointResult
 //	POST /v1/sweep      a parameter grid → SweepResult (grid order)
 //	GET  /v1/kernels    the kernel registry
-//	GET  /healthz       liveness
-//	GET  /metrics       obs registry snapshot (JSON)
+//	GET  /healthz       liveness + build/version details
+//	GET  /metrics       obs registry snapshot (JSON; ?format=prom for
+//	                    Prometheus text exposition)
+//	GET  /debug/trace   recent request traces (?id= for one span tree)
 //	GET  /debug/pprof/  net/http/pprof (plus /debug/vars expvar)
 //
 // The hot path exploits the existing engines end-to-end: requests are
@@ -25,9 +27,19 @@
 // work, and full obs instrumentation — with determinism preserved:
 // identical requests yield bit-identical JSON bodies. See
 // docs/SERVING.md.
+//
+// Every classify/sweep request is request-scoped traced: the caller's
+// X-Request-ID (or a generated one) is echoed back, the request rides
+// an obs/trace.Trace recording per-stage spans (admission wait, cache
+// lookup, singleflight wait, capture, replay, encode), recent traces
+// are retained in a bounded ring behind GET /debug/trace, and each
+// request emits one JSON access-log line. The same stages feed the
+// serve.stage.* histograms for server-side percentiles. See
+// docs/OBSERVABILITY.md.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,19 +47,24 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/loops"
 	"repro/internal/obs"
+	"repro/internal/obs/trace"
 )
 
 // Server is the HTTP face of the classification service. Create one
 // with New, mount Handler on any http.Server, and Close it (after
 // http.Server.Shutdown) to drain the engine.
 type Server struct {
-	eng *Engine
-	reg *obs.Registry
-	mux *http.ServeMux
+	eng    *Engine
+	reg    *obs.Registry
+	mux    *http.ServeMux
+	ring   *trace.Ring
+	alog   *accessLogger
+	health []byte
 
 	cClassify, cSweep, cBad, cDeadline *obs.Counter
 	hClassify, hSweep                  *obs.Histogram
@@ -61,6 +78,9 @@ func New(opts Options) *Server {
 		eng:       eng,
 		reg:       reg,
 		mux:       http.NewServeMux(),
+		ring:      trace.NewRing(opts.TraceRingEntries),
+		alog:      newAccessLogger(opts.AccessLog),
+		health:    healthBody(),
 		cClassify: reg.Counter(MetricClassifyRequests),
 		cSweep:    reg.Counter(MetricSweepRequests),
 		cBad:      reg.Counter(MetricBadRequests),
@@ -68,11 +88,13 @@ func New(opts Options) *Server {
 		hClassify: reg.Histogram(MetricClassifyLatencyUS, obs.MicrosBuckets),
 		hSweep:    reg.Histogram(MetricSweepLatencyUS, obs.MicrosBuckets),
 	}
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	reg.Gauge(MetricBuildInfo).Set(1)
+	s.mux.HandleFunc("POST /v1/classify", s.traced("/v1/classify", s.handleClassify))
+	s.mux.HandleFunc("POST /v1/sweep", s.traced("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	AttachDebug(s.mux, reg)
 	return s
 }
@@ -158,20 +180,24 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.cClassify.Inc()
 	start := time.Now()
 	defer func() { s.hClassify.Observe(time.Since(start).Microseconds()) }()
+	tr := trace.FromContext(r.Context())
 
+	sp := tr.Start("decode")
 	var req ClassifyRequest
-	if err := decode(r, &req); err != nil {
-		s.cBad.Inc()
-		writeError(w, http.StatusBadRequest, err)
-		return
+	err := decode(r, &req)
+	var p point
+	if err == nil {
+		p, err = canonPoint(req, s.eng.opts.limits())
 	}
-	p, err := canonPoint(req, s.eng.opts.limits())
+	s.eng.hDecode.Observe(sp.End().Microseconds())
 	if err != nil {
 		s.cBad.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	asp := tr.Start("admit_wait")
 	release, err := s.eng.admit()
+	s.eng.hAdmit.Observe(asp.End().Microseconds())
 	if err != nil {
 		rejectErr(w, err)
 		return
@@ -192,20 +218,24 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.cSweep.Inc()
 	start := time.Now()
 	defer func() { s.hSweep.Observe(time.Since(start).Microseconds()) }()
+	tr := trace.FromContext(r.Context())
 
+	sp := tr.Start("decode")
 	var req SweepRequest
-	if err := decode(r, &req); err != nil {
-		s.cBad.Inc()
-		writeError(w, http.StatusBadRequest, err)
-		return
+	err := decode(r, &req)
+	var pts []point
+	if err == nil {
+		pts, err = canonSweep(req, s.eng.opts.limits())
 	}
-	pts, err := canonSweep(req, s.eng.opts.limits())
+	s.eng.hDecode.Observe(sp.End().Microseconds())
 	if err != nil {
 		s.cBad.Inc()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	asp := tr.Start("admit_wait")
 	release, err := s.eng.admit()
+	s.eng.hAdmit.Observe(asp.End().Microseconds())
 	if err != nil {
 		rejectErr(w, err)
 		return
@@ -262,14 +292,75 @@ func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, []byte(`{"status":"ok"}`))
+	w.Header().Set("Cache-Control", "no-store")
+	writeJSON(w, http.StatusOK, s.health)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if wantsProm(r) {
+		var buf bytes.Buffer
+		if err := obs.WritePrometheus(&buf, s.reg.Snapshot(), metricHelp); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PromContentType)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
 	body, err := json.MarshalIndent(s.reg.Snapshot(), "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// wantsProm selects the /metrics exposition: an explicit
+// ?format=prom|json parameter wins; otherwise an Accept header asking
+// for text/plain or openmetrics (and not application/json) selects the
+// Prometheus text format. JSON is the default.
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
+// metricHelp supplies # HELP strings for the Prometheus exposition,
+// keyed by registry name. Intentionally partial: names without an
+// entry still expose with # TYPE only.
+var metricHelp = map[string]string{
+	MetricBuildInfo:          "constant 1 while the process serves; version details on GET /healthz",
+	MetricClassifyRequests:   "POST /v1/classify requests received",
+	MetricSweepRequests:      "POST /v1/sweep requests received",
+	MetricRejected:           "requests refused by admission control (429)",
+	MetricBadRequests:        "requests rejected by validation (400)",
+	MetricDeadlineExceeded:   "requests that exceeded their deadline (504)",
+	MetricCacheHits:          "points answered from the result cache",
+	MetricCacheMisses:        "points that executed or joined an in-flight execution",
+	MetricDedupWaits:         "points that joined an identical in-flight point",
+	MetricPointsExecuted:     "simulator/replayer point executions",
+	MetricStreamCaptures:     "reference-stream captures performed",
+	MetricStreamHits:         "captures avoided by the stream cache",
+	MetricQueueDepth:         "tasks queued for the worker pool",
+	MetricInflight:           "admitted in-flight requests",
+	MetricClassifyLatencyUS:  "end-to-end /v1/classify latency (microseconds)",
+	MetricSweepLatencyUS:     "end-to-end /v1/sweep latency (microseconds)",
+	MetricStageDecodeUS:      "stage: body decode + canonicalization (microseconds)",
+	MetricStageAdmitWaitUS:   "stage: admission-slot acquisition (microseconds)",
+	MetricStageCacheLookupUS: "stage: result-cache lookup (microseconds)",
+	MetricStageFlightWaitUS:  "stage: enqueue + singleflight wait (microseconds)",
+	MetricStageCaptureUS:     "stage: reference-stream fetch/capture (microseconds)",
+	MetricStageReplayUS:      "stage: replayer pass (microseconds)",
+	MetricStageDirectUS:      "stage: direct simulator run (microseconds)",
+	MetricStageEncodeUS:      "stage: result encoding (microseconds)",
 }

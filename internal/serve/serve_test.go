@@ -33,6 +33,9 @@ func newTestService(t *testing.T, opts Options) (*Server, *httptest.Server, *obs
 		reg = obs.NewRegistry()
 		opts.Metrics = reg
 	}
+	if opts.AccessLog == nil {
+		opts.AccessLog = io.Discard
+	}
 	s := New(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
@@ -261,8 +264,20 @@ func TestReadEndpoints(t *testing.T) {
 	}
 
 	st, body = get(t, ts, "/healthz")
-	if st != http.StatusOK || string(body) != `{"status":"ok"}` {
+	if st != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
 		t.Fatalf("/healthz = %d %s", st, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Build  struct {
+			Go string `json:"go"`
+		} `json:"build"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatalf("/healthz body not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Build.Go == "" {
+		t.Fatalf("/healthz missing status or build info: %s", body)
 	}
 
 	post(t, ts, "/v1/classify", `{"kernel":"k1"}`)

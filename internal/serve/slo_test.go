@@ -1,0 +1,87 @@
+package serve
+
+// slo_test.go — the env-gated serving SLO check, in the style of the
+// REFSTREAM_PERF_GATE: skipped by default (shared CI runners make
+// latency assertions flaky as hard failures), enabled in the dedicated
+// CI step with SERVE_SLO_GATE=1. It drives the deterministic load
+// generator against an in-process server and asserts (a) every hot
+// stage histogram actually observed this run and (b) the server-side
+// stage p99s stay inside generous ceilings — catching only gross
+// regressions (an accidental O(n^2), a lock on the hot path), not
+// noise.
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestServeStageSLOGate(t *testing.T) {
+	if os.Getenv("SERVE_SLO_GATE") == "" {
+		t.Skip("set SERVE_SLO_GATE=1 to run the serving SLO gate")
+	}
+	reg := obs.NewRegistry()
+	s := New(Options{Metrics: reg, AccessLog: io.Discard})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		s.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := Load(ctx, LoadOptions{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Requests:    600,
+		Concurrency: 8,
+		DupFraction: 0.8,
+		SweepEvery:  25,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("load run had %d errors", rep.Errors)
+	}
+	if rep.Stages == nil {
+		t.Fatal("load report carries no server-side stage quantiles")
+	}
+
+	// Ceilings in milliseconds, far above healthy numbers (typical p99s
+	// are well under a millisecond for the cheap stages): only a gross
+	// regression trips them. serve.stage.direct_us is absent on purpose —
+	// the loadgen mix never sends partial_fill.
+	ceilings := map[string]float64{
+		MetricStageDecodeUS:      50,
+		MetricStageAdmitWaitUS:   50,
+		MetricStageCacheLookupUS: 50,
+		MetricStageCaptureUS:     2000,
+		MetricStageReplayUS:      2000,
+		MetricStageEncodeUS:      100,
+		MetricStageFlightWaitUS:  5000,
+	}
+	for name, ceiling := range ceilings {
+		q, ok := rep.Stages[name]
+		if !ok {
+			t.Errorf("stage %s never observed during the load run", name)
+			continue
+		}
+		if q.P99MS > ceiling {
+			t.Errorf("stage %s p99 = %.3fms exceeds the %.0fms SLO ceiling (n=%d)", name, q.P99MS, ceiling, q.Count)
+		}
+	}
+}

@@ -16,7 +16,7 @@ build:
 # (kept in lockstep with .github/workflows/ci.yml).
 test:
 	$(GO) test ./...
-	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core ./internal/refstream ./internal/serve ./internal/hostproc
+	$(GO) test -race ./internal/sweep ./internal/machine ./internal/obs ./internal/core ./internal/refstream ./internal/refstream/store ./internal/serve ./internal/hostproc ./internal/cluster
 
 race:
 	$(GO) test -race ./...

@@ -8,6 +8,15 @@
 //	lfksimd                          serve on :8077
 //	lfksimd -addr :9000              serve elsewhere
 //	lfksimd -workers 8 -queue 32     cap the pool and admission queue
+//	lfksimd -capture-dir /var/lib/lfksimd
+//	                                 persist reference streams to disk
+//	                                 and warm-start from them on boot
+//	lfksimd -addr-file /run/lfksimd.addr
+//	                                 publish the bound address (useful
+//	                                 with -addr 127.0.0.1:0)
+//	lfksimd -router 3                front a 3-shard cluster: spawn 3
+//	                                 shard processes and route/fail-over
+//	                                 between them (docs/CLUSTER.md)
 //	lfksimd -loadgen                 start an in-process server and
 //	                                 hammer it with a mixed
 //	                                 duplicate/unique request stream
@@ -34,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"sort"
@@ -42,7 +52,9 @@ import (
 	"time"
 
 	"repro/internal/benchio"
+	"repro/internal/cluster"
 	"repro/internal/obs"
+	"repro/internal/refstream/store"
 	"repro/internal/serve"
 )
 
@@ -57,6 +69,10 @@ func main() {
 		dline   = flag.Duration("deadline", 0, "default per-request deadline (0 = derive from the request's NPE and problem size)")
 		drain   = flag.Duration("drain", 15*time.Second, "shutdown drain budget for in-flight requests")
 
+		captureDir = flag.String("capture-dir", "", "disk-backed capture store directory (empty = in-memory only)")
+		addrFile   = flag.String("addr-file", "", "publish the bound listen address to this file (temp + rename)")
+		router     = flag.Int("router", 0, "front a sharded cluster: spawn this many shard processes and route between them (0 = single-node)")
+
 		loadgen = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target  = flag.String("target", "", "loadgen: daemon base URL (empty = start an in-process server)")
 		reqs    = flag.Int("requests", 2000, "loadgen: total requests")
@@ -64,6 +80,7 @@ func main() {
 		dup     = flag.Float64("dup", 0.9, "loadgen: fraction of requests drawn from the hot set [0,1]")
 		sweepEv = flag.Int("sweep-every", 64, "loadgen: every k-th request is a /v1/sweep (0 = none)")
 		seed    = flag.Int64("seed", 1, "loadgen: request-mix seed")
+		retries = flag.Int("retries", 0, "loadgen: max re-sends after a transient 502/503 (0 = 2, negative = disabled)")
 		out     = flag.String("o", "", "loadgen: append a serve entry to this BENCH JSON history")
 	)
 	flag.Parse()
@@ -84,10 +101,13 @@ func main() {
 	}
 
 	var err error
-	if *loadgen {
-		err = runLoadgen(opts, *target, *reqs, *conc, *dup, *sweepEv, *seed, *out)
-	} else {
-		err = runDaemon(opts, *addr, *drain)
+	switch {
+	case *loadgen:
+		err = runLoadgen(opts, *target, *reqs, *conc, *dup, *sweepEv, *seed, *retries, *out)
+	case *router > 0:
+		err = runRouter(opts, *addr, *drain, *router, *captureDir, *addrFile)
+	default:
+		err = runDaemon(opts, *addr, *drain, *captureDir, *addrFile)
 	}
 	if err != nil {
 		fail(err)
@@ -99,18 +119,51 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// publishAddr writes the bound address to path via temp + rename, so a
+// reader never observes a partial write (the same contract the cluster
+// supervisor relies on for shard discovery).
+func publishAddr(path string, addr net.Addr) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr.String()+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// openStore attaches a disk-backed capture store when dir is set.
+func openStore(opts *serve.Options, dir string, reg *obs.Registry) error {
+	if dir == "" {
+		return nil
+	}
+	st, err := store.Open(dir, reg)
+	if err != nil {
+		return fmt.Errorf("opening capture store: %w", err)
+	}
+	opts.CaptureStore = st
+	fmt.Fprintf(os.Stderr, "lfksimd: capture store %s (%d streams on disk)\n", st.Dir(), st.Len())
+	return nil
+}
+
 // runDaemon serves until SIGINT/SIGTERM, then drains: listener closed,
 // in-flight HTTP requests completed (bounded by drain), engine worker
 // pool exited.
-func runDaemon(opts serve.Options, addr string, drain time.Duration) error {
+func runDaemon(opts serve.Options, addr string, drain time.Duration, captureDir, addrFile string) error {
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	opts.Metrics = reg
+	if err := openStore(&opts, captureDir, reg); err != nil {
+		return err
+	}
 	srv := serve.New(opts)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	if addrFile != "" {
+		if err := publishAddr(addrFile, ln.Addr()); err != nil {
+			return fmt.Errorf("publishing address: %w", err)
+		}
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep; GET /v1/kernels /healthz /metrics /debug/trace /debug/pprof/)\n", ln.Addr())
@@ -138,10 +191,98 @@ func runDaemon(opts serve.Options, addr string, drain time.Duration) error {
 	return nil
 }
 
+// runRouter fronts a sharded cluster: spawns shards re-execed lfksimd
+// processes (each a plain single-node daemon publishing its ephemeral
+// address through an addr file), routes classify/sweep traffic across
+// them with failover, and degrades to local execution when every shard
+// is down. See docs/CLUSTER.md.
+func runRouter(opts serve.Options, addr string, drain time.Duration, shards int, captureDir, addrFile string) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	supDir, err := os.MkdirTemp("", "lfksimd-cluster-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(supDir)
+
+	sup, err := cluster.StartSupervisor(cluster.SupervisorOptions{
+		Shards: shards,
+		Dir:    supDir,
+		Command: func(id int, shardAddrFile string) *exec.Cmd {
+			args := []string{"-addr", "127.0.0.1:0", "-addr-file", shardAddrFile}
+			if captureDir != "" {
+				// All shards share one content-addressed store directory:
+				// writes are temp+rename and peers pick up each other's
+				// captures on rescan, so sharing is safe and maximizes reuse.
+				args = append(args, "-capture-dir", captureDir)
+			}
+			cmd := exec.Command(exe, args...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("starting shards: %w", err)
+	}
+	defer sup.Stop()
+
+	reg := obs.NewRegistry()
+	obs.SetDefault(reg)
+	local := opts
+	local.Metrics = reg
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Shards:  shards,
+		AddrOf:  sup.Addr,
+		PIDOf:   sup.PID,
+		Local:   local,
+		Metrics: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", addr, err)
+	}
+	if addrFile != "" {
+		if err := publishAddr(addrFile, ln.Addr()); err != nil {
+			return fmt.Errorf("publishing address: %w", err)
+		}
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	fmt.Fprintf(os.Stderr, "lfksimd: routing http://%s across %d shards\n", ln.Addr(), shards)
+	for sh := 0; sh < sup.Shards(); sh++ {
+		fmt.Fprintf(os.Stderr, "lfksimd:   shard %d at %s (pid %d)\n", sh, sup.Addr(sh), sup.PID(sh))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "lfksimd: shutting down router and shards")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
 // runLoadgen hammers target (or an in-process server when target is
 // empty), prints the report, and appends a serve entry to the BENCH
 // history at out.
-func runLoadgen(opts serve.Options, target string, requests, concurrency int, dup float64, sweepEvery int, seed int64, out string) error {
+func runLoadgen(opts serve.Options, target string, requests, concurrency int, dup float64, sweepEvery int, seed int64, retries int, out string) error {
 	ctx := context.Background()
 	if target == "" {
 		reg := obs.NewRegistry()
@@ -174,6 +315,7 @@ func runLoadgen(opts serve.Options, target string, requests, concurrency int, du
 		DupFraction: dup,
 		SweepEvery:  sweepEvery,
 		Seed:        seed,
+		MaxRetries:  retries,
 	})
 	if err != nil {
 		return err
@@ -218,8 +360,8 @@ func printReport(r *serve.LoadReport) {
 	fmt.Printf("  latency p50 %.3fms  p99 %.3fms  max %.3fms\n", r.P50MS, r.P99MS, r.MaxMS)
 	fmt.Printf("  cache hit rate %.1f%%, %d dedup waits, %d points executed, %d captures\n",
 		r.CacheHitRate*100, r.DedupWaits, r.PointsExecuted, r.StreamCaptures)
-	if r.Errors > 0 || r.Rejected > 0 {
-		fmt.Printf("  %d errors, %d rejected (429)\n", r.Errors, r.Rejected)
+	if r.Errors > 0 || r.Rejected > 0 || r.Retries > 0 {
+		fmt.Printf("  %d errors, %d rejected (429), %d retries\n", r.Errors, r.Rejected, r.Retries)
 	}
 	if len(r.Stages) > 0 {
 		fmt.Printf("  server-side stage latency (histogram estimates over this run):\n")

@@ -1,0 +1,121 @@
+package cluster
+
+// lint_test.go — extends the serve-side metrics-naming contract to the
+// cluster and capture-store families: after exercising a router
+// (forwards, failover, probes) and a disk-backed store (hit, miss,
+// put, corrupt load), every cluster.* and store.* name matches the
+// canonical charset and every histogram has a bucket-family row in
+// docs/OBSERVABILITY.md.
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+	"repro/internal/refstream/store"
+)
+
+// exerciseCluster drives a 2-shard router through forwards, a shard
+// failure (failover + state change), and a store through put/hit/miss
+// so the full cluster.* and store.* metric sets register.
+func exerciseCluster(t *testing.T) *obs.Registry {
+	t.Helper()
+	c := newTestCluster(t, 2)
+	postJSON(t, c.front.URL+"/v1/classify", `{"kernel":"k1","npe":8}`)
+	c.shards[0].Close()
+	code, _, body := postJSON(t, c.front.URL+"/v1/classify", `{"kernel":"k3","npe":4}`)
+	if code != http.StatusOK {
+		t.Fatalf("failover classify: %d: %s", code, body)
+	}
+
+	st, err := store.Open(t.TempDir(), c.reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := loops.ByKey("k1")
+	st.Load(k, k.DefaultN) // miss
+	stream, err := refstream.Capture(k, k.DefaultN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Save(stream)
+	if _, ok := st.Load(k, k.DefaultN); !ok {
+		t.Fatal("store hit path not exercised")
+	}
+	return c.reg
+}
+
+func TestMetricNamesCanonical(t *testing.T) {
+	nameRe := regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+	snap := exerciseCluster(t).Snapshot()
+	checkName := func(name string) {
+		if !nameRe.MatchString(name) {
+			t.Errorf("metric %q violates the naming charset %s", name, nameRe)
+		}
+	}
+	for name := range snap.Counters {
+		checkName(name)
+	}
+	for name := range snap.Gauges {
+		checkName(name)
+	}
+	for name := range snap.Histograms {
+		checkName(name)
+	}
+	// Every cluster.* and store.* constant must have registered through
+	// the exercise run — a family added without wiring fails here.
+	for _, want := range []string{
+		MetricForwards, MetricForwardFailures, MetricFailovers,
+		MetricLocalFallbacks, MetricProbes, MetricStateChanges,
+		MetricShardsUp, MetricForwardUS,
+		store.MetricHits, store.MetricMisses, store.MetricPuts, store.MetricEntries,
+	} {
+		_, c := snap.Counters[want]
+		_, g := snap.Gauges[want]
+		_, h := snap.Histograms[want]
+		if !c && !g && !h {
+			t.Errorf("expected metric %q missing from the exercised snapshot", want)
+		}
+	}
+	// Error-path counters register lazily; lint their names directly.
+	for _, name := range []string{
+		MetricRetriesExhaust, MetricProbeFailures,
+		store.MetricPutErrors, store.MetricLoadErrors,
+	} {
+		checkName(name)
+	}
+}
+
+// TestHistogramsDocumented cross-checks cluster-layer histograms against
+// the bucket-family inventory in docs/OBSERVABILITY.md, mirroring the
+// serve-side lint.
+func TestHistogramsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "OBSERVABILITY.md"))
+	if err != nil {
+		t.Fatalf("reading docs/OBSERVABILITY.md: %v", err)
+	}
+	rows := map[string]bool{}
+	for _, line := range strings.Split(string(doc), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range regexp.MustCompile("`([a-z][a-z0-9_.]*)`").FindAllStringSubmatch(line, -1) {
+			rows[m[1]] = true
+		}
+	}
+	snap := exerciseCluster(t).Snapshot()
+	for name := range snap.Histograms {
+		if !rows[name] {
+			t.Errorf("histogram %q has no bucket-family row in docs/OBSERVABILITY.md", name)
+		}
+	}
+	if !rows[MetricForwardUS] {
+		t.Errorf("histogram constant %q has no bucket-family row in docs/OBSERVABILITY.md", MetricForwardUS)
+	}
+}

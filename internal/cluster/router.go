@@ -1,0 +1,771 @@
+package cluster
+
+// router.go — the cluster coordinator. A Router owns the client-facing
+// HTTP surface of a shard set: it consistent-hashes each capture group
+// onto its home shard, forwards classify/sweep work over HTTP with
+// per-shard timeouts, and on failure walks the group's ring order to a
+// live peer with capped exponential backoff — bounded by a retry
+// budget, surfaced in cluster.* metrics and per-request trace spans.
+// A sweep that spans shards is split into per-shard sub-sweeps and the
+// responses merged back in grid order; because every shard serves
+// every point bit-identically (the single-assignment property: a
+// capture group's reference stream is immutable), the merged body is
+// byte-for-byte the single-node body.
+//
+// Shard health is a three-state lifecycle (up → suspect → down) fed by
+// both an active prober and forwarding failures; down shards are
+// skipped in the ring walk (their groups re-dispatch to the next
+// peer), and any success restores a shard to up. When every shard is
+// unreachable the router degrades to direct execution on an embedded
+// single-node server — slower, never wrong.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/serve"
+)
+
+// Observability names of the cluster family. Counters unless noted;
+// docs/CLUSTER.md describes how they compose into a failover picture.
+const (
+	MetricForwards        = "cluster.forwards"         // sub-requests sent to shards
+	MetricForwardFailures = "cluster.forward_failures" // transport errors + retryable statuses
+	MetricFailovers       = "cluster.failovers"        // groups re-dispatched to a peer
+	MetricRetriesExhaust  = "cluster.retry_exhausted"  // groups that ran out of retry budget
+	MetricLocalFallbacks  = "cluster.local_fallbacks"  // groups served by the embedded engine
+	MetricProbes          = "cluster.health_probes"    // active health checks sent
+	MetricProbeFailures   = "cluster.health_probe_failures"
+	MetricStateChanges    = "cluster.shard_state_changes" // up/suspect/down transitions
+	MetricShardsUp        = "cluster.shards_up"           // gauge: shards currently up
+	MetricForwardUS       = "cluster.forward_us"          // histogram (obs.MicrosBuckets): per-attempt forward latency
+)
+
+// shardState is the health lifecycle: up ⇄ suspect → down, any success
+// returning the shard straight to up.
+type shardState int32
+
+const (
+	stateUp shardState = iota
+	stateSuspect
+	stateDown
+)
+
+func (s shardState) String() string {
+	switch s {
+	case stateUp:
+		return "up"
+	case stateSuspect:
+		return "suspect"
+	default:
+		return "down"
+	}
+}
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Shards is the shard count; AddrOf(i) returns shard i's current
+	// "host:port" and PIDOf(i) its process ID (-1 when dead) — normally
+	// Supervisor.Addr / Supervisor.PID, kept as funcs so a restart's new
+	// address is picked up and tests can stub shards with httptest.
+	Shards int
+	AddrOf func(id int) string
+	PIDOf  func(id int) int
+
+	// Local configures the embedded single-node server: the all-shards-
+	// down fallback and the handler for non-routed endpoints
+	// (/v1/kernels, /metrics, pprof). Its Metrics registry is shared
+	// with the router's own cluster.* instruments.
+	Local serve.Options
+
+	// Metrics receives the cluster.* instruments; nil uses Local.Metrics
+	// (or obs.Default()).
+	Metrics *obs.Registry
+
+	// ShardTimeout bounds one forwarded sub-request (<= 0 selects 60s).
+	ShardTimeout time.Duration
+	// MaxAttempts bounds forwards per group including the first
+	// (<= 0 selects the shard count): the retry budget.
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape the capped exponential backoff
+	// between attempts (<= 0 select 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ProbeInterval paces the active health prober (<= 0 selects 500ms).
+	ProbeInterval time.Duration
+	// Replicas is the virtual-node count per shard (<= 0 selects
+	// DefaultReplicas).
+	Replicas int
+	// Seed drives backoff jitter (0 selects 1). Placement is not
+	// seeded — the ring is deterministic by design.
+	Seed int64
+	// TraceRingEntries bounds the router's GET /debug/trace ring.
+	TraceRingEntries int
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	if o.ShardTimeout <= 0 {
+		o.ShardTimeout = 60 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = o.Shards
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 5 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 250 * time.Millisecond
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Router fronts a shard set. Create with NewRouter, mount Handler, and
+// Close when done (stops the prober and drains the embedded engine).
+type Router struct {
+	opts  RouterOptions
+	ring  *ring
+	local *serve.Server
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	tring *trace.Ring
+	hc    *http.Client
+
+	cForwards, cForwardFails, cFailovers *obs.Counter
+	cExhausted, cLocalFallbacks          *obs.Counter
+	cProbes, cProbeFails, cStateChanges  *obs.Counter
+	gShardsUp                            *obs.Gauge
+	hForward                             *obs.Histogram
+
+	stateMu sync.Mutex
+	states  []shardState
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+}
+
+// NewRouter builds a Router and starts its health prober.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	opts = opts.withDefaults()
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 shard, got %d", opts.Shards)
+	}
+	if opts.AddrOf == nil {
+		return nil, fmt.Errorf("cluster: RouterOptions.AddrOf is required")
+	}
+	if opts.Metrics == nil {
+		if opts.Local.Metrics == nil {
+			opts.Local.Metrics = obs.NewRegistry()
+		}
+		opts.Metrics = opts.Local.Metrics
+	} else if opts.Local.Metrics == nil {
+		opts.Local.Metrics = opts.Metrics
+	}
+	reg := opts.Metrics
+	rt := &Router{
+		opts:            opts,
+		ring:            newRing(opts.Shards, opts.Replicas),
+		local:           serve.New(opts.Local),
+		reg:             reg,
+		mux:             http.NewServeMux(),
+		tring:           trace.NewRing(opts.TraceRingEntries),
+		hc:              &http.Client{},
+		cForwards:       reg.Counter(MetricForwards),
+		cForwardFails:   reg.Counter(MetricForwardFailures),
+		cFailovers:      reg.Counter(MetricFailovers),
+		cExhausted:      reg.Counter(MetricRetriesExhaust),
+		cLocalFallbacks: reg.Counter(MetricLocalFallbacks),
+		cProbes:         reg.Counter(MetricProbes),
+		cProbeFails:     reg.Counter(MetricProbeFailures),
+		cStateChanges:   reg.Counter(MetricStateChanges),
+		gShardsUp:       reg.Gauge(MetricShardsUp),
+		hForward:        reg.Histogram(MetricForwardUS, obs.MicrosBuckets),
+		states:          make([]shardState, opts.Shards),
+		rng:             rand.New(rand.NewSource(opts.Seed)),
+		stopProbe:       make(chan struct{}),
+	}
+	rt.gShardsUp.Set(int64(opts.Shards))
+	rt.mux.HandleFunc("POST /v1/classify", rt.handleClassify)
+	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /debug/trace", rt.handleTrace)
+	rt.mux.Handle("/", rt.local.Handler()) // kernels, metrics, pprof, vars
+	rt.probeWG.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Handler returns the router's route tree.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Local exposes the embedded single-node server (tests).
+func (rt *Router) Local() *serve.Server { return rt.local }
+
+// Close stops the health prober and drains the embedded engine.
+func (rt *Router) Close() {
+	close(rt.stopProbe)
+	rt.probeWG.Wait()
+	rt.local.Close()
+}
+
+// --- health ---
+
+func (rt *Router) state(id int) shardState {
+	rt.stateMu.Lock()
+	defer rt.stateMu.Unlock()
+	return rt.states[id]
+}
+
+func (rt *Router) setState(id int, s shardState) {
+	rt.stateMu.Lock()
+	old := rt.states[id]
+	if old != s {
+		rt.states[id] = s
+		up := int64(0)
+		for _, st := range rt.states {
+			if st == stateUp {
+				up++
+			}
+		}
+		rt.stateMu.Unlock()
+		rt.cStateChanges.Inc()
+		rt.gShardsUp.Set(up)
+		return
+	}
+	rt.stateMu.Unlock()
+}
+
+// noteFailure degrades a shard one step: up → suspect → down.
+func (rt *Router) noteFailure(id int) {
+	rt.stateMu.Lock()
+	old := rt.states[id]
+	rt.stateMu.Unlock()
+	switch old {
+	case stateUp:
+		rt.setState(id, stateSuspect)
+	case stateSuspect:
+		rt.setState(id, stateDown)
+	}
+}
+
+func (rt *Router) noteSuccess(id int) { rt.setState(id, stateUp) }
+
+// probeLoop actively health-checks every shard: GET /healthz with a
+// bounded timeout, feeding the same three-state lifecycle forwarding
+// failures feed. A down shard keeps being probed — that is how it
+// comes back after a restart.
+func (rt *Router) probeLoop() {
+	defer rt.probeWG.Done()
+	tick := time.NewTicker(rt.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stopProbe:
+			return
+		case <-tick.C:
+		}
+		for id := 0; id < rt.opts.Shards; id++ {
+			rt.probe(id)
+		}
+	}
+}
+
+func (rt *Router) probe(id int) {
+	rt.cProbes.Inc()
+	timeout := rt.opts.ProbeInterval
+	if timeout < 500*time.Millisecond {
+		timeout = 500 * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+rt.opts.AddrOf(id)+"/healthz", nil)
+	if err != nil {
+		rt.cProbeFails.Inc()
+		rt.noteFailure(id)
+		return
+	}
+	resp, err := rt.hc.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		rt.cProbeFails.Inc()
+		rt.noteFailure(id)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rt.noteSuccess(id)
+}
+
+// --- forwarding ---
+
+// errAllAttemptsFailed reports an exhausted retry budget or no live
+// candidate; the caller degrades to the embedded engine.
+var errAllAttemptsFailed = errors.New("cluster: all forward attempts failed")
+
+// retryableStatus reports whether a shard's status line means "the
+// identical request can succeed elsewhere": 502/503 (drain, restart,
+// proxy failure). 504 is terminal — the deadline travels with the
+// request and would overrun again on a peer — as are 4xx and 500.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable
+}
+
+// forwardOnce sends one sub-request to one shard and reads the whole
+// response.
+func (rt *Router) forwardOnce(ctx context.Context, id int, path, reqID string, payload []byte) (int, []byte, error) {
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.ShardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, "http://"+rt.opts.AddrOf(id)+path, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if reqID != "" {
+		req.Header.Set("X-Request-ID", reqID)
+	}
+	rt.cForwards.Inc()
+	start := time.Now()
+	resp, err := rt.hc.Do(req)
+	rt.hForward.Observe(time.Since(start).Microseconds())
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// dispatch routes one group's sub-request: home shard first, then the
+// ring-order peers, skipping shards believed down, sleeping a capped
+// exponential backoff (with seeded jitter) between attempts, within
+// the MaxAttempts budget. Success means a response whose status is not
+// retryable — a 400 or 504 is the answer, not a reason to hammer
+// peers. Returns errAllAttemptsFailed when the budget is spent.
+func (rt *Router) dispatch(ctx context.Context, tr *trace.Trace, parent trace.SpanRef, key, path, reqID string, payload []byte) (int, []byte, error) {
+	order := rt.ring.order(key)
+	attempts := 0
+	for round := 0; round < 2 && attempts < rt.opts.MaxAttempts; round++ {
+		for _, id := range order {
+			if attempts >= rt.opts.MaxAttempts {
+				break
+			}
+			// First round honors health; the second is the last-gasp
+			// round that tries even down shards before degrading.
+			if round == 0 && rt.state(id) == stateDown {
+				continue
+			}
+			if attempts > 0 {
+				rt.cFailovers.Inc()
+				tr.Count("cluster.failovers", 1)
+				rt.backoff(ctx, attempts)
+			}
+			attempts++
+			sp := tr.StartChild(parent, fmt.Sprintf("forward.shard%d", id))
+			status, body, err := rt.forwardOnce(ctx, id, path, reqID, payload)
+			sp.End()
+			if err == nil && !retryableStatus(status) {
+				rt.noteSuccess(id)
+				return status, body, nil
+			}
+			rt.cForwardFails.Inc()
+			rt.noteFailure(id)
+			if err != nil {
+				tr.Event(parent, fmt.Sprintf("shard%d.error", id), 0, "")
+			} else {
+				tr.Event(parent, fmt.Sprintf("shard%d.status", id), int64(status), "")
+			}
+			if ctx.Err() != nil {
+				return 0, nil, ctx.Err()
+			}
+		}
+	}
+	rt.cExhausted.Inc()
+	return 0, nil, errAllAttemptsFailed
+}
+
+// backoff sleeps the capped exponential schedule: base·2^(n-1) +
+// jitter, capped at BackoffMax, abandoned if ctx ends first.
+func (rt *Router) backoff(ctx context.Context, attempt int) {
+	d := rt.opts.BackoffBase << (attempt - 1)
+	if d > rt.opts.BackoffMax || d <= 0 {
+		d = rt.opts.BackoffMax
+	}
+	rt.rngMu.Lock()
+	j := time.Duration(rt.rng.Int63n(int64(rt.opts.BackoffBase) + 1))
+	rt.rngMu.Unlock()
+	select {
+	case <-time.After(d + j):
+	case <-ctx.Done():
+	}
+}
+
+// --- request handling ---
+
+// recorder captures a response served by the embedded local handler so
+// the router can merge or relay it. A minimal http.ResponseWriter —
+// the local handler writes status, headers and one body.
+type recorder struct {
+	status int
+	hdr    http.Header
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{hdr: http.Header{}} }
+
+func (r *recorder) Header() http.Header { return r.hdr }
+
+func (r *recorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *recorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.body.Write(b)
+}
+
+// serveLocalBytes runs a request against the embedded single-node
+// server and returns the recorded response.
+func (rt *Router) serveLocalBytes(r *http.Request, path string, payload []byte) (int, []byte) {
+	rec := newRecorder()
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, path, bytes.NewReader(payload))
+	if err != nil {
+		return http.StatusInternalServerError, []byte(`{"error":"local fallback request"}`)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	rt.local.Handler().ServeHTTP(rec, req)
+	return rec.status, rec.body.Bytes()
+}
+
+// begin starts the per-request trace, echoing/generating X-Request-ID
+// exactly like the single-node front end.
+func (rt *Router) begin(w http.ResponseWriter, r *http.Request, route string) (*trace.Trace, string) {
+	id := trace.SanitizeID(r.Header.Get("X-Request-ID"))
+	if id == "" {
+		id = trace.NewID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	return trace.New(id, route), id
+}
+
+func (rt *Router) finish(tr *trace.Trace, status int) {
+	tr.Finish(status)
+	rt.tring.Add(tr)
+}
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	tr, reqID := rt.begin(w, r, "/v1/classify")
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("reading request body: %w", err)))
+		rt.finish(tr, http.StatusBadRequest)
+		return
+	}
+	// Routing needs the group key; a request the router cannot place
+	// (parse error, unknown kernel) goes to the local server, whose
+	// decode produces exactly the single-node error bytes.
+	var req serve.ClassifyRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var key string
+	if err := dec.Decode(&req); err == nil {
+		if k, kerr := loops.ByKey(req.Kernel); kerr == nil {
+			key = GroupKey(k.Key, k.ClampN(req.N))
+		}
+	}
+	if key == "" {
+		status, body := rt.serveLocalBytes(r, "/v1/classify", raw)
+		writeJSON(w, status, body)
+		rt.finish(tr, status)
+		return
+	}
+	root := tr.Start("route")
+	status, body, err := rt.dispatch(r.Context(), tr, root, key, "/v1/classify", reqID, raw)
+	if err != nil {
+		rt.cLocalFallbacks.Inc()
+		tr.Count("cluster.local_fallbacks", 1)
+		status, body = rt.serveLocalBytes(r, "/v1/classify", raw)
+	}
+	root.End()
+	writeJSON(w, status, body)
+	rt.finish(tr, status)
+}
+
+// subSweep is one shard's share of a sweep: the original request with
+// the kernel axis cut down to the groups placed on that shard,
+// preserving their original order. All other axes ride along verbatim,
+// so each shard expands its sub-grid with the same inner-axis order as
+// the single-node grid.
+func subSweep(req serve.SweepRequest, kernels []string) serve.SweepRequest {
+	req.Kernels = kernels
+	return req
+}
+
+func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr, reqID := rt.begin(w, r, "/v1/sweep")
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("reading request body: %w", err)))
+		rt.finish(tr, http.StatusBadRequest)
+		return
+	}
+	var req serve.SweepRequest
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		// The local decode produces the single-node error bytes.
+		status, body := rt.serveLocalBytes(r, "/v1/sweep", raw)
+		writeJSON(w, status, body)
+		rt.finish(tr, status)
+		return
+	}
+	groups, total, err := serve.SweepGroups(req, rt.opts.Local)
+	if err != nil {
+		status, body := rt.serveLocalBytes(r, "/v1/sweep", raw)
+		writeJSON(w, status, body)
+		rt.finish(tr, status)
+		return
+	}
+
+	// Place each group on its home shard; preserve group order within a
+	// shard so each sub-response comes back in (a subsequence of) grid
+	// order.
+	type shardPlan struct {
+		kernels []string
+		groups  []int // original group indexes, ascending
+	}
+	plans := map[int]*shardPlan{}
+	planOrder := []int{} // shards in order of their first (lowest) group
+	homes := make([]int, len(groups))
+	for gi, g := range groups {
+		home := rt.ring.order(GroupKey(g.Kernel, g.N))[0]
+		homes[gi] = home
+		p := plans[home]
+		if p == nil {
+			p = &shardPlan{}
+			plans[home] = p
+			planOrder = append(planOrder, home)
+		}
+		p.kernels = append(p.kernels, g.Kernel)
+		p.groups = append(p.groups, gi)
+	}
+
+	// Dispatch sub-sweeps concurrently; each walks its own failover
+	// order independently (a dead shard's share re-dispatches to a live
+	// peer without disturbing the others).
+	root := tr.Start("route")
+	type subResult struct {
+		status int
+		body   []byte
+		local  bool
+	}
+	results := make(map[int]*subResult, len(plans))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, home := range planOrder {
+		plan := plans[home]
+		wg.Add(1)
+		go func(home int, plan *shardPlan) {
+			defer wg.Done()
+			payload, err := json.Marshal(subSweep(req, plan.kernels))
+			res := &subResult{}
+			if err == nil {
+				groupKey := GroupKey(groups[plan.groups[0]].Kernel, groups[plan.groups[0]].N)
+				var derr error
+				res.status, res.body, derr = rt.dispatch(r.Context(), tr, root, groupKey, "/v1/sweep", reqID, payload)
+				if derr != nil {
+					rt.cLocalFallbacks.Inc()
+					tr.Count("cluster.local_fallbacks", 1)
+					res.status, res.body = rt.serveLocalBytes(r, "/v1/sweep", payload)
+					res.local = true
+				}
+			} else {
+				res.status, res.body = http.StatusInternalServerError, errorBody(err)
+			}
+			mu.Lock()
+			results[home] = res
+			mu.Unlock()
+		}(home, plan)
+	}
+	wg.Wait()
+	root.End()
+
+	// The lowest-index-error contract across shards: if any sub-sweep
+	// failed, relay the failure of the group with the lowest original
+	// grid index (kernels are the outermost axis, so group order is
+	// grid order).
+	for _, home := range planOrder {
+		if res := results[home]; res.status != http.StatusOK {
+			writeJSON(w, res.status, res.body)
+			rt.finish(tr, res.status)
+			return
+		}
+	}
+
+	// Merge: per-shard cursors walking the original group order. Each
+	// group expands to the same number of points (identical inner
+	// axes), so group gi's points are the next ppg entries of its
+	// shard's sub-response.
+	type cursor struct {
+		points []json.RawMessage
+		next   int
+	}
+	cursors := make(map[int]*cursor, len(results))
+	ppg := 0
+	for home, res := range results {
+		var sr serve.SweepResult
+		if err := json.Unmarshal(res.body, &sr); err != nil {
+			writeJSON(w, http.StatusBadGateway, errorBody(fmt.Errorf("cluster: shard %d returned an unparseable sweep body: %w", home, err)))
+			rt.finish(tr, http.StatusBadGateway)
+			return
+		}
+		want := total / len(groups) * len(plans[home].kernels)
+		if sr.Count != want || len(sr.Points) != want {
+			writeJSON(w, http.StatusBadGateway, errorBody(fmt.Errorf("cluster: shard %d returned %d points, want %d", home, len(sr.Points), want)))
+			rt.finish(tr, http.StatusBadGateway)
+			return
+		}
+		cursors[home] = &cursor{points: sr.Points}
+		ppg = total / len(groups)
+	}
+	merged := make([]json.RawMessage, 0, total)
+	for gi := range groups {
+		c := cursors[homes[gi]]
+		merged = append(merged, c.points[c.next:c.next+ppg]...)
+		c.next += ppg
+	}
+	body, err := json.Marshal(&serve.SweepResult{Count: total, Points: merged})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody(err))
+		rt.finish(tr, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+	rt.finish(tr, http.StatusOK)
+}
+
+// --- introspection ---
+
+// shardHealth is one row of the router's /healthz shard table.
+type shardHealth struct {
+	ID    int    `json:"id"`
+	Addr  string `json:"addr"`
+	PID   int    `json:"pid"`
+	State string `json:"state"`
+}
+
+// handleHealthz reports the cluster view: "ok" when every shard is up,
+// "degraded" otherwise — with "serving" always true, because the
+// router keeps answering through failover and the embedded engine. The
+// per-shard PID lets a chaos harness pick a victim.
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	shards := make([]shardHealth, rt.opts.Shards)
+	status := "ok"
+	for i := range shards {
+		st := rt.state(i)
+		if st != stateUp {
+			status = "degraded"
+		}
+		pid := -1
+		if rt.opts.PIDOf != nil {
+			pid = rt.opts.PIDOf(i)
+		}
+		shards[i] = shardHealth{ID: i, Addr: rt.opts.AddrOf(i), PID: pid, State: st.String()}
+	}
+	body, err := json.Marshal(struct {
+		Status  string        `json:"status"`
+		Serving bool          `json:"serving"`
+		Shards  []shardHealth `json:"shards"`
+	}{Status: status, Serving: true, Shards: shards})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTrace serves the router's own trace ring: ?id= for one span
+// tree, otherwise newest-first summaries (?n=, default 32).
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if id := r.URL.Query().Get("id"); id != "" {
+		t := rt.tring.Get(id)
+		if t == nil {
+			writeJSON(w, http.StatusNotFound, errorBody(fmt.Errorf("no trace %q in the ring", id)))
+			return
+		}
+		body, err := json.MarshalIndent(t.Snapshot(), "", "  ")
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	n := 32
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	type summary struct {
+		ID     string `json:"id"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+		DurUS  int64  `json:"dur_us"`
+		Spans  int    `json:"spans"`
+	}
+	list := rt.tring.Recent(n)
+	summaries := make([]summary, 0, len(list))
+	for _, t := range list {
+		o := t.Snapshot()
+		summaries = append(summaries, summary{ID: o.ID, Route: o.Route, Status: o.Status, DurUS: o.DurUS, Spans: len(o.Spans)})
+	}
+	body, err := json.MarshalIndent(summaries, "", "  ")
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+func errorBody(err error) []byte {
+	b, _ := json.Marshal(serve.ErrorBody{Error: err.Error()})
+	return b
+}

@@ -1,0 +1,345 @@
+package cluster
+
+// router_test.go — the router against in-process shards (httptest
+// servers over real serve.Servers): byte-identity of routed sweeps and
+// classifies with the single-node baseline, failover when a shard's
+// listener dies or its engine drains, graceful degradation to the
+// embedded engine when every shard is gone, and the /healthz cluster
+// view. Process-level chaos (SIGKILL mid-sweep) lives in
+// chaos_test.go.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// sweepBody is a 4-kernel slice of the standard grid: big enough to
+// span every shard of a 3-shard ring, small enough for fast tests.
+const sweepBody = `{"kernels":["k1","k2","k3","k6"],"npes":[2,8],"page_sizes":[32,64],"cache_elems":[0,256]}`
+
+// swapHandler lets a test atomically replace a shard's behavior while
+// the shard keeps serving — the race-free way to model an engine that
+// starts draining under load.
+type swapHandler struct{ h atomic.Value } // holds hbox
+
+type hbox struct{ h http.Handler }
+
+func newSwapHandler(h http.Handler) *swapHandler {
+	s := &swapHandler{}
+	s.h.Store(hbox{h})
+	return s
+}
+
+func (s *swapHandler) swap(h http.Handler) { s.h.Store(hbox{h}) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(hbox).h.ServeHTTP(w, r)
+}
+
+// drain503 is the exact response shape a draining serve engine emits.
+var drain503 = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_, _ = w.Write([]byte(`{"error":"serve: engine closed"}`))
+})
+
+type testCluster struct {
+	router   *Router
+	front    *httptest.Server
+	shards   []*httptest.Server
+	handlers []*swapHandler
+	reg      *obs.Registry
+}
+
+// newTestCluster boots n in-process shards and a router over them,
+// with fast failover tuning. Callers mutate c.shards / c.handlers to
+// inject faults.
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	c := &testCluster{reg: obs.NewRegistry()}
+	for i := 0; i < n; i++ {
+		sreg := obs.NewRegistry()
+		s := serve.New(serve.Options{Metrics: sreg, AccessLog: io.Discard})
+		sh := newSwapHandler(s.Handler())
+		ts := httptest.NewServer(sh)
+		c.shards = append(c.shards, ts)
+		c.handlers = append(c.handlers, sh)
+		t.Cleanup(func() { ts.Close(); s.Close() })
+	}
+	rt, err := NewRouter(RouterOptions{
+		Shards:        n,
+		AddrOf:        func(id int) string { return strings.TrimPrefix(c.shards[id].URL, "http://") },
+		Local:         serve.Options{Metrics: c.reg, AccessLog: io.Discard},
+		ShardTimeout:  30 * time.Second,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.router = rt
+	c.front = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() { c.front.Close(); rt.Close() })
+	return c
+}
+
+func postJSON(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// baseline serves the same request on a fresh single-node server: the
+// bytes every routed configuration must reproduce.
+func baseline(t *testing.T, path, body string) []byte {
+	t.Helper()
+	s := serve.New(serve.Options{Metrics: obs.NewRegistry(), AccessLog: io.Discard})
+	ts := httptest.NewServer(s.Handler())
+	defer func() { ts.Close(); s.Close() }()
+	code, _, b := postJSON(t, ts.URL+path, body)
+	if code != http.StatusOK {
+		t.Fatalf("baseline %s: %d: %s", path, code, b)
+	}
+	return b
+}
+
+func TestRoutedSweepMatchesSingleNode(t *testing.T) {
+	want := baseline(t, "/v1/sweep", sweepBody)
+	c := newTestCluster(t, 3)
+	code, _, got := postJSON(t, c.front.URL+"/v1/sweep", sweepBody)
+	if code != http.StatusOK {
+		t.Fatalf("routed sweep: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("routed sweep body differs from single-node baseline (%d vs %d bytes)", len(want), len(got))
+	}
+	if c.reg.Counter(MetricForwards).Value() == 0 {
+		t.Fatal("no forwards counted — the sweep never reached a shard")
+	}
+}
+
+func TestRoutedClassifyMatchesSingleNode(t *testing.T) {
+	req := `{"kernel":"k6","npe":16,"page_size":64,"cache_elems":256}`
+	want := baseline(t, "/v1/classify", req)
+	c := newTestCluster(t, 3)
+	code, hdr, got := postJSON(t, c.front.URL+"/v1/classify", req)
+	if code != http.StatusOK {
+		t.Fatalf("routed classify: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("routed classify body differs from single-node baseline")
+	}
+	if hdr.Get("X-Request-ID") == "" {
+		t.Error("router did not echo/assign X-Request-ID")
+	}
+}
+
+func TestFailoverOnDeadShard(t *testing.T) {
+	want := baseline(t, "/v1/sweep", sweepBody)
+	c := newTestCluster(t, 3)
+	// Kill one shard's listener outright — connection refused, the
+	// transport-error flavor of failure.
+	c.shards[1].CloseClientConnections()
+	c.shards[1].Close()
+	code, _, got := postJSON(t, c.front.URL+"/v1/sweep", sweepBody)
+	if code != http.StatusOK {
+		t.Fatalf("sweep with a dead shard: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("failover sweep body differs from single-node baseline")
+	}
+	if c.reg.Counter(MetricForwardFailures).Value() == 0 {
+		t.Error("no forward failures counted despite a dead shard")
+	}
+}
+
+// TestFailoverOnDrainingShard pins satellite 2 end-to-end: a shard
+// answering 503 + Retry-After (drain) is retryable, so the home
+// shard's drain routes the request to a live peer — not to a 504.
+func TestFailoverOnDrainingShard(t *testing.T) {
+	req := `{"kernel":"k1","npe":4}`
+	want := baseline(t, "/v1/classify", req)
+	c := newTestCluster(t, 3)
+
+	// Drain exactly k1's home shard; the peers stay live.
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	home := c.router.ring.order(GroupKey(k.Key, k.ClampN(0)))[0]
+	c.handlers[home].swap(drain503)
+
+	code, _, got := postJSON(t, c.front.URL+"/v1/classify", req)
+	if code != http.StatusOK {
+		t.Fatalf("classify with draining home shard: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("drain-failover classify body differs from baseline")
+	}
+	if c.reg.Counter(MetricFailovers).Value() == 0 {
+		t.Error("failover not counted")
+	}
+	if c.reg.Counter(MetricLocalFallbacks).Value() != 0 {
+		t.Error("request fell back to local despite a live peer")
+	}
+}
+
+// TestAllDrainingFallsBackLocal: every shard draining exhausts the
+// retry budget and the embedded engine answers.
+func TestAllDrainingFallsBackLocal(t *testing.T) {
+	req := `{"kernel":"k1","npe":4}`
+	want := baseline(t, "/v1/classify", req)
+	c := newTestCluster(t, 2)
+	for _, h := range c.handlers {
+		h.swap(drain503)
+	}
+	code, _, got := postJSON(t, c.front.URL+"/v1/classify", req)
+	if code != http.StatusOK {
+		t.Fatalf("classify with all shards draining: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("local-fallback classify body differs from baseline")
+	}
+	if c.reg.Counter(MetricLocalFallbacks).Value() == 0 {
+		t.Error("local fallback not counted")
+	}
+	if c.reg.Counter(MetricRetriesExhaust).Value() == 0 {
+		t.Error("retry-budget exhaustion not counted")
+	}
+}
+
+func TestAllShardsDownDegradesToLocal(t *testing.T) {
+	want := baseline(t, "/v1/sweep", sweepBody)
+	c := newTestCluster(t, 3)
+	for _, ts := range c.shards {
+		ts.CloseClientConnections()
+		ts.Close()
+	}
+	code, _, got := postJSON(t, c.front.URL+"/v1/sweep", sweepBody)
+	if code != http.StatusOK {
+		t.Fatalf("sweep with all shards down: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("degraded sweep body differs from single-node baseline")
+	}
+	if c.reg.Counter(MetricLocalFallbacks).Value() == 0 {
+		t.Error("local fallbacks not counted")
+	}
+
+	// The health view: degraded but serving.
+	resp, err := http.Get(c.front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hv struct {
+		Status  string `json:"status"`
+		Serving bool   `json:"serving"`
+		Shards  []struct {
+			State string `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hv); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Status != "degraded" || !hv.Serving {
+		t.Errorf("healthz = %+v, want degraded-but-serving", hv)
+	}
+	if len(hv.Shards) != 3 {
+		t.Errorf("healthz lists %d shards, want 3", len(hv.Shards))
+	}
+}
+
+// TestBadRequestsMatchSingleNodeBytes pins the error-path contract:
+// requests the router cannot place (parse errors, unknown kernels,
+// over-limit sweeps) produce byte-identical status and body to the
+// single-node server, via the embedded local decode.
+func TestBadRequestsMatchSingleNodeBytes(t *testing.T) {
+	cases := []struct{ path, body string }{
+		{"/v1/classify", `{"kernel":"nope"}`},
+		{"/v1/classify", `{"kernel":"k1","bogus_field":1}`},
+		{"/v1/classify", `not json`},
+		{"/v1/sweep", `{"kernels":["k1"],"npes":[0]}`},
+		{"/v1/sweep", `{"kernels":["nope"]}`},
+		{"/v1/sweep", `{"npes":[1,2,4,8,16,32,64],"page_sizes":[1,2,4,8,16,32,64,128,256,512]}`},
+	}
+	s := serve.New(serve.Options{Metrics: obs.NewRegistry(), AccessLog: io.Discard})
+	single := httptest.NewServer(s.Handler())
+	defer func() { single.Close(); s.Close() }()
+	c := newTestCluster(t, 2)
+	for _, tc := range cases {
+		wantCode, _, want := postJSON(t, single.URL+tc.path, tc.body)
+		gotCode, _, got := postJSON(t, c.front.URL+tc.path, tc.body)
+		if wantCode != gotCode || !bytes.Equal(want, got) {
+			t.Errorf("%s %q: single-node %d %s vs routed %d %s", tc.path, tc.body, wantCode, want, gotCode, got)
+		}
+	}
+}
+
+// TestShardStateLifecycle drives up → suspect → down → up through
+// forwarding failures and probe recovery.
+func TestShardStateLifecycle(t *testing.T) {
+	c := newTestCluster(t, 3)
+	rt := c.router
+	if got := rt.state(0); got != stateUp {
+		t.Fatalf("initial state = %v, want up", got)
+	}
+	rt.noteFailure(0)
+	if got := rt.state(0); got != stateSuspect {
+		t.Fatalf("after one failure: %v, want suspect", got)
+	}
+	rt.noteFailure(0)
+	if got := rt.state(0); got != stateDown {
+		t.Fatalf("after two failures: %v, want down", got)
+	}
+	if got := c.reg.Gauge(MetricShardsUp).Value(); got != 2 {
+		t.Fatalf("shards_up gauge = %d, want 2", got)
+	}
+	// The prober sees the (still healthy) shard and restores it.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.state(0) != stateUp && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := rt.state(0); got != stateUp {
+		t.Fatalf("prober did not restore a healthy shard: %v", got)
+	}
+	if c.reg.Counter(MetricStateChanges).Value() < 3 {
+		t.Error("state changes not counted")
+	}
+}
+
+// TestMergePreservesDuplicateKernels pins a merge edge case: the same
+// kernel listed twice expands twice, in order, exactly as single-node.
+func TestMergePreservesDuplicateKernels(t *testing.T) {
+	body := `{"kernels":["k2","k1","k2"],"npes":[2],"page_sizes":[32]}`
+	want := baseline(t, "/v1/sweep", body)
+	c := newTestCluster(t, 3)
+	code, _, got := postJSON(t, c.front.URL+"/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("duplicate-kernel sweep: %d: %s", code, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("duplicate-kernel sweep differs from single-node baseline")
+	}
+}

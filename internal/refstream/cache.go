@@ -32,6 +32,16 @@ type Cache struct {
 	Captures *obs.Counter
 	Hits     *obs.Counter
 
+	// Loader, when set, is consulted before executing a capture: a
+	// persisted stream for (k, clamped n) short-circuits the execution
+	// (and is not counted in Captures). Saver, when set, receives every
+	// freshly-executed capture. Together they back the cache with a
+	// durable tier — internal/refstream/store — without the cache
+	// knowing about files. Both must be set before first use and be
+	// safe for concurrent calls.
+	Loader func(k *loops.Kernel, n int) (*Stream, bool)
+	Saver  func(st *Stream)
+
 	capacity int
 
 	mu      sync.Mutex
@@ -107,8 +117,17 @@ func (c *Cache) GetScratch(sc *sim.Scratch, k *loops.Kernel, n int) (*Stream, er
 	}
 
 	e.once.Do(func() {
+		if c.Loader != nil {
+			if st, ok := c.Loader(k, key.n); ok {
+				e.st = st
+				return
+			}
+		}
 		c.Captures.Inc()
 		e.st, e.err = CaptureScratch(sc, k, key.n)
+		if e.err == nil && c.Saver != nil {
+			c.Saver(e.st)
+		}
 		if e.err != nil {
 			// Drop the failed entry (if still ours) so a later Get
 			// retries instead of replaying a stale error forever.

@@ -1,0 +1,252 @@
+// Package store is the disk-backed, content-addressed capture store:
+// the cluster-scale version of the in-process stream cache. A shard
+// that captures a reference stream persists its canonical encoding
+// under the hex SHA-256 of the bytes (<sum>.rsc), and any shard that
+// restarts — or any peer pointed at the same directory — warm-starts
+// from those files instead of re-executing the capture. Because a
+// stream is immutable and its encoding canonical, k nodes sharing one
+// directory share one capture the way k requests already share one
+// in-memory stream.
+//
+// Crash safety is write-temp-then-rename: a file appears under its
+// final name only after its bytes are fully on disk, so a SIGKILL
+// mid-write leaves a ".tmp-*" orphan that scans ignore. Reads verify
+// the filename against the content hash and fully validate the
+// encoding before trusting it; a corrupt or truncated file is counted
+// and skipped, never served.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+)
+
+// Metric names for the store family. Counters except where noted.
+const (
+	MetricHits       = "store.hits"        // loads served from disk
+	MetricMisses     = "store.misses"      // loads with no matching capture
+	MetricPuts       = "store.puts"        // captures persisted
+	MetricPutErrors  = "store.put_errors"  // failed persists (disk errors)
+	MetricLoadErrors = "store.load_errors" // unreadable/corrupt files skipped
+	MetricEntries    = "store.entries"     // gauge: distinct (kernel, N) streams indexed
+)
+
+// ext is the suffix of a persisted capture; the name stem is the hex
+// SHA-256 of the file contents.
+const ext = ".rsc"
+
+// Store is a directory of persisted captures plus an in-memory index
+// by (kernel, clamped N). Safe for concurrent use; multiple processes
+// may share one directory (writes are atomic renames, and Load falls
+// back to a directory rescan before declaring a miss, so captures
+// persisted by a peer after Open become visible).
+type Store struct {
+	dir string
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	puts       *obs.Counter
+	putErrors  *obs.Counter
+	loadErrors *obs.Counter
+	entries    *obs.Gauge
+
+	mu      sync.Mutex
+	streams map[streamKey]*refstream.Stream
+	known   map[string]bool // content addresses already indexed or written
+}
+
+type streamKey struct {
+	kernel string
+	n      int
+}
+
+// Open creates dir if needed, scans it for persisted captures, and
+// returns the store. Unreadable, misnamed, or corrupt files (including
+// temp files left by a crashed writer) are counted as load errors and
+// ignored — a damaged store degrades to re-capturing, never to serving
+// bad streams. reg may be nil (metrics become no-ops via the nil-safe
+// obs instruments).
+func Open(dir string, reg *obs.Registry) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:        dir,
+		hits:       reg.Counter(MetricHits),
+		misses:     reg.Counter(MetricMisses),
+		puts:       reg.Counter(MetricPuts),
+		putErrors:  reg.Counter(MetricPutErrors),
+		loadErrors: reg.Counter(MetricLoadErrors),
+		entries:    reg.Gauge(MetricEntries),
+		streams:    map[streamKey]*refstream.Stream{},
+		known:      map[string]bool{},
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.scanLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of distinct (kernel, N) streams indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// scanLocked indexes every well-formed capture file in the directory.
+// Files whose name is not a content address, whose hash does not match
+// their bytes, or whose encoding fails validation are skipped and
+// counted. Callers hold s.mu.
+func (s *Store) scanLocked() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: scanning %s: %w", s.dir, err)
+	}
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ext) {
+			continue // temp files, editors' droppings, unrelated files
+		}
+		addr := strings.TrimSuffix(name, ext)
+		if s.known[addr] {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			s.loadErrors.Inc()
+			continue
+		}
+		if refstream.ContentAddress(data) != addr {
+			// Name/content mismatch: bit rot or a partial copy under a
+			// final name. Never trust it.
+			s.loadErrors.Inc()
+			continue
+		}
+		st, err := refstream.UnmarshalStream(data)
+		if err != nil {
+			s.loadErrors.Inc()
+			continue
+		}
+		s.known[addr] = true
+		key := streamKey{kernel: st.Kernel.Key, n: st.N}
+		if _, ok := s.streams[key]; !ok {
+			s.streams[key] = st
+			s.entries.Set(int64(len(s.streams)))
+		}
+	}
+	return nil
+}
+
+// Load returns the persisted stream for (k, n), if any. On an index
+// miss it rescans the directory once — captures persisted by another
+// process since the last scan become visible — before counting a miss.
+func (s *Store) Load(k *loops.Kernel, n int) (*refstream.Stream, bool) {
+	if s == nil || k == nil {
+		return nil, false
+	}
+	key := streamKey{kernel: k.Key, n: k.ClampN(n)}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.streams[key]
+	if !ok {
+		if err := s.scanLocked(); err == nil {
+			st, ok = s.streams[key]
+		}
+	}
+	if !ok {
+		s.misses.Inc()
+		return nil, false
+	}
+	s.hits.Inc()
+	return st, true
+}
+
+// Save persists st under its content address, atomically: the bytes
+// are written to a ".tmp-*" file in the same directory and renamed
+// into place, so a crash at any instant leaves either the complete
+// file or an ignorable orphan. Saving a stream whose address is
+// already present is a no-op. Disk errors are counted and swallowed —
+// persistence is an optimization; the capture in hand is still good.
+func (s *Store) Save(st *refstream.Stream) {
+	if s == nil || st == nil {
+		return
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		s.putErrors.Inc()
+		return
+	}
+	addr := refstream.ContentAddress(data)
+	key := streamKey{kernel: st.Kernel.Key, n: st.N}
+
+	s.mu.Lock()
+	if s.known[addr] {
+		if _, ok := s.streams[key]; !ok {
+			s.streams[key] = st
+			s.entries.Set(int64(len(s.streams)))
+		}
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	if err := writeAtomic(s.dir, addr+ext, data); err != nil {
+		s.putErrors.Inc()
+		return
+	}
+	s.puts.Inc()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.known[addr] = true
+	if _, ok := s.streams[key]; !ok {
+		s.streams[key] = st
+		s.entries.Set(int64(len(s.streams)))
+	}
+}
+
+// writeAtomic lands data at dir/name via a same-directory temp file
+// and rename, fsyncing the file before the rename so the final name
+// never refers to partial contents.
+func writeAtomic(dir, name string, data []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

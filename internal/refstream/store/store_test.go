@@ -1,0 +1,172 @@
+package store
+
+// store_test.go — the warm-start contract: captures persisted by one
+// Store are visible to a fresh Open of the same directory (and to a
+// concurrently-open peer via the rescan path), temp files and corrupt
+// files left behind by crashes are ignored, and identical captures
+// deduplicate to one file.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/refstream"
+)
+
+func capture(t *testing.T, key string) *refstream.Stream {
+	t.Helper()
+	k, err := loops.ByKey(key)
+	if err != nil {
+		t.Fatalf("ByKey(%q): %v", key, err)
+	}
+	st, err := refstream.Capture(k, 0)
+	if err != nil {
+		t.Fatalf("Capture(%s): %v", key, err)
+	}
+	return st
+}
+
+func counter(reg *obs.Registry, name string) int64 {
+	v, _ := reg.Snapshot().Counters[name]
+	return v
+}
+
+func TestSaveThenWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	regA := obs.NewRegistry()
+	a, err := Open(dir, regA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := capture(t, "k1")
+	a.Save(st)
+	if got := counter(regA, MetricPuts); got != 1 {
+		t.Fatalf("puts = %d, want 1", got)
+	}
+
+	// A fresh Open — the restarted shard — indexes the persisted file.
+	regB := obs.NewRegistry()
+	b, err := Open(dir, regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("warm-start indexed %d streams, want 1", b.Len())
+	}
+	got, ok := b.Load(st.Kernel, st.N)
+	if !ok {
+		t.Fatal("warm-started store missed a persisted capture")
+	}
+	if counter(regB, MetricHits) != 1 {
+		t.Fatal("hit not counted")
+	}
+	// Bit-identical: same canonical encoding as the original capture.
+	wantEnc, _ := st.MarshalBinary()
+	gotEnc, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantEnc) != string(gotEnc) {
+		t.Fatal("warm-started stream encodes differently from the original capture")
+	}
+
+	// Loading via an unclamped problem size resolves to the same entry.
+	if _, ok := b.Load(st.Kernel, 0); !ok {
+		t.Fatal("clamped-N lookup missed")
+	}
+}
+
+func TestPeerVisibilityViaRescan(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := capture(t, "k2")
+	a.Save(st)
+	// b opened before the save; its Load must rescan and find the file.
+	if _, ok := b.Load(st.Kernel, st.N); !ok {
+		t.Fatal("peer store did not rescan to find a fresh capture")
+	}
+}
+
+func TestCrashArtifactsIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st := capture(t, "k1")
+	enc, _ := st.MarshalBinary()
+
+	// A partial temp file: the shape a SIGKILL mid-Save leaves behind.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-1234"), enc[:len(enc)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated file under a final-looking (but now wrong) name.
+	half := enc[:len(enc)/2]
+	if err := os.WriteFile(filepath.Join(dir, refstream.ContentAddress(enc)+".rsc"), half, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt file correctly named for its (corrupt) contents: the
+	// address matches, so only full validation can reject it.
+	bad := append([]byte(nil), enc...)
+	bad[len(bad)-1] ^= 0xff
+	if err := os.WriteFile(filepath.Join(dir, refstream.ContentAddress(bad)+".rsc"), bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	s, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("indexed %d streams from crash artifacts, want 0", s.Len())
+	}
+	// The temp file is skipped silently; the two damaged .rsc files are
+	// counted. A miss after the artifacts proves nothing was served.
+	if got := counter(reg, MetricLoadErrors); got != 2 {
+		t.Fatalf("load_errors = %d, want 2", got)
+	}
+	if _, ok := s.Load(st.Kernel, st.N); ok {
+		t.Fatal("a crash artifact was served as a stream")
+	}
+	// A clean Save still works alongside the debris.
+	s.Save(st)
+	if _, ok := s.Load(st.Kernel, st.N); !ok {
+		t.Fatal("save after crash debris not loadable")
+	}
+}
+
+func TestContentDedup(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := capture(t, "k6")
+	s.Save(st)
+	s.Save(st)
+	// An independent capture of the same (kernel, N) has the same
+	// canonical bytes, so it dedups to the same file.
+	s.Save(capture(t, "k6"))
+
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range files {
+		if strings.HasSuffix(de.Name(), ".rsc") {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d capture files after duplicate saves, want 1", n)
+	}
+}

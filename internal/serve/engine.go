@@ -130,6 +130,24 @@ type Options struct {
 	// TraceRingEntries bounds the recent-trace ring served at
 	// GET /debug/trace (<= 0 selects trace.DefaultRingEntries).
 	TraceRingEntries int
+	// CaptureStore, when set, backs the in-memory stream cache with a
+	// durable tier: cache misses consult it before executing a capture,
+	// and fresh captures are persisted to it. Shards of a cluster point
+	// this at a shared internal/refstream/store directory so a restart
+	// warm-starts instead of re-executing.
+	CaptureStore CaptureStore
+}
+
+// CaptureStore is the durable tier behind the engine's stream cache —
+// implemented by internal/refstream/store, kept as an interface here
+// so the serving layer never touches the filesystem itself.
+// Implementations must be safe for concurrent use.
+type CaptureStore interface {
+	// Load returns the persisted stream for (k, n), if any.
+	Load(k *loops.Kernel, n int) (*refstream.Stream, bool)
+	// Save persists a freshly-executed capture. Best-effort: errors are
+	// the implementation's to count and swallow.
+	Save(st *refstream.Stream)
 }
 
 func (o Options) withDefaults() Options {
@@ -278,6 +296,10 @@ func newEngine(opts Options) *Engine {
 	}
 	e.streams.Captures = reg.Counter(MetricStreamCaptures)
 	e.streams.Hits = reg.Counter(MetricStreamHits)
+	if s := opts.CaptureStore; s != nil {
+		e.streams.Loader = s.Load
+		e.streams.Saver = s.Save
+	}
 	for w := 0; w < opts.Workers; w++ {
 		e.workWG.Add(1)
 		go e.worker()
@@ -651,6 +673,16 @@ func (e *Engine) deadline(deadlineMS int64, maxNPE, maxN int) time.Duration {
 // CacheLen returns the number of cached result bodies (for tests and
 // introspection).
 func (e *Engine) CacheLen() int { return e.results.len() }
+
+// Closing reports whether Close has begun: admitted requests may still
+// be draining, but new work is refused. The HTTP layer uses it to
+// report drain (503, retryable on a peer) instead of deadline overrun
+// (504, terminal) for requests caught mid-shutdown.
+func (e *Engine) Closing() bool {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.closed
+}
 
 // Close drains the engine: new admissions fail with ErrClosed,
 // admitted requests run to completion, queued work is finished, and

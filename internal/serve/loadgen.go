@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/loops"
@@ -40,6 +41,15 @@ type LoadOptions struct {
 	SweepEvery int
 	// Seed drives the request mix (0 means 1).
 	Seed int64
+	// MaxRetries bounds re-sends of a request that came back with a
+	// transient overload status (502 or 503). Classify and sweep are
+	// idempotent — identical requests produce bit-identical bodies — so
+	// retrying is always safe. 0 means 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered backoff between retry
+	// attempts (0 means 5ms). Attempt n sleeps base·n plus a seeded
+	// jitter in [0, base).
+	RetryBackoff time.Duration
 	// Client overrides the HTTP client (nil means a pooled default).
 	Client *http.Client
 }
@@ -53,6 +63,7 @@ type LoadReport struct {
 	SweepRequests  int     `json:"sweep_requests"`
 	Errors         int     `json:"errors"`
 	Rejected       int     `json:"rejected"` // 429 responses
+	Retries        int64   `json:"retries"`  // re-sends after transient 502/503
 	WallSec        float64 `json:"wall_sec"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
@@ -252,9 +263,22 @@ func Load(ctx context.Context, o LoadOptions) (*LoadReport, error) {
 		shots[i] = shot{path: "/v1/classify", body: b}
 	}
 
+	maxRetries := o.MaxRetries
+	switch {
+	case maxRetries == 0:
+		maxRetries = 2
+	case maxRetries < 0:
+		maxRetries = 0
+	}
+	backoffBase := o.RetryBackoff
+	if backoffBase <= 0 {
+		backoffBase = 5 * time.Millisecond
+	}
+
 	var (
 		latencies = make([]time.Duration, o.Requests)
 		status    = make([]int, o.Requests)
+		retries   int64
 		next      = make(chan int)
 		wg        sync.WaitGroup
 		firstErr  error
@@ -263,19 +287,48 @@ func Load(ctx context.Context, o LoadOptions) (*LoadReport, error) {
 	start := time.Now()
 	for w := 0; w < o.Concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			// Per-worker jitter rng: seeded so runs are reproducible, per
+			// worker so there is no cross-goroutine lock on the hot path.
+			jitter := rand.New(rand.NewSource(o.Seed + int64(worker)*7919))
 			for i := range next {
 				t0 := time.Now()
-				req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-					o.BaseURL+shots[i].path, bytes.NewReader(shots[i].body))
-				if err == nil {
+				var err error
+				for attempt := 0; ; attempt++ {
+					var req *http.Request
+					req, err = http.NewRequestWithContext(ctx, http.MethodPost,
+						o.BaseURL+shots[i].path, bytes.NewReader(shots[i].body))
+					if err != nil {
+						break
+					}
 					req.Header.Set("Content-Type", "application/json")
 					var resp *http.Response
-					if resp, err = client.Do(req); err == nil {
-						_, _ = io.Copy(io.Discard, resp.Body)
-						resp.Body.Close()
-						status[i] = resp.StatusCode
+					if resp, err = client.Do(req); err != nil {
+						break
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					status[i] = resp.StatusCode
+					// 502/503 are transient (a draining or restarting
+					// backend); classify/sweep are idempotent, so re-send
+					// after a jittered backoff. Everything else — including
+					// 429, which the run reports as admission pressure — is
+					// terminal for this shot.
+					transient := resp.StatusCode == http.StatusBadGateway ||
+						resp.StatusCode == http.StatusServiceUnavailable
+					if !transient || attempt >= maxRetries {
+						break
+					}
+					atomic.AddInt64(&retries, 1)
+					sleep := backoffBase*time.Duration(attempt+1) +
+						time.Duration(jitter.Int63n(int64(backoffBase)))
+					select {
+					case <-time.After(sleep):
+					case <-ctx.Done():
+					}
+					if ctx.Err() != nil {
+						break
 					}
 				}
 				latencies[i] = time.Since(t0)
@@ -287,7 +340,7 @@ func Load(ctx context.Context, o LoadOptions) (*LoadReport, error) {
 					errMu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < o.Requests; i++ {
@@ -317,6 +370,7 @@ feed:
 		Concurrency:   o.Concurrency,
 		DupFraction:   o.DupFraction,
 		SweepRequests: sweeps,
+		Retries:       atomic.LoadInt64(&retries),
 		WallSec:       wall.Seconds(),
 	}
 	rep.RequestsPerSec = float64(o.Requests) / wall.Seconds()

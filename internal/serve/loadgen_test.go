@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 )
 
@@ -64,5 +67,69 @@ func TestLoadScheduleDeterministic(t *testing.T) {
 	// first run executed is now a hit, so no new captures happen.
 	if b.StreamCaptures != 0 {
 		t.Fatalf("second run captured %d streams; the warmed cache should serve all of them", b.StreamCaptures)
+	}
+}
+
+// TestLoadRetriesTransient503: a backend that answers 503 a few times
+// before recovering is retried transparently — the run reports the
+// retry count, no errors, and 429/terminal statuses are never retried.
+func TestLoadRetriesTransient503(t *testing.T) {
+	srv, _, _ := newTestService(t, Options{})
+	var flaky atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// The first 5 classify attempts hit a "draining" backend.
+		if r.URL.Path == "/v1/classify" && flaky.Add(1) <= 5 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"engine draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL:      proxy.URL,
+		Requests:     40,
+		Concurrency:  4,
+		Seed:         3,
+		MaxRetries:   3,
+		RetryBackoff: 1e6, // 1ms — keep the test fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries == 0 {
+		t.Fatal("flaky backend produced no retries")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0: transient 503s must be absorbed by retries", rep.Errors)
+	}
+}
+
+// TestLoadRetriesDisabled: MaxRetries < 0 turns retries off and the
+// transient failures surface as errors instead.
+func TestLoadRetriesDisabled(t *testing.T) {
+	srv, _, _ := newTestService(t, Options{})
+	var flaky atomic.Int64
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/classify" && flaky.Add(1) <= 5 {
+			http.Error(w, `{"error":"engine draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	defer proxy.Close()
+
+	rep, err := Load(context.Background(), LoadOptions{
+		BaseURL: proxy.URL, Requests: 40, Concurrency: 4, Seed: 3, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 when disabled", rep.Retries)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("with retries disabled the 503s should count as errors")
 	}
 }

@@ -150,15 +150,28 @@ func decode(r *http.Request, v any) error {
 }
 
 // finishErr maps an execution error onto its status code and counters.
+// Status codes separate the retryable from the terminal for upstream
+// routers: 503 (+ Retry-After) means "this replica is draining — the
+// identical request succeeds elsewhere", while 504 means the work
+// itself overran its deadline and would overrun it again on a peer.
 func (s *Server) finishErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
+		if s.eng.Closing() {
+			// The deadline fired because Close stopped the pool under
+			// this request, not because the work was too slow. Report
+			// drain (retryable), not deadline (terminal).
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("engine draining: %w", err))
+			return
+		}
 		s.cDeadline.Inc()
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 	default:
 		writeError(w, http.StatusInternalServerError, err)
@@ -166,13 +179,14 @@ func (s *Server) finishErr(w http.ResponseWriter, err error) {
 }
 
 // rejectErr handles admission failures: 429 with Retry-After under
-// overload, 503 during shutdown.
+// overload, 503 with Retry-After during shutdown.
 func rejectErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrOverloaded) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	}
+	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, err)
 }
 

@@ -27,13 +27,17 @@ race:
 bench:
 	$(GO) run ./cmd/lfksim -bench -o BENCH_sweep.json
 
-# Compare the three engines on one capture group (direct execution vs
-# single-config replay vs one batch pass), then run the batch perf gate
-# that CI enforces: a batch pass must never be slower than replaying
-# the group one configuration at a time (docs/PERF.md).
+# Compare the four engines on one capture group (direct execution vs
+# single-config replay vs one batch pass vs a partitioned batch pass,
+# the latter at 1/4/8 workers to show the scaling curve), then run the
+# batch perf gates that CI enforces: a batch pass must never be slower
+# than replaying the group one configuration at a time, and with
+# GOMAXPROCS>1 a partitioned pass must never be slower than the serial
+# one (docs/PERF.md).
 bench-batch:
-	$(GO) test -run=NONE -bench='BenchmarkGroup(Direct|SingleReplay|BatchReplay)' -benchmem ./internal/refstream
-	REFSTREAM_PERF_GATE=1 $(GO) test -run TestBatchNoSlowerThanSingleReplay -count=1 -v ./internal/refstream
+	$(GO) test -run=NONE -bench='BenchmarkGroup(Direct|SingleReplay|BatchReplay)$$' -benchmem ./internal/refstream
+	$(GO) test -run=NONE -bench=BenchmarkGroupBatchReplayPar -benchmem -cpu=1,4,8 ./internal/refstream
+	REFSTREAM_PERF_GATE=1 $(GO) test -run 'TestBatchNoSlowerThanSingleReplay|TestBatchParNoSlowerThanSerial' -count=1 -v ./internal/refstream
 
 # Append a "serve" section to the same history: throughput, latency
 # quantiles and cache hit rate of the classification service under the

@@ -72,20 +72,28 @@ type benchLeg struct {
 // replay (ReplayPoint — one capture per (kernel, N) group, one stream
 // pass per grid point); Batch is the full planner (ReplayOn — one
 // stream pass per capture group classifying the whole group at once).
-// Speedup and BatchSpeedup are each leg's win over Direct.
-// SteadyAllocsPerPoint measures Replayer.Run alone — repeated replays
-// of one captured stream, capture excluded — the steady state the ≤5
-// allocations budget is about (the Result itself accounts for them;
-// see docs/PERF.md); SteadyBatchAllocsPerPoint is the same for
-// RunBatch, amortized over the batch's points.
+// BatchPar is the same planner with a multi-worker pool (Workers
+// records the pool width): the pipelined capture/replay stages
+// overlap and each batch pass fans RunBatch out across slab
+// partitions. Speedup, BatchSpeedup and BatchParSpeedup are each
+// leg's win over Direct. SteadyAllocsPerPoint measures Replayer.Run
+// alone — repeated replays of one captured stream, capture excluded —
+// the steady state the ≤5 allocations budget is about (the Result
+// itself accounts for them; see docs/PERF.md);
+// SteadyBatchAllocsPerPoint is the same for RunBatch, amortized over
+// the batch's points. Workers/BatchPar are zero in history entries
+// that predate the parallel leg; -bench-compare tolerates them.
 type benchReplay struct {
 	Points                    int      `json:"points"`
 	Captures                  int64    `json:"captures"`
+	Workers                   int      `json:"workers,omitempty"`
 	Direct                    benchLeg `json:"direct"`
 	Replay                    benchLeg `json:"replay"`
 	Batch                     benchLeg `json:"batch"`
+	BatchPar                  benchLeg `json:"batch_par"`
 	Speedup                   float64  `json:"speedup"`
 	BatchSpeedup              float64  `json:"batch_speedup"`
+	BatchParSpeedup           float64  `json:"batch_par_speedup,omitempty"`
 	SteadyAllocsPerPoint      float64  `json:"steady_allocs_per_point"`
 	SteadyBatchAllocsPerPoint float64  `json:"steady_batch_allocs_per_point"`
 }
@@ -166,18 +174,21 @@ func runBench(out string) error {
 	}
 	rep.Grid.Speedup = rep.Grid.Serial.Sec / rep.Grid.Parallel.Sec
 
-	// Replay: the same grid, single worker, direct versus replay — the
-	// execute-once/classify-many section. Single-worker legs make the
-	// per-point ratio a clean algorithmic comparison rather than a
-	// scheduling one.
+	// Replay: the same grid, direct versus replay — the execute-once/
+	// classify-many section. The first three legs run single-worker so
+	// the per-point ratio is a clean algorithmic comparison rather than
+	// a scheduling one; the batch_par leg then re-runs the full planner
+	// with a multi-worker pool, which overlaps captures with replays
+	// (pipelined planner) and partitions each batch pass (parallel
+	// RunBatch) — the end-to-end grid number the ≥10x target is about.
 	replay := &benchReplay{Points: len(pts)}
-	replayLeg := func(mode sweep.ReplayMode) (benchLeg, int64, error) {
+	replayLeg := func(mode sweep.ReplayMode, workers int) (benchLeg, int64, error) {
 		reg := obs.NewRegistry()
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		if _, err := sweep.RunOpts(ctx, pts, sweep.Options{Workers: 1, Metrics: reg, Replay: mode}); err != nil {
+		if _, err := sweep.RunOpts(ctx, pts, sweep.Options{Workers: workers, Metrics: reg, Replay: mode}); err != nil {
 			return benchLeg{}, 0, err
 		}
 		sec := time.Since(start).Seconds()
@@ -191,17 +202,29 @@ func runBench(out string) error {
 			BytesPerPoint:  float64(after.TotalAlloc-before.TotalAlloc) / n,
 		}, reg.Counter(sweep.MetricStreamCaptures).Value(), nil
 	}
-	if replay.Direct, _, err = replayLeg(sweep.ReplayOff); err != nil {
+	if replay.Direct, _, err = replayLeg(sweep.ReplayOff, 1); err != nil {
 		return fmt.Errorf("bench: direct grid: %w", err)
 	}
-	if replay.Replay, replay.Captures, err = replayLeg(sweep.ReplayPoint); err != nil {
+	if replay.Replay, replay.Captures, err = replayLeg(sweep.ReplayPoint, 1); err != nil {
 		return fmt.Errorf("bench: replay grid: %w", err)
 	}
-	if replay.Batch, _, err = replayLeg(sweep.ReplayOn); err != nil {
+	if replay.Batch, _, err = replayLeg(sweep.ReplayOn, 1); err != nil {
 		return fmt.Errorf("bench: batch grid: %w", err)
+	}
+	// A pool of at least four workers even on a small host, so the
+	// partitioned-batch and pipelined-capture paths are the ones being
+	// measured; on a one-core box the leg records the (honest) lack of
+	// wall-clock win, and the gomaxprocs/num_cpu fields say why.
+	replay.Workers = procs
+	if replay.Workers < 4 {
+		replay.Workers = 4
+	}
+	if replay.BatchPar, _, err = replayLeg(sweep.ReplayOn, replay.Workers); err != nil {
+		return fmt.Errorf("bench: parallel batch grid: %w", err)
 	}
 	replay.Speedup = replay.Direct.Sec / replay.Replay.Sec
 	replay.BatchSpeedup = replay.Direct.Sec / replay.Batch.Sec
+	replay.BatchParSpeedup = replay.Direct.Sec / replay.BatchPar.Sec
 	if replay.SteadyAllocsPerPoint, err = steadyReplayAllocs(); err != nil {
 		return fmt.Errorf("bench: steady-state replay: %w", err)
 	}
@@ -278,7 +301,11 @@ func steadyBatchAllocs() (float64, error) {
 		}
 	}
 	runtime.ReadMemStats(&after)
-	return float64(after.Mallocs-before.Mallocs) / float64(iters*len(cfgs)), nil
+	// Each RunBatch call allocates the results slice once on top of the
+	// per-config Results; that is one allocation per call, not per
+	// point, so account it per call (subtract iters) to keep the
+	// per-point figure comparable to the single-Run ≤5 budget.
+	return float64(after.Mallocs-before.Mallocs-iters) / float64(iters*len(cfgs)), nil
 }
 
 // appendBenchHistory renders the benchmark file contents via the
@@ -382,6 +409,10 @@ func renderBenchCompare(path string, entries int, old, cur benchReport) string {
 			p("  batch   %.4g sec/point, %.2fx over direct, %.1f steady allocs/point",
 				cur.Replay.Batch.SecPerPoint, cur.Replay.BatchSpeedup, cur.Replay.SteadyBatchAllocsPerPoint)
 		}
+		if cur.Replay.BatchPar.Sec > 0 {
+			p("  batch(par %dw) %.4g sec/point, %.2fx over direct",
+				cur.Replay.Workers, cur.Replay.BatchPar.SecPerPoint, cur.Replay.BatchParSpeedup)
+		}
 	default:
 		p("replay (%d → %d points, %d → %d captures):", old.Replay.Points, cur.Replay.Points, old.Replay.Captures, cur.Replay.Captures)
 		p("  direct    sec/point %s", benchDelta(old.Replay.Direct.SecPerPoint, cur.Replay.Direct.SecPerPoint, ""))
@@ -396,6 +427,19 @@ func renderBenchCompare(path string, entries int, old, cur benchReport) string {
 		default:
 			p("  batch     sec/point %s  steady allocs/point %s", benchDelta(old.Replay.Batch.SecPerPoint, cur.Replay.Batch.SecPerPoint, ""), benchDelta(old.Replay.SteadyBatchAllocsPerPoint, cur.Replay.SteadyBatchAllocsPerPoint, ""))
 			p("  batch speedup %.2fx → %.2fx", old.Replay.BatchSpeedup, cur.Replay.BatchSpeedup)
+		}
+		// The parallel batch leg postdates the serial legs; entries
+		// written before it simply lack the section.
+		switch {
+		case cur.Replay.BatchPar.Sec == 0:
+			// Parallel leg absent in the newer entry; say nothing.
+		case old.Replay.BatchPar.Sec == 0:
+			p("  batch(par) new leg, no baseline (%d workers, %.4g sec/point, %.2fx over direct)",
+				cur.Replay.Workers, cur.Replay.BatchPar.SecPerPoint, cur.Replay.BatchParSpeedup)
+		default:
+			p("  batch(par %d → %d workers) sec/point %s", old.Replay.Workers, cur.Replay.Workers,
+				benchDelta(old.Replay.BatchPar.SecPerPoint, cur.Replay.BatchPar.SecPerPoint, ""))
+			p("  batch(par) speedup %.2fx → %.2fx", old.Replay.BatchParSpeedup, cur.Replay.BatchParSpeedup)
 		}
 	}
 	switch {

@@ -45,14 +45,27 @@ package refstream
 //     decoded event down every order-dependent configuration of the
 //     bucket (batchEventPass).
 //
+// Large groups additionally fan out across cores: RunBatchN splits the
+// configuration slab into contiguous partitions, each classified by
+// its own batchWorker (own caches, own slabs) over the shared
+// read-only decoded stream, with results landing at their original
+// indices. The same single-assignment argument that makes the batch
+// sound makes the fan-out sound: configurations never interact, so
+// partitions share nothing mutable. Small groups stay serial — the
+// dispatch threshold keeps the common singleton/duo groups free of
+// goroutine cost.
+//
 // Results are bit-identical to per-configuration Replayer.Run and to
-// direct sim.Run; refstream_test.go and FuzzBatchVsSingle hold the
-// equivalence across kernels, and docs/PERF.md records the measured
-// win.
+// direct sim.Run; refstream_test.go, FuzzBatchVsSingle,
+// TestParallelMatchesSerialBatch and FuzzParallelVsSerialBatch hold
+// the equivalence across kernels and worker counts, and docs/PERF.md
+// records the measured win.
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/obs"
@@ -71,8 +84,13 @@ const (
 	MetricBatchConfigsPerPass = "refstream.batch.configs_per_pass"
 	// MetricBatchDecodePasses counts event-column walks: the quantity
 	// batching minimizes (one per page-size bucket with at least one
-	// order-dependent configuration, instead of one per configuration).
+	// order-dependent configuration — per partition when the batch runs
+	// parallel — instead of one per configuration).
 	MetricBatchDecodePasses = "refstream.batch.decode_passes"
+	// MetricBatchPartitions is a histogram of how many slab partitions
+	// each RunBatch call fanned out to (obs.DepthBuckets); 1 means the
+	// group ran serial.
+	MetricBatchPartitions = "refstream.batch.partitions"
 )
 
 // BatchError attributes a RunBatch failure to the configuration that
@@ -88,6 +106,20 @@ type BatchError struct {
 
 func (e *BatchError) Error() string { return fmt.Sprintf("config %d: %v", e.Index, e.Err) }
 func (e *BatchError) Unwrap() error { return e.Err }
+
+// batchWorker owns one partition's worth of mutable replay state: the
+// slot caches, the memoized layout table, and the structure-of-arrays
+// slabs. The Replayer embeds one — serial RunBatch and single-config
+// Run share it — and a parallel RunBatch draws extra workers from a
+// free list, so steady-state parallel calls reuse every partition's
+// slabs just as serial calls reuse the embedded one. Workers never
+// share mutable state: each classifies a contiguous, disjoint slice of
+// the configuration slab over the shared read-only decoded stream.
+type batchWorker struct {
+	caches  []*cache.Cache
+	layouts map[layoutKey]partition.Layout // memoized boxed layouts, shared by Run and RunBatch
+	bat     batchState
+}
 
 // batchState is RunBatch's reusable scratch: flat structure-of-arrays
 // slabs indexed by configuration (directly, or per (configuration, PE)
@@ -190,18 +222,130 @@ const (
 	laneHighs = 0x8000800080008000
 )
 
+// Partition thresholds: below batchParMinConfigs a group always runs
+// serial (goroutine dispatch would cost more than the sweep itself),
+// and no partition is cut thinner than batchParMinPerPart
+// configurations so every worker amortizes its slab setup.
+const (
+	batchParMinConfigs = 8
+	batchParMinPerPart = 4
+)
+
+// batchPartitions sizes the fan-out for an n-configuration group under
+// a parallelism budget of workers; 1 means serial.
+func batchPartitions(n, workers int) int {
+	if workers <= 1 || n < batchParMinConfigs {
+		return 1
+	}
+	np := n / batchParMinPerPart
+	if np > workers {
+		np = workers
+	}
+	if np < 2 {
+		return 1
+	}
+	return np
+}
+
 // RunBatch classifies the stream under every configuration of a capture
 // group in one pass and returns the Results in cfgs order. Each Result
 // is bit-identical to Run(st, cfgs[i]) — and therefore to a direct
 // sim.Run of the same point. On failure the returned error is a
 // *BatchError whose Index is the lowest failing position in cfgs.
 // Beyond the Results themselves, a steady-state call allocates nothing.
+// When Replayer.Workers is above 1 the call may fan out (RunBatchN).
 func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error) {
+	return r.RunBatchN(st, cfgs, r.Workers)
+}
+
+// RunBatchN is RunBatch under an explicit parallelism budget: a large
+// enough group is split into up to workers contiguous slab partitions,
+// each classified concurrently by its own batchWorker over the shared
+// read-only decoded stream, with every Result landing at its original
+// index — so the output (and the error, attributed to the lowest
+// failing position across partitions) is byte-identical to a serial
+// call. Groups too small to amortize the dispatch run serial
+// regardless of budget. The per-call goroutine fan-out is the only
+// steady-state cost parallelism adds: partition slabs come from the
+// worker free list and are reused across calls.
+func (r *Replayer) RunBatchN(st *Stream, cfgs []sim.Config, workers int) ([]*sim.Result, error) {
 	results := make([]*sim.Result, len(cfgs))
 	if len(cfgs) == 0 {
 		return results, nil
 	}
-	b := &r.bat
+	// Single-assignment so the goroutine closure below captures the
+	// histogram by value, not by heap-allocated reference (nil-safe:
+	// Histogram returns nil on a nil registry).
+	hConfigs := r.Metrics.Histogram(MetricBatchConfigsPerPass, obs.DepthBuckets)
+	nparts := batchPartitions(len(cfgs), workers)
+	passes := 0
+	if nparts < 2 {
+		p, err := r.batchWorker.runBatchPart(st, cfgs, results, hConfigs)
+		if err != nil {
+			return nil, err
+		}
+		passes = p
+	} else {
+		for len(r.extra) < nparts-1 {
+			r.extra = append(r.extra, &batchWorker{})
+		}
+		r.parOffs = grown(r.parOffs, nparts+1)
+		r.parPasses = grown(r.parPasses, nparts)
+		r.parErrs = grown(r.parErrs, nparts)
+		size, rem := len(cfgs)/nparts, len(cfgs)%nparts
+		off := 0
+		for p := 0; p < nparts; p++ {
+			r.parOffs[p] = off
+			off += size
+			if p < rem {
+				off++
+			}
+		}
+		r.parOffs[nparts] = off
+		var wg sync.WaitGroup
+		for p := 0; p < nparts; p++ {
+			w := &r.batchWorker
+			if p > 0 {
+				w = r.extra[p-1]
+			}
+			lo, hi := r.parOffs[p], r.parOffs[p+1]
+			wg.Add(1)
+			go func(p int, w *batchWorker, cfgs []sim.Config, results []*sim.Result) {
+				defer wg.Done()
+				r.parPasses[p], r.parErrs[p] = w.runBatchPart(st, cfgs, results, hConfigs)
+			}(p, w, cfgs[lo:hi], results[lo:hi])
+		}
+		wg.Wait()
+		// Partitions are contiguous and ascending and each reports its
+		// own lowest failing position, so the first failing partition in
+		// order carries the globally lowest index.
+		for p := 0; p < nparts; p++ {
+			if err := r.parErrs[p]; err != nil {
+				var be *BatchError
+				if errors.As(err, &be) {
+					return nil, &BatchError{Index: r.parOffs[p] + be.Index, Err: be.Err}
+				}
+				return nil, err
+			}
+			passes += r.parPasses[p]
+		}
+	}
+	if r.Metrics != nil {
+		r.Metrics.Counter(MetricBatchGroups).Inc()
+		r.Metrics.Counter(MetricBatchDecodePasses).Add(int64(passes))
+		r.Metrics.Histogram(MetricBatchPartitions, obs.DepthBuckets).Observe(int64(nparts))
+	}
+	return results, nil
+}
+
+// runBatchPart classifies one contiguous partition of a capture group
+// into results (len(results) == len(cfgs)): the whole serial batch
+// algorithm, against this worker's own slabs. A returned *BatchError
+// carries the partition-local index. hConfigs may be nil; obs
+// instruments are race-safe, so concurrent partitions observe it
+// directly. Returns the partition's decode-pass count.
+func (w *batchWorker) runBatchPart(st *Stream, cfgs []sim.Config, results []*sim.Result, hConfigs *obs.Histogram) (int, error) {
+	b := &w.bat
 	n := len(cfgs)
 
 	// Size and zero the slabs. Invalid geometry contributes nothing
@@ -254,8 +398,8 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 	b.owners = grown(b.owners, ow)
 	b.frames = grown(b.frames, fr)
 	b.pframes = grown(b.pframes, pf)
-	if len(r.caches) < pe {
-		r.caches = append(r.caches, make([]*cache.Cache, pe-len(r.caches))...)
+	if len(w.caches) < pe {
+		w.caches = append(w.caches, make([]*cache.Cache, pe-len(w.caches))...)
 	}
 
 	// Per-configuration machine setup, strictly in input order so the
@@ -264,8 +408,8 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 	// one cache otherwise, for parameter validation only — order-free
 	// and frameless classification never consults it, exactly like Run).
 	for i := range cfgs {
-		if err := r.setupBatchConfig(st, i, cfgs[i]); err != nil {
-			return nil, &BatchError{Index: i, Err: err}
+		if err := w.setupBatchConfig(st, i, cfgs[i]); err != nil {
+			return 0, &BatchError{Index: i, Err: err}
 		}
 	}
 
@@ -287,10 +431,6 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 		}
 	}
 	passes := 0
-	var hConfigs *obs.Histogram
-	if r.Metrics != nil {
-		hConfigs = r.Metrics.Histogram(MetricBatchConfigsPerPass, obs.DepthBuckets)
-	}
 	for _, ps := range b.psList {
 		gids := st.gidColumn(ps)
 		agg := st.frameAgg(ps)
@@ -328,7 +468,7 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 			continue
 		}
 		if len(gids) != len(heads) {
-			return nil, &BatchError{Index: first, Err: fmt.Errorf(
+			return 0, &BatchError{Index: first, Err: fmt.Errorf(
 				"refstream: %s: corrupt stream: %d gids for %d events", st.Kernel.Key, len(gids), len(heads))}
 		}
 		passes++
@@ -357,7 +497,7 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 					classifyReadsLRU(col, npe, b.maxPages[i], owners,
 						b.frames[b.frameOff[i]:b.frameOff[i+1]], perPE, traf)
 				default:
-					classifyReadsCache(col, npe, owners, r.caches[lo:lo+npe],
+					classifyReadsCache(col, npe, owners, w.caches[lo:lo+npe],
 						b.lastGid[lo:lo+npe], b.xhits[lo:lo+npe], perPE, traf)
 				}
 				aggregateWrites(agg, owners, perPE)
@@ -370,10 +510,10 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 			// order-dependent configuration of the bucket.
 			b.evs = b.evs[:0]
 			for _, i := range b.evIdx {
-				b.evs = append(b.evs, r.evView(i))
+				b.evs = append(b.evs, w.evView(i))
 			}
 			if err := batchEventPass(st, heads, gids[:len(heads)], b.evs); err != nil {
-				return nil, &BatchError{Index: first, Err: err}
+				return 0, &BatchError{Index: first, Err: err}
 			}
 			for j := range b.evs {
 				e := &b.evs[j]
@@ -381,11 +521,6 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 			}
 		}
 	}
-	if r.Metrics != nil {
-		r.Metrics.Counter(MetricBatchGroups).Inc()
-		r.Metrics.Counter(MetricBatchDecodePasses).Add(int64(passes))
-	}
-
 	// Result assembly, mirroring Run exactly: fresh counter and traffic
 	// copies, shared (immutable) checksums, synthesized cache stats for
 	// frameless configurations, and short-circuited hits folded into the
@@ -443,25 +578,25 @@ func (r *Replayer) RunBatch(st *Stream, cfgs []sim.Config) ([]*sim.Result, error
 					Evictions: perPE[p].RemoteReads - resident,
 				}
 			default:
-				s := r.caches[peBase+p].Stats()
+				s := w.caches[peBase+p].Stats()
 				s.Hits += b.xhits[peBase+p]
 				res.Cache[p] = s
 			}
 		}
 		results[i] = res
 	}
-	return results, nil
+	return passes, nil
 }
 
 // setupBatchConfig validates cfgs[i] and derives its machine properties
 // into the batch slabs: the owner table under its page size and layout,
 // and freshly reset cache frames. The work and the error messages match
 // what Run performs for the same configuration.
-func (r *Replayer) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
+func (w *batchWorker) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
 	if err := validateConfig(cfg); err != nil {
 		return err
 	}
-	b := &r.bat
+	b := &w.bat
 	npe := cfg.NPE
 	b.npe[i] = npe
 	var totalPages int
@@ -469,7 +604,7 @@ func (r *Replayer) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
 	owners := b.owners[b.ownOff[i]:b.ownOff[i+1]]
 	for a, elems := range st.ArrayLens {
 		pages := (elems + cfg.PageSize - 1) / cfg.PageSize
-		l, err := r.layout(cfg.Layout, npe, pages, cfg.LayoutRun)
+		l, err := w.layout(cfg.Layout, npe, pages, cfg.LayoutRun)
 		if err != nil {
 			return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
 		}
@@ -516,13 +651,13 @@ func (r *Replayer) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
 	}
 	for p := 0; p < ncaches; p++ {
 		slot := b.peOff[i] + p
-		if r.caches[slot] == nil {
+		if w.caches[slot] == nil {
 			c, err := cache.NewSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages)
 			if err != nil {
 				return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
 			}
-			r.caches[slot] = c
-		} else if err := r.caches[slot].ReconfigureSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages); err != nil {
+			w.caches[slot] = c
+		} else if err := w.caches[slot].ReconfigureSlots(cfg.CacheElems, cfg.PageSize, cfg.Policy, totalPages); err != nil {
 			return fmt.Errorf("refstream: %s: %w", st.Kernel.Key, err)
 		}
 	}
@@ -530,8 +665,8 @@ func (r *Replayer) setupBatchConfig(st *Stream, i int, cfg sim.Config) error {
 }
 
 // evView builds the event pass's view of configuration i.
-func (r *Replayer) evView(i int) evState {
-	b := &r.bat
+func (w *batchWorker) evView(i int) evState {
+	b := &w.bat
 	lo, hi := b.peOff[i], b.peOff[i+1]
 	e := evState{
 		owners:    b.owners[b.ownOff[i]:b.ownOff[i+1]],
@@ -540,7 +675,7 @@ func (r *Replayer) evView(i int) evState {
 		lastGid:   b.lastGid[lo:hi],
 		xhits:     b.xhits[lo:hi],
 		particip:  b.particip[lo:hi],
-		caches:    r.caches[lo:hi],
+		caches:    w.caches[lo:hi],
 		npe:       int32(b.npe[i]),
 		cur:       -1,
 		frameless: b.frameless[i],

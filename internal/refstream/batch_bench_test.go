@@ -2,6 +2,7 @@ package refstream
 
 import (
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -81,6 +82,23 @@ func BenchmarkGroupBatchReplay(b *testing.B) {
 	}
 }
 
+// BenchmarkGroupBatchReplayPar is BenchmarkGroupBatchReplay through the
+// partitioned path: the batch fans out across GOMAXPROCS workers (run
+// with -cpu=1,4,8 to see the scaling curve; at -cpu=1 the partitioner
+// collapses to the serial pass).
+func BenchmarkGroupBatchReplayPar(b *testing.B) {
+	st := benchKernelStream(b)
+	cfgs := gridGroup()
+	r := NewReplayer()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.RunBatchN(st, cfgs, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestBatchNoSlowerThanSingleReplay is the CI perf gate: classifying a
 // capture group in one batch pass must never regress below classifying
 // it one configuration at a time — if it does, the batch path has lost
@@ -135,5 +153,64 @@ func TestBatchNoSlowerThanSingleReplay(t *testing.T) {
 		len(cfgs), singleD, batchD, float64(singleD)/float64(batchD))
 	if float64(batchD) > 1.25*float64(singleD) {
 		t.Fatalf("batch pass (%v) slower than single-config replay (%v): the decode-once path has regressed", batchD, singleD)
+	}
+}
+
+// TestBatchParNoSlowerThanSerial extends the perf gate to the
+// partitioned path: with more than one core available, fanning a batch
+// across workers must never cost wall-clock time versus the serial
+// pass — if it does, the partitioning overhead (worker setup, slab
+// growth, result stitching) has outgrown its benefit. Same opt-in and
+// methodology as TestBatchNoSlowerThanSingleReplay: best-of-5 in one
+// process with a 1.25x noise margin. On a single-core host the
+// comparison is meaningless (goroutines serialize and the margin only
+// measures scheduler jitter), so the gate skips there.
+func TestBatchParNoSlowerThanSerial(t *testing.T) {
+	if os.Getenv("REFSTREAM_PERF_GATE") == "" {
+		t.Skip("perf gate disabled; set REFSTREAM_PERF_GATE=1 to run")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		t.Skip("GOMAXPROCS=1: no parallelism to gate on this host")
+	}
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := gridGroup()
+	r := NewReplayer()
+
+	serial := func() {
+		if _, err := r.RunBatchN(st, cfgs, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	par := func() {
+		if _, err := r.RunBatchN(st, cfgs, workers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := func(f func()) time.Duration {
+		f() // warm memos, slabs, per-worker scratch
+		bestD := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < bestD {
+				bestD = d
+			}
+		}
+		return bestD
+	}
+
+	serialD, parD := best(serial), best(par)
+	t.Logf("group of %d configs at %d workers: serial batch %v, parallel %v (%.2fx)",
+		len(cfgs), workers, serialD, parD, float64(serialD)/float64(parD))
+	if float64(parD) > 1.25*float64(serialD) {
+		t.Fatalf("parallel batch pass (%v) slower than serial (%v) at %d workers: partitioning overhead has regressed", parD, serialD, workers)
 	}
 }

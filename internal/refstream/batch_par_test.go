@@ -1,0 +1,262 @@
+package refstream
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/loops"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// parGrid builds a capture group large enough to clear the parallel
+// dispatch threshold with room for several partitions: the seeded
+// shape grid crossed with an extra cache-size axis.
+func parGrid() []sim.Config {
+	base := shapeGrid()
+	cfgs := make([]sim.Config, 0, 2*len(base))
+	cfgs = append(cfgs, base...)
+	for _, c := range base {
+		c.CacheElems = (c.CacheElems + 128) % 2048
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// TestBatchPartitions pins the fan-out sizing policy: small groups and
+// budgets of one stay serial, large groups split into contiguous
+// partitions no thinner than batchParMinPerPart.
+func TestBatchPartitions(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{0, 8, 1},
+		{1, 8, 1},
+		{batchParMinConfigs - 1, 8, 1}, // below the dispatch threshold
+		{batchParMinConfigs, 0, 1},     // no budget
+		{batchParMinConfigs, 1, 1},
+		{batchParMinConfigs, 2, 2},
+		{batchParMinConfigs, 64, batchParMinConfigs / batchParMinPerPart},
+		{28, 8, 7}, // the standard grid's group: 7 partitions of 4
+		{28, 4, 4},
+		{308, 8, 8},
+	}
+	for _, c := range cases {
+		if got := batchPartitions(c.n, c.workers); got != c.want {
+			t.Errorf("batchPartitions(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestParallelMatchesSerialBatch is the parallel replayer's
+// bit-identity contract: for every kernel and a spread of worker
+// budgets, RunBatchN must produce Results bit-identical to a serial
+// RunBatch of the same group — and therefore, transitively, to
+// per-configuration replay and direct execution.
+func TestParallelMatchesSerialBatch(t *testing.T) {
+	cfgs := parGrid()
+	workerCounts := []int{2, 3, 4, 8}
+	for _, k := range loops.All() {
+		k := k
+		t.Run(k.Key, func(t *testing.T) {
+			t.Parallel()
+			st, err := Capture(k, smallN(k))
+			if err != nil {
+				t.Fatalf("capture: %v", err)
+			}
+			want, err := NewReplayer().RunBatch(st, cfgs)
+			if err != nil {
+				t.Fatalf("serial batch: %v", err)
+			}
+			for _, workers := range workerCounts {
+				r := NewReplayer()
+				got, err := r.RunBatchN(st, cfgs, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				for i := range cfgs {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Errorf("workers=%d config %d (npe=%d ps=%d ce=%d %s/%s): parallel diverges from serial",
+							workers, i, cfgs[i].NPE, cfgs[i].PageSize, cfgs[i].CacheElems, cfgs[i].Layout, cfgs[i].Policy)
+					}
+				}
+				// A reused Replayer with a standing Workers budget must
+				// keep producing identical output (the serve-worker usage).
+				r.Workers = workers
+				again, err := r.RunBatch(st, cfgs)
+				if err != nil {
+					t.Fatalf("workers=%d reuse: %v", workers, err)
+				}
+				if !reflect.DeepEqual(again, want) {
+					t.Errorf("workers=%d: reused parallel Replayer diverges from serial", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBatchSharedStream runs two parallel RunBatch calls
+// concurrently over one decoded Stream (each Replayer fanning out its
+// own partitions); under -race this proves the partition workers keep
+// the shared Stream — decoded columns, memoized summaries — read-only.
+func TestParallelBatchSharedStream(t *testing.T) {
+	k, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := parGrid()
+	want, err := NewReplayer().RunBatch(st, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := NewReplayer()
+			r.Workers = 4
+			for iter := 0; iter < 5; iter++ {
+				got, err := r.RunBatch(st, cfgs)
+				if err != nil {
+					t.Errorf("parallel batch: %v", err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent parallel batch diverges from serial baseline")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParallelBatchErrorAttribution: a parallel batch must blame the
+// lowest failing input index — even when the failure sits in a later
+// partition or several partitions fail — with exactly the serial
+// batch's error text.
+func TestParallelBatchErrorAttribution(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := parGrid()
+	for _, badIdx := range []int{0, 5, len(cfgs) / 2, len(cfgs) - 1} {
+		bad := append([]sim.Config(nil), cfgs...)
+		bad[badIdx] = sim.Config{NPE: -1, PageSize: 32}
+		_, serialErr := NewReplayer().RunBatch(st, bad)
+		if serialErr == nil {
+			t.Fatalf("badIdx=%d: serial batch accepted an invalid config", badIdx)
+		}
+		_, parErr := NewReplayer().RunBatchN(st, bad, 4)
+		if parErr == nil {
+			t.Fatalf("badIdx=%d: parallel batch accepted an invalid config", badIdx)
+		}
+		if parErr.Error() != serialErr.Error() {
+			t.Errorf("badIdx=%d: parallel error %q, serial error %q", badIdx, parErr, serialErr)
+		}
+		var be *BatchError
+		if !errors.As(parErr, &be) || be.Index != badIdx {
+			t.Errorf("badIdx=%d: parallel BatchError.Index = %v, want %d", badIdx, parErr, badIdx)
+		}
+	}
+	// Two failures: the lower index wins regardless of which partition
+	// finishes first.
+	bad := append([]sim.Config(nil), cfgs...)
+	bad[2] = sim.Config{NPE: 4, PageSize: -3}
+	bad[len(bad)-2] = sim.Config{NPE: -1, PageSize: 32}
+	_, err = NewReplayer().RunBatchN(st, bad, 4)
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 2 {
+		t.Errorf("two failures: got %v, want BatchError at index 2", err)
+	}
+}
+
+// TestParallelBatchMetrics pins the parallel observability: one group,
+// a partitions-histogram observation matching the fan-out, and
+// configs-per-pass observations spread across partitions.
+func TestParallelBatchMetrics(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := parGrid()
+	reg := obs.NewRegistry()
+	r := NewReplayer()
+	r.Metrics = reg
+	wantParts := batchPartitions(len(cfgs), 4)
+	if wantParts < 2 {
+		t.Fatalf("parGrid too small to fan out: %d partitions", wantParts)
+	}
+	if _, err := r.RunBatchN(st, cfgs, 4); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricBatchGroups]; got != 1 {
+		t.Errorf("groups = %d, want 1", got)
+	}
+	h, ok := snap.Histograms[MetricBatchPartitions]
+	if !ok || h.Count != 1 {
+		t.Fatalf("partitions histogram: %+v, want one observation", h)
+	}
+	if h.Sum != int64(wantParts) {
+		t.Errorf("partitions observation = %d, want %d", h.Sum, wantParts)
+	}
+	// Serial calls observe partitions too (value 1), so the histogram
+	// doubles as a parallel-vs-serial mix signal.
+	if _, err := r.RunBatchN(st, cfgs[:2], 4); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if h := snap.Histograms[MetricBatchPartitions]; h.Count != 2 || h.Sum != int64(wantParts)+1 {
+		t.Errorf("after serial call: partitions count=%d sum=%d, want 2/%d", h.Count, h.Sum, wantParts+1)
+	}
+}
+
+// TestBatchParallelAllocs extends the batch alloc guard to the
+// parallel path: partition slabs come from the Replayer's worker free
+// list, so a steady-state parallel call adds only the per-call
+// dispatch (one goroutine and closure per partition) on top of the
+// serial budget of 5 allocations per Result plus the results slice.
+func TestBatchParallelAllocs(t *testing.T) {
+	k, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(k, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := parGrid()
+	const workers = 4
+	r := NewReplayer()
+	if _, err := r.RunBatchN(st, cfgs, workers); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.RunBatchN(st, cfgs, workers); err != nil {
+			t.Fatal(err)
+		}
+	})
+	nparts := batchPartitions(len(cfgs), workers)
+	limit := float64(5*len(cfgs) + 1 + 4*nparts)
+	if allocs > limit {
+		t.Errorf("%.0f allocs per steady-state parallel batch of %d configs across %d partitions, want <= %.0f (5 per Result + results slice + dispatch)",
+			allocs, len(cfgs), nparts, limit)
+	}
+}

@@ -126,3 +126,54 @@ func FuzzBatchVsSingle(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParallelVsSerialBatch drives the partitioned replayer's
+// equivalence contract: a fuzzer-shaped capture group classified with
+// a fuzzer-chosen worker budget must match the serial RunBatch of the
+// same group exactly — results at the same indices, bit-identical —
+// across group sizes that straddle the dispatch threshold and budgets
+// that force both even and ragged partition splits.
+func FuzzParallelVsSerialBatch(f *testing.F) {
+	f.Add(uint8(0), uint16(200), uint8(8), uint8(32), uint16(256), uint8(0), uint8(1), uint8(0), uint8(11), uint8(4))
+	f.Add(uint8(3), uint16(100), uint8(1), uint8(1), uint16(0), uint8(1), uint8(2), uint8(1), uint8(7), uint8(2))  // exactly at the serial threshold
+	f.Add(uint8(7), uint16(333), uint8(64), uint8(16), uint16(64), uint8(2), uint8(3), uint8(2), uint8(3), uint8(8)) // below threshold: stays serial
+	f.Add(uint8(23), uint16(400), uint8(16), uint8(64), uint16(1024), uint8(1), uint8(1), uint8(3), uint8(19), uint8(3))
+	kernels := loops.All()
+	f.Fuzz(func(t *testing.T, kIdx uint8, n uint16, npe, ps uint8, ce uint16, layout, run, policy, k, workers uint8) {
+		kernel := kernels[int(kIdx)%len(kernels)]
+		size := int(n)%400 + 1
+		// Group sizes up to 24 so the fuzzer reaches multi-partition
+		// splits (the threshold is batchParMinConfigs = 8); axes step
+		// exactly as in FuzzBatchVsSingle.
+		group := int(k)%24 + 1
+		cfgs := make([]sim.Config, 0, group)
+		for i := 0; i < group; i++ {
+			cfgs = append(cfgs, sim.Config{
+				NPE:        (int(npe)+i*3)%64 + 1,
+				PageSize:   (int(ps)+i*7)%96 + 1,
+				CacheElems: (int(ce) + i*128) % 2048,
+				Policy:     cache.Policy((int(policy) + i) % 4),
+				Layout:     partition.Kind((int(layout) + i) % 3),
+				LayoutRun:  (int(run)+i)%6 + 1,
+			})
+		}
+		nw := int(workers)%8 + 1
+		st := cachedCapture(t, kernel, size)
+		want, err := NewReplayer().RunBatch(st, cfgs)
+		if err != nil {
+			t.Fatalf("serial batch rejected group %+v: %v", cfgs, err)
+		}
+		got, err := NewReplayer().RunBatchN(st, cfgs, nw)
+		if err != nil {
+			t.Fatalf("parallel batch (workers=%d) rejected group the serial path accepted: %v", nw, err)
+		}
+		for i := range cfgs {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Errorf("%s n=%d workers=%d config %d %+v: parallel batch diverges from serial\nparallel: totals %v reduce %d/%d\nserial:   totals %v reduce %d/%d",
+					kernel.Key, size, nw, i, cfgs[i],
+					got[i].Totals, got[i].ReduceSends, got[i].ReduceBcasts,
+					want[i].Totals, want[i].ReduceSends, want[i].ReduceBcasts)
+			}
+		}
+	})
+}

@@ -30,28 +30,42 @@ func Eligible(cfg sim.Config) bool {
 // replay path — owner tables, slot caches, counters, the traffic slab —
 // so its steady state allocates nothing beyond the returned Result.
 // A Replayer is not safe for concurrent use; give each worker its own.
-// Distinct Replayers may replay the same Stream concurrently.
+// Distinct Replayers may replay the same Stream concurrently, and a
+// parallel RunBatch fans its partitions out over the same shared
+// stream internally (batch.go).
 //
 // Run classifies one configuration per stream pass; RunBatch classifies
-// a whole capture group of configurations in one pass (batch.go).
+// a whole capture group of configurations in one pass (batch.go),
+// split across up to Workers slab partitions when the group is large
+// enough to amortize the dispatch.
 type Replayer struct {
 	// Metrics, when non-nil, receives the batch-replay counters
 	// (MetricBatchGroups, MetricBatchConfigsPerPass,
-	// MetricBatchDecodePasses). Nil disables them.
+	// MetricBatchDecodePasses, MetricBatchPartitions). Nil disables
+	// them.
 	Metrics *obs.Registry
+
+	// Workers bounds the partition fan-out RunBatch may use: 0 or 1
+	// keeps every batch serial, n > 1 lets a large enough group split
+	// into up to n concurrently classified slab partitions. Output is
+	// byte-identical either way. RunBatchN overrides it per call.
+	Workers int
 
 	npe       int
 	frameless bool // the configured cache holds zero page frames
 	pageBase  []int32
 	owners    []int32
-	caches    []*cache.Cache
 	perPE     stats.PerPE
 	trafBuf   []int64 // flat npe×npe traffic matrix, row-major
 	particip  []bool
 
-	layouts map[layoutKey]partition.Layout // memoized boxed layouts, shared by Run and RunBatch
+	batchWorker // partition 0's state; Run shares its caches and layout memo
 
-	bat batchState // RunBatch's structure-of-arrays scratch (batch.go)
+	extra []*batchWorker // partitions 1..n-1, grown on demand and reused
+
+	parOffs   []int // partition boundary offsets, len nparts+1
+	parPasses []int // per-partition decode-pass counts
+	parErrs   []error
 }
 
 // layoutKey identifies a partition layout: the full parameter set
@@ -67,19 +81,19 @@ type layoutKey struct {
 
 // layout returns the memoized partition layout for the key, building it
 // on first use.
-func (r *Replayer) layout(kind partition.Kind, npe, pages, run int) (partition.Layout, error) {
+func (w *batchWorker) layout(kind partition.Kind, npe, pages, run int) (partition.Layout, error) {
 	lk := layoutKey{kind, npe, pages, run}
-	if l, ok := r.layouts[lk]; ok {
+	if l, ok := w.layouts[lk]; ok {
 		return l, nil
 	}
 	l, err := partition.Make(kind, npe, pages, run)
 	if err != nil {
 		return nil, err
 	}
-	if r.layouts == nil {
-		r.layouts = make(map[layoutKey]partition.Layout)
+	if w.layouts == nil {
+		w.layouts = make(map[layoutKey]partition.Layout)
 	}
-	r.layouts[lk] = l
+	w.layouts[lk] = l
 	return l, nil
 }
 

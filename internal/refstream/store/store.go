@@ -60,6 +60,14 @@ type Store struct {
 	mu      sync.Mutex
 	streams map[streamKey]*refstream.Stream
 	known   map[string]bool // content addresses already indexed or written
+
+	// Rescan singleflight: concurrent Load misses share one directory
+	// walk instead of each issuing their own. scanDone is non-nil while
+	// a rescan is in flight (closed on completion); scanGen counts
+	// completed rescans, so a waiter knows whether any walk finished
+	// since it observed its miss.
+	scanGen  uint64
+	scanDone chan struct{}
 }
 
 type streamKey struct {
@@ -91,11 +99,14 @@ func Open(dir string, reg *obs.Registry) (*Store, error) {
 		streams:    map[streamKey]*refstream.Stream{},
 		known:      map[string]bool{},
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.scanLocked(); err != nil {
+	found, errs, err := s.scanDir()
+	if err != nil {
 		return nil, err
 	}
+	s.loadErrors.Add(errs)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mergeLocked(found)
 	return s, nil
 }
 
@@ -109,53 +120,119 @@ func (s *Store) Len() int {
 	return len(s.streams)
 }
 
-// scanLocked indexes every well-formed capture file in the directory.
-// Files whose name is not a content address, whose hash does not match
-// their bytes, or whose encoding fails validation are skipped and
-// counted. Callers hold s.mu.
-func (s *Store) scanLocked() error {
+// scanned is one well-formed capture discovered by a directory walk,
+// in directory (sorted-name) order so merges stay deterministic.
+type scanned struct {
+	addr string
+	st   *refstream.Stream
+}
+
+// scanDir walks the directory and parses every well-formed capture
+// file, holding s.mu only long enough to snapshot the known-address
+// set — the reads, hash checks and decodes all run with the lock
+// released, so hits keep flowing during a rescan. Files whose name is
+// not a content address, whose hash does not match their bytes, or
+// whose encoding fails validation are skipped and counted in the
+// returned error tally.
+func (s *Store) scanDir() ([]scanned, int64, error) {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
-		return fmt.Errorf("store: scanning %s: %w", s.dir, err)
+		return nil, 0, fmt.Errorf("store: scanning %s: %w", s.dir, err)
 	}
+	s.mu.Lock()
+	known := make(map[string]bool, len(s.known))
+	for addr := range s.known {
+		known[addr] = true
+	}
+	s.mu.Unlock()
+	var (
+		found []scanned
+		errs  int64
+	)
 	for _, de := range names {
 		name := de.Name()
 		if de.IsDir() || strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ext) {
 			continue // temp files, editors' droppings, unrelated files
 		}
 		addr := strings.TrimSuffix(name, ext)
-		if s.known[addr] {
+		if known[addr] {
 			continue
 		}
 		data, err := os.ReadFile(filepath.Join(s.dir, name))
 		if err != nil {
-			s.loadErrors.Inc()
+			errs++
 			continue
 		}
 		if refstream.ContentAddress(data) != addr {
 			// Name/content mismatch: bit rot or a partial copy under a
 			// final name. Never trust it.
-			s.loadErrors.Inc()
+			errs++
 			continue
 		}
 		st, err := refstream.UnmarshalStream(data)
 		if err != nil {
-			s.loadErrors.Inc()
+			errs++
 			continue
 		}
-		s.known[addr] = true
-		key := streamKey{kernel: st.Kernel.Key, n: st.N}
+		found = append(found, scanned{addr: addr, st: st})
+	}
+	return found, errs, nil
+}
+
+// mergeLocked indexes a walk's discoveries, rechecking known under the
+// lock so a Save (or another walk) that landed the same address first
+// wins and the late copy is dropped. Callers hold s.mu.
+func (s *Store) mergeLocked(found []scanned) {
+	for _, f := range found {
+		if s.known[f.addr] {
+			continue
+		}
+		s.known[f.addr] = true
+		key := streamKey{kernel: f.st.Kernel.Key, n: f.st.N}
 		if _, ok := s.streams[key]; !ok {
-			s.streams[key] = st
+			s.streams[key] = f.st
 			s.entries.Set(int64(len(s.streams)))
 		}
 	}
-	return nil
+}
+
+// rescanLocked makes sure at least one directory rescan completes
+// after the call begins, then returns with s.mu still held. Concurrent
+// misses singleflight the walk: the first becomes the scanner (I/O
+// with the lock released), the rest wait for its completion and use
+// its result instead of queuing their own full walk — the stampede of
+// N misses costing N scans becomes one scan shared N ways. A waiter
+// that arrives while a walk is already in flight accepts that walk's
+// view of the directory; a capture persisted by a peer mid-walk simply
+// becomes visible on the next miss's rescan.
+func (s *Store) rescanLocked() {
+	entered := s.scanGen
+	for s.scanGen == entered {
+		if done := s.scanDone; done != nil {
+			s.mu.Unlock()
+			<-done
+			s.mu.Lock()
+			continue
+		}
+		done := make(chan struct{})
+		s.scanDone = done
+		s.mu.Unlock()
+		found, errs, err := s.scanDir()
+		s.loadErrors.Add(errs)
+		s.mu.Lock()
+		if err == nil {
+			s.mergeLocked(found)
+		}
+		s.scanGen++
+		s.scanDone = nil
+		close(done)
+	}
 }
 
 // Load returns the persisted stream for (k, n), if any. On an index
-// miss it rescans the directory once — captures persisted by another
-// process since the last scan become visible — before counting a miss.
+// miss it rescans the directory — captures persisted by another
+// process since the last scan become visible — before counting a miss;
+// concurrent misses share a single rescan (see rescanLocked).
 func (s *Store) Load(k *loops.Kernel, n int) (*refstream.Stream, bool) {
 	if s == nil || k == nil {
 		return nil, false
@@ -165,9 +242,8 @@ func (s *Store) Load(k *loops.Kernel, n int) (*refstream.Stream, bool) {
 	defer s.mu.Unlock()
 	st, ok := s.streams[key]
 	if !ok {
-		if err := s.scanLocked(); err == nil {
-			st, ok = s.streams[key]
-		}
+		s.rescanLocked()
+		st, ok = s.streams[key]
 	}
 	if !ok {
 		s.misses.Inc()

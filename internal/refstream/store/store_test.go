@@ -10,7 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/loops"
 	"repro/internal/obs"
@@ -140,6 +143,95 @@ func TestCrashArtifactsIgnored(t *testing.T) {
 	s.Save(st)
 	if _, ok := s.Load(st.Kernel, st.N); !ok {
 		t.Fatal("save after crash debris not loadable")
+	}
+}
+
+// TestRescanSingleflight is the stampede regression test: Load misses
+// that arrive while a directory walk is in flight must ride on that
+// walk instead of issuing their own. The test installs the in-flight
+// marker by hand (white box) so every loader deterministically takes
+// the ride-along path; marker files whose name does not hash-match
+// their content make walk counts observable — every completed walk
+// re-reads them and re-counts them in store.load_errors.
+func TestRescanSingleflight(t *testing.T) {
+	dir := t.TempDir()
+	st := capture(t, "k1")
+	enc, _ := st.MarshalBinary()
+	const markers = 4
+	for i := 0; i < markers; i++ {
+		name := refstream.ContentAddress(append(enc, byte(i))) + ".rsc" // distinct, but wrong for the content
+		if err := os.WriteFile(filepath.Join(dir, name), enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	s, err := Open(dir, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := counter(reg, MetricLoadErrors) // Open's walk: one full marker count
+	if base != markers {
+		t.Fatalf("open counted %d load errors, want %d", base, markers)
+	}
+
+	// Pose as the scanner: with scanDone set, every concurrent miss
+	// must park on it rather than walk the directory itself.
+	done := make(chan struct{})
+	s.mu.Lock()
+	s.scanDone = done
+	s.mu.Unlock()
+
+	const loaders = 32
+	var wg sync.WaitGroup
+	wg.Add(loaders)
+	for i := 0; i < loaders; i++ {
+		go func() {
+			defer wg.Done()
+			if _, ok := s.Load(st.Kernel, st.N); ok {
+				t.Error("missing capture reported as loaded")
+			}
+		}()
+	}
+	// Let every loader reach the ride-along wait (they have nowhere
+	// else to block), then complete the fake walk.
+	time.Sleep(50 * time.Millisecond)
+	s.mu.Lock()
+	s.scanGen++
+	s.scanDone = nil
+	s.mu.Unlock()
+	close(done)
+	wg.Wait()
+
+	if got := counter(reg, MetricMisses); got != loaders {
+		t.Errorf("misses = %d, want %d", got, loaders)
+	}
+	// Every loader shared the (fake) in-flight walk: pre-singleflight
+	// each of the 32 misses walked the directory itself and recounted
+	// the markers; now at most a straggler that arrived after the walk
+	// completed may have issued one of its own.
+	walks := (counter(reg, MetricLoadErrors) - base) / markers
+	if walks > 2 {
+		t.Errorf("%d concurrent misses performed %d directory walks on top of the shared one, want <= 2", loaders, walks)
+	}
+
+	// The real rescan path still finds fresh captures: land the actual
+	// file like a peer process would, then miss-load it concurrently.
+	if err := os.WriteFile(filepath.Join(dir, refstream.ContentAddress(enc)+".rsc"), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var hits int64
+	wg.Add(loaders)
+	for i := 0; i < loaders; i++ {
+		go func() {
+			defer wg.Done()
+			if _, ok := s.Load(st.Kernel, st.N); ok {
+				atomic.AddInt64(&hits, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if hits != loaders {
+		t.Errorf("%d of %d loads found the peer-persisted capture", hits, loaders)
 	}
 }
 

@@ -234,6 +234,12 @@ type batchTask struct {
 	fls    []*flight
 	tr     *trace.Trace
 	parent trace.SpanRef
+	// budget is the partition fan-out the batch pass may use
+	// (refstream.Replayer.RunBatchN): an even share of the worker pool
+	// across the requests admitted when the task was formed, so one big
+	// sweep on an idle service spreads over every core but cannot
+	// monopolize a busy one. Always >= 1.
+	budget int
 }
 
 // Engine executes canonical points with caching, deduplication,
@@ -447,6 +453,7 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 		kernel *loops.Kernel
 		n      int
 	}
+	budget := e.parBudget()
 	groups := map[groupKey]*batchTask{}
 	var queue []*task
 	for _, i := range leaders {
@@ -458,7 +465,7 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 		gk := groupKey{p.kernel, p.n}
 		bt := groups[gk]
 		if bt == nil {
-			bt = &batchTask{kernel: p.kernel, n: p.n, tr: tr, parent: wsp}
+			bt = &batchTask{kernel: p.kernel, n: p.n, tr: tr, parent: wsp, budget: budget}
 			groups[gk] = bt
 			queue = append(queue, &task{batch: bt})
 		}
@@ -508,6 +515,27 @@ func (e *Engine) DoSweep(ctx context.Context, pts []point) ([]json.RawMessage, e
 		return nil, err
 	}
 	return bodies, nil
+}
+
+// parBudget derives the partition budget for a batch task submitted
+// now: an even share of the worker pool across currently admitted
+// requests, floored at one. On an idle service one sweep's batch
+// passes fan out across every worker (refstream.Replayer.RunBatchN);
+// as admissions approach MaxInflight the share decays to a serial pass
+// per task, so parallel replay never starves other requests of
+// workers. The budget rides the task, not the worker, because
+// occupancy at submission is what the admission decision saw.
+func (e *Engine) parBudget() int {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	inflight := e.inflight
+	if inflight < 1 {
+		inflight = 1
+	}
+	if b := e.opts.Workers / inflight; b > 1 {
+		return b
+	}
+	return 1
 }
 
 // abandonTask resolves a task that will never reach the pool (context
@@ -597,7 +625,8 @@ func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, t *
 }
 
 // executeBatch runs one batch task: fetch the group's stream, classify
-// every member in one pass, then cache and resolve each member exactly
+// every member in one pass — fanned out across the task's partition
+// budget when it has one — then cache and resolve each member exactly
 // as the single-point path would — every body goes through the same
 // encodePoint with engine "replay", so a sweep-produced body is
 // byte-identical to the classify-produced body of the same point. On
@@ -615,9 +644,17 @@ func (e *Engine) executeBatch(scratch *sim.Scratch, replayer *refstream.Replayer
 			cfgs[i] = p.cfg
 		}
 		bt.tr.Event(bt.parent, "batch_configs", int64(len(cfgs)), "configs")
-		sp = bt.tr.StartChild(bt.parent, "replay")
+		// The span is named for how the pass ran — replay_par when the
+		// budget lets RunBatchN fan partitions out, replay for a serial
+		// pass — while both feed the serve.stage.replay_us histogram, so
+		// stage latency stays one series.
+		span := "replay"
+		if bt.budget > 1 {
+			span = "replay_par"
+		}
+		sp = bt.tr.StartChild(bt.parent, span)
 		var res []*sim.Result
-		res, err = replayer.RunBatch(st, cfgs)
+		res, err = replayer.RunBatchN(st, cfgs, bt.budget)
 		e.hReplay.Observe(sp.End().Microseconds())
 		if err == nil {
 			sp = bt.tr.StartChild(bt.parent, "encode")

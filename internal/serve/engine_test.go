@@ -89,6 +89,77 @@ func TestSweepRidesBatchReplay(t *testing.T) {
 	}
 }
 
+// TestParBudget pins the budget derivation: an even share of the
+// worker pool across admitted requests, floored at one.
+func TestParBudget(t *testing.T) {
+	s, _, _ := newTestService(t, Options{Workers: 8, MaxInflight: 16})
+	e := s.Engine()
+	if got := e.parBudget(); got != 8 {
+		t.Errorf("idle engine: budget = %d, want all 8 workers", got)
+	}
+	var releases []func()
+	take := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			rel, err := e.admit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			releases = append(releases, rel)
+		}
+	}
+	take(2)
+	if got := e.parBudget(); got != 4 {
+		t.Errorf("2 admitted: budget = %d, want 4", got)
+	}
+	take(1)
+	if got := e.parBudget(); got != 2 {
+		t.Errorf("3 admitted: budget = %d, want 2", got)
+	}
+	take(9)
+	if got := e.parBudget(); got != 1 {
+		t.Errorf("12 admitted: budget = %d, want floor of 1", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := e.parBudget(); got != 8 {
+		t.Errorf("drained engine: budget = %d, want 8 again", got)
+	}
+}
+
+// TestSweepParallelBatchByteIdentical: a sweep wide enough to engage
+// parallel batch replay (an idle Workers-8 engine gives its one batch
+// task the full budget) must produce bodies byte-identical to the same
+// sweep on a single-worker engine, whose batch passes stay serial.
+func TestSweepParallelBatchByteIdentical(t *testing.T) {
+	req := `{"kernels":["k1"],"npes":[1,2,4,8,16,32,64],"page_sizes":[16,32]}`
+
+	_, serialTS, _ := newTestService(t, Options{Workers: 1})
+	code, _, serialBody := post(t, serialTS, "/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("serial sweep status = %d (body %s)", code, serialBody)
+	}
+
+	_, parTS, reg := newTestService(t, Options{Workers: 8, MaxInflight: 16})
+	code, _, parBody := post(t, parTS, "/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("parallel sweep status = %d (body %s)", code, parBody)
+	}
+	if !bytes.Equal(parBody, serialBody) {
+		t.Fatalf("parallel-budget sweep body differs from single-worker body:\n%s\n%s", parBody, serialBody)
+	}
+	// The 14-point group must actually have fanned out: the partitions
+	// histogram records one observation > 1 for the batch pass.
+	h, ok := reg.Snapshot().Histograms[refstream.MetricBatchPartitions]
+	if !ok || h.Count != 1 {
+		t.Fatalf("batch partitions histogram: %+v, want one observation", h)
+	}
+	if h.Sum <= 1 {
+		t.Errorf("batch pass used %d partitions, want > 1 (budget not applied)", h.Sum)
+	}
+}
+
 // pinWorkers installs an execHook that parks every executing worker
 // until release is closed. Must run before any traffic.
 func pinWorkers(s *Server) (entered chan struct{}, release chan struct{}) {

@@ -125,6 +125,58 @@ func TestReplayErrorDeterminism(t *testing.T) {
 	}
 }
 
+// TestCaptureOverlapCounter pins the pipeline's observability
+// invariants: sweep.capture_overlap only ever counts capture-stage
+// prefetches (so it is bounded by stream_captures), a serial sweep of
+// a single group has nothing to overlap, and engaging the pipeline
+// changes neither results nor the planner counters.
+func TestCaptureOverlapCounter(t *testing.T) {
+	k1, err := loops.ByKey("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := loops.ByKey("k2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One group, one worker: the lone capture has no replay work to
+	// overlap with, so the counter must stay zero.
+	single := Grid{Kernels: []*loops.Kernel{k1}, N: 100, NPEs: []int{1, 2}}.Points()
+	reg := obs.NewRegistry()
+	if _, err := RunOpts(context.Background(), single, Options{Workers: 1, Metrics: reg, Replay: ReplayOn}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricCaptureOverlap).Value(); got != 0 {
+		t.Errorf("single-group serial sweep: %s = %d, want 0", MetricCaptureOverlap, got)
+	}
+
+	// Many groups, many workers: overlap is scheduler-dependent, but it
+	// can never exceed the number of prefetched captures, and the
+	// pipeline must not change what the sweep computes.
+	pts := Grid{Kernels: []*loops.Kernel{k1, k2}, N: 150, NPEs: []int{1, 4, 16}}.Points()
+	pts = append(pts, Grid{Kernels: []*loops.Kernel{k1, k2}, N: 250, NPEs: []int{2, 8}}.Points()...)
+	baseline, err := RunOpts(context.Background(), pts, Options{Workers: 1, Replay: ReplayOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg = obs.NewRegistry()
+	got, err := RunOpts(context.Background(), pts, Options{Workers: 4, Metrics: reg, Replay: ReplayOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, baseline) {
+		t.Error("pipelined sweep diverges from serial direct execution")
+	}
+	captures := reg.Counter(MetricStreamCaptures).Value()
+	if captures != 4 {
+		t.Errorf("%s = %d, want 4 (one per (kernel, N) group)", MetricStreamCaptures, captures)
+	}
+	if overlap := reg.Counter(MetricCaptureOverlap).Value(); overlap > captures {
+		t.Errorf("%s = %d exceeds %s = %d", MetricCaptureOverlap, overlap, MetricStreamCaptures, captures)
+	}
+}
+
 // TestPlanReplay unit-tests the grouping rules directly.
 func TestPlanReplay(t *testing.T) {
 	k1, err := loops.ByKey("k1")

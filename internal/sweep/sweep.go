@@ -14,7 +14,10 @@
 //     same point (no mutable state is shared between points).
 //   - Bounded concurrency: at most `workers` simulations are in flight
 //     (default runtime.GOMAXPROCS(0)); a sweep of tens of thousands of
-//     points never spawns more than that many goroutines.
+//     points never runs more than that many simulations at once. (The
+//     engine may park a few extra coordination goroutines — the
+//     capture stage below — but every simulation, capture or replay,
+//     holds one of the `workers` tokens.)
 //   - First-error propagation: a failing point cancels the sweep's
 //     context and abandons queued points at higher grid indices;
 //     lower-indexed points still run, so the error reported is
@@ -35,6 +38,17 @@
 // ReplayPoint demotes the batch pass to one replay per point for
 // benchmarking the two strategies against each other.
 //
+// Captures and replays are pipelined: a capture stage prefetches each
+// group's reference stream while a replay stage classifies tasks whose
+// captures have already landed, so the capture of a later group
+// overlaps the replay of earlier ones instead of sitting on the
+// critical path. Both stages draw on the same `workers` token budget,
+// and replay workers hand refstream.RunBatch the tokens they hold so a
+// wide group can fan its partitions over otherwise-idle cores. The
+// sweep.capture_overlap counter reports how often the pipeline paid
+// off (a prefetched capture completing while replay work was in
+// flight).
+//
 // See docs/SWEEP.md for grid semantics and how to build an experiment
 // on the engine.
 package sweep
@@ -46,6 +60,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -245,6 +260,12 @@ const (
 	MetricStreamCaptures = "sweep.stream_captures"
 	MetricReplayPoints   = "sweep.replay_points"
 	MetricDirectPoints   = "sweep.direct_points"
+
+	// MetricCaptureOverlap counts capture-stage prefetches that
+	// completed while replay work was in flight — each one is a capture
+	// the pipeline kept off the critical path. Zero on a sweep with a
+	// single group and nothing else to do: there is nothing to overlap.
+	MetricCaptureOverlap = "sweep.capture_overlap"
 )
 
 // replayGroup is the shared state of one (kernel, problem size) replay
@@ -425,8 +446,8 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 	tasks := planTasks(pts, opts.Replay)
 
 	results := make([]*sim.Result, len(pts))
-	err := fanOut(ctx, opts.Workers, tasks, func(t execTask) int { return t.minIdx },
-		func(context.Context) func(execTask) (int, error) {
+	err := runTasks(ctx, opts.Workers, tasks, reg,
+		func(_ context.Context, borrow func() int, unborrow func(int)) func(execTask) (int, error) {
 			scratch := sim.NewScratch()
 			scratch.Metrics = reg
 			replayer := refstream.NewReplayer()
@@ -472,9 +493,12 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 
 			// runGroup serves a batch task: capture once, classify every
 			// member in one stream pass, scatter results to grid order.
-			// On failure the blamed index is the group's failing member —
-			// RunBatch reports the lowest input index, and members are in
-			// grid order — so lowest-index error semantics match the
+			// The pass borrows whatever simulation tokens are idle and
+			// fans the batch out across them (RunBatchN), so a wide
+			// group saturates the pool instead of one core. On failure
+			// the blamed index is the group's failing member — RunBatch
+			// reports the lowest input index, and members are in grid
+			// order — so lowest-index error semantics match the
 			// per-point path exactly.
 			runGroup := func(t execTask) (int, error) {
 				n := len(t.indices)
@@ -487,7 +511,9 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 						cfgs = append(cfgs, pts[i].Config)
 					}
 					var res []*sim.Result
-					res, err = replayer.RunBatch(st, cfgs)
+					extra := borrow()
+					res, err = replayer.RunBatchN(st, cfgs, 1+extra)
+					unborrow(extra)
 					cReplay.Add(int64(n))
 					if err == nil {
 						for j, i := range t.indices {
@@ -520,6 +546,189 @@ func RunOpts(ctx context.Context, pts []Point, opts Options) ([]*sim.Result, err
 		return nil, err
 	}
 	return results, nil
+}
+
+// runTasks executes the dispatch list as a two-stage pipeline: a
+// capture stage prefetches each replay group's reference stream while
+// a replay stage consumes tasks whose captures have already landed, so
+// the capture of a later group overlaps the replay of earlier ones
+// instead of serializing behind it.
+//
+// Both stages draw on one budget of `workers` simulation tokens —
+// every capture and every replay/direct pass holds a token while it
+// runs — so the bounded-concurrency guarantee survives the extra
+// coordination goroutines. newWorker is called once per replay-stage
+// goroutine; the borrow/unborrow pair it receives lets a batch task
+// claim idle tokens (non-blocking) and fan its stream pass out across
+// them.
+//
+// Error semantics are those of fanOut: the failure at the lowest
+// blamed index wins deterministically. The capture stage never reports
+// errors itself — a failed capture is memoized in the group and
+// surfaced by the replay stage, which re-enters the group's sync.Once
+// and blames the group's lowest member.
+func runTasks(parent context.Context, workers int, tasks []execTask, reg *obs.Registry,
+	newWorker func(ctx context.Context, borrow func() int, unborrow func(int)) func(execTask) (int, error)) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(tasks) == 0 {
+		return parent.Err()
+	}
+
+	// Bundle replay tasks by their shared capture, in dispatch order.
+	// Direct tasks have no capture dependency and bypass the capture
+	// stage entirely.
+	var (
+		order   []*replayGroup
+		bundles = make(map[*replayGroup][]execTask)
+		direct  []execTask
+	)
+	for _, t := range tasks {
+		if t.g == nil {
+			direct = append(direct, t)
+			continue
+		}
+		if bundles[t.g] == nil {
+			order = append(order, t.g)
+		}
+		bundles[t.g] = append(bundles[t.g], t)
+	}
+
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errIdx   = math.MaxInt
+	)
+	report := func(i int, err error) {
+		mu.Lock()
+		if i < errIdx {
+			firstErr, errIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+	cut := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return errIdx
+	}
+
+	// The simulation budget. Borrowing is non-blocking: a batch task
+	// already holds one token, so it can only widen, never wait.
+	sem := make(chan struct{}, workers)
+	borrow := func() int {
+		n := 0
+		for n < workers-1 {
+			select {
+			case sem <- struct{}{}:
+				n++
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	unborrow := func(n int) {
+		for ; n > 0; n-- {
+			<-sem
+		}
+	}
+
+	// ready carries tasks whose capture (if any) has landed. The buffer
+	// holds every task, so neither stage ever blocks forwarding.
+	ready := make(chan execTask, len(tasks))
+	for _, t := range direct {
+		ready <- t
+	}
+
+	var inFlight atomic.Int64 // replay-stage tasks currently executing
+	cCaptures := reg.Counter(MetricStreamCaptures)
+	cOverlap := reg.Counter(MetricCaptureOverlap)
+
+	// Capture stage: prefetch each group's stream, then release the
+	// group's tasks to the replay stage.
+	nCap := len(order)
+	if nCap > workers {
+		nCap = workers
+	}
+	groupFeed := make(chan *replayGroup)
+	var capWG sync.WaitGroup
+	capWG.Add(nCap)
+	for c := 0; c < nCap; c++ {
+		go func() {
+			defer capWG.Done()
+			scratch := sim.NewScratch()
+			scratch.Metrics = reg
+			for g := range groupFeed {
+				bundle := bundles[g]
+				// Skip the prefetch when the outcome is already decided
+				// at or below this group's lowest member, but forward
+				// the tasks regardless: the replay stage applies the
+				// same cut, and members below the winning index must
+				// still run (they re-trigger the capture through the
+				// group's once).
+				if parent.Err() == nil && bundle[0].minIdx <= cut() {
+					sem <- struct{}{}
+					_, _ = g.capture(scratch, cCaptures)
+					<-sem
+					if inFlight.Load() > 0 {
+						cOverlap.Inc()
+					}
+				}
+				for _, t := range bundle {
+					ready <- t
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, g := range order {
+			groupFeed <- g
+		}
+		close(groupFeed)
+	}()
+	go func() {
+		capWG.Wait()
+		close(ready)
+	}()
+
+	// Replay stage: the bounded worker pool of the pre-pipeline engine,
+	// consuming tasks as their captures land.
+	nRep := workers
+	if nRep > len(tasks) {
+		nRep = len(tasks)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nRep)
+	for w := 0; w < nRep; w++ {
+		go func() {
+			defer wg.Done()
+			run := newWorker(ctx, borrow, unborrow)
+			for t := range ready {
+				if parent.Err() != nil || t.minIdx > cut() {
+					continue
+				}
+				sem <- struct{}{}
+				inFlight.Add(1)
+				i, err := run(t)
+				inFlight.Add(-1)
+				<-sem
+				if err != nil {
+					report(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return firstErr
 }
 
 // Map applies f to every item over a bounded worker pool and returns

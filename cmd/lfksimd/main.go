@@ -26,7 +26,8 @@
 //	                                 also append a serve section to the
 //	                                 benchmark history
 //
-// Endpoints: POST /v1/classify, POST /v1/sweep, GET /v1/kernels,
+// Endpoints: POST /v1/classify, POST /v1/sweep, POST /v1/compile
+// (docs/COMPILE.md), GET /v1/kernels (?compiled=1 for the registry),
 // GET /healthz, GET /metrics, GET /debug/pprof/. See docs/SERVING.md.
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: the listener stops,
@@ -53,6 +54,7 @@ import (
 
 	"repro/internal/benchio"
 	"repro/internal/cluster"
+	"repro/internal/kernelreg"
 	"repro/internal/obs"
 	"repro/internal/refstream/store"
 	"repro/internal/serve"
@@ -130,8 +132,11 @@ func publishAddr(path string, addr net.Addr) error {
 	return os.Rename(tmp, path)
 }
 
-// openStore attaches a disk-backed capture store when dir is set.
-func openStore(opts *serve.Options, dir string, reg *obs.Registry) error {
+// openStore attaches a disk-backed capture store when dir is set. The
+// kernel registry's resolver lets persisted captures of compiled
+// ("u:...") kernels decode once their kernel is re-registered, turning
+// compile-after-restart into a warm start.
+func openStore(opts *serve.Options, dir string, reg *obs.Registry, kreg *kernelreg.Registry) error {
 	if dir == "" {
 		return nil
 	}
@@ -139,6 +144,7 @@ func openStore(opts *serve.Options, dir string, reg *obs.Registry) error {
 	if err != nil {
 		return fmt.Errorf("opening capture store: %w", err)
 	}
+	st.SetResolver(kreg.Resolve)
 	opts.CaptureStore = st
 	fmt.Fprintf(os.Stderr, "lfksimd: capture store %s (%d streams on disk)\n", st.Dir(), st.Len())
 	return nil
@@ -151,7 +157,8 @@ func runDaemon(opts serve.Options, addr string, drain time.Duration, captureDir,
 	reg := obs.NewRegistry()
 	obs.SetDefault(reg)
 	opts.Metrics = reg
-	if err := openStore(&opts, captureDir, reg); err != nil {
+	opts.Registry = kernelreg.New(kernelreg.Limits{}, reg)
+	if err := openStore(&opts, captureDir, reg, opts.Registry); err != nil {
 		return err
 	}
 	srv := serve.New(opts)
@@ -166,7 +173,7 @@ func runDaemon(opts serve.Options, addr string, drain time.Duration, captureDir,
 		}
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep; GET /v1/kernels /healthz /metrics /debug/trace /debug/pprof/)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "lfksimd: serving http://%s (POST /v1/classify /v1/sweep /v1/compile; GET /v1/kernels /healthz /metrics /debug/trace /debug/pprof/)\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -232,6 +239,7 @@ func runRouter(opts serve.Options, addr string, drain time.Duration, shards int,
 	obs.SetDefault(reg)
 	local := opts
 	local.Metrics = reg
+	local.Registry = kernelreg.New(kernelreg.Limits{}, reg)
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
 		Shards:  shards,
 		AddrOf:  sup.Addr,

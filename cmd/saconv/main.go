@@ -1,34 +1,47 @@
 // Command saconv demonstrates the paper's §5 automatic conversion
 // tool: it takes conventional-Fortran-style sample programs (in the
-// affine loop IR), reports their single-assignment violations, rewrites
-// them to single-assignment form, and verifies the result by running
-// it on the sequential reference engine.
+// affine loop IR), reports their single-assignment violations, and —
+// with -convert — rewrites them to single-assignment form and verifies
+// the result on the sequential reference engine.
+//
+// Without -convert, saconv is a checker: a program with SA violations
+// prints its diagnostics to stderr and exits non-zero, so scripts can
+// gate on "is this already single-assignment?" without parsing output.
 //
 // Usage:
 //
-//	saconv            convert every built-in sample
-//	saconv -p inplace convert one sample by name
-//	saconv -f x.loop  convert a program from a file (see internal/ir
+//	saconv            check every built-in sample (exit 1: violations)
+//	saconv -convert   convert every built-in sample to SA form
+//	saconv -p inplace -convert
+//	                  convert one sample by name
+//	saconv -f x.loop  check a program from a file (see internal/ir
 //	                  parser syntax; examples under testdata/)
+//	saconv -json      emit the POST /v1/compile wire encoding, one
+//	                  JSON object per program (internal/kernelreg)
 //	saconv -list      list samples
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/convert"
 	"repro/internal/ir"
+	"repro/internal/kernelreg"
 	"repro/internal/loops"
+	"repro/internal/serve"
 )
 
 func main() {
 	var (
-		name = flag.String("p", "", "sample program to convert (default: all)")
-		file = flag.String("f", "", "parse and convert a .loop source file")
-		list = flag.Bool("list", false, "list sample programs")
-		n    = flag.Int("n", 32, "problem size for verification")
+		name      = flag.String("p", "", "sample program to process (default: all)")
+		file      = flag.String("f", "", "parse a .loop source file instead of a sample")
+		list      = flag.Bool("list", false, "list sample programs")
+		n         = flag.Int("n", 32, "problem size for verification (default_n in -json mode)")
+		doConvert = flag.Bool("convert", false, "rewrite violating programs to single-assignment form (off: check only, violations are fatal)")
+		asJSON    = flag.Bool("json", false, "emit the POST /v1/compile wire encoding, one JSON object per program")
 	)
 	flag.Parse()
 
@@ -68,12 +81,89 @@ func main() {
 		programs = ir.Samples()
 	}
 
+	// -json shares the /v1/compile pipeline and wire encoding exactly:
+	// the same registry Compile() the daemon calls, the same response
+	// and error body marshaling, so `saconv -json` output can be diffed
+	// against a daemon's HTTP responses byte for byte.
+	var jreg *kernelreg.Registry
+	if *asJSON {
+		jreg = kernelreg.New(kernelreg.Limits{}, nil)
+	}
+
+	failed := false
 	for _, p := range programs {
-		if err := convertOne(p, *n); err != nil {
+		var err error
+		if *asJSON {
+			err = compileJSON(jreg, p, *doConvert, *n)
+		} else if *doConvert {
+			err = convertOne(p, *n)
+		} else {
+			err = checkOne(p)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "saconv:", err)
-			os.Exit(1)
+			failed = true
 		}
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkOne reports a program's SA diagnostics without rewriting it.
+// Violations go to stderr and make the run fail.
+func checkOne(p *ir.Program) error {
+	fmt.Printf("==== %s ====\n", p.Name)
+	fmt.Println(p)
+	diags := p.CheckSA()
+	if len(diags) == 0 {
+		fmt.Println("single-assignment clean")
+		fmt.Println()
+		return nil
+	}
+	for _, d := range diags {
+		fmt.Println(" ", d)
+	}
+	fmt.Println()
+	viol := ir.Violations(diags)
+	if len(viol) == 0 {
+		return nil
+	}
+	for _, d := range viol {
+		fmt.Fprintf(os.Stderr, "saconv: %s: %s\n", p.Name, d)
+	}
+	return fmt.Errorf("%s: %d single-assignment violation(s); rerun with -convert to rewrite", p.Name, len(viol))
+}
+
+// compileJSON runs the registry compile pipeline and prints its wire
+// encoding: the CompileResponse on success, the serve error body (the
+// same struct POST /v1/compile marshals) on rejection.
+func compileJSON(reg *kernelreg.Registry, p *ir.Program, doConvert bool, n int) error {
+	resp, err := reg.Compile(kernelreg.CompileRequest{
+		Source:   p.String() + "END\n",
+		Convert:  doConvert,
+		DefaultN: n,
+	})
+	if err != nil {
+		eb := serve.ErrorBody{Error: err.Error()}
+		if ke, ok := err.(*kernelreg.Error); ok {
+			eb.Error = ke.Msg
+			eb.Code = ke.Code
+			eb.Diagnostics = ke.Diagnostics
+		}
+		body, merr := json.Marshal(eb)
+		if merr != nil {
+			return merr
+		}
+		fmt.Println(string(body))
+		return fmt.Errorf("%s: %w", p.Name, err)
+	}
+	body, merr := json.Marshal(resp)
+	if merr != nil {
+		return merr
+	}
+	fmt.Println(string(body))
+	return nil
 }
 
 func convertOne(p *ir.Program, n int) error {

@@ -73,7 +73,7 @@ func TestMetricNamesCanonical(t *testing.T) {
 	for _, want := range []string{
 		MetricForwards, MetricForwardFailures, MetricFailovers,
 		MetricLocalFallbacks, MetricProbes, MetricStateChanges,
-		MetricShardsUp, MetricForwardUS,
+		MetricShardsUp, MetricForwardUS, MetricReplications,
 		store.MetricHits, store.MetricMisses, store.MetricPuts, store.MetricEntries,
 	} {
 		_, c := snap.Counters[want]

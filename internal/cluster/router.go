@@ -32,7 +32,7 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/loops"
+	"repro/internal/kernelreg"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
 	"repro/internal/serve"
@@ -48,9 +48,10 @@ const (
 	MetricLocalFallbacks  = "cluster.local_fallbacks"  // groups served by the embedded engine
 	MetricProbes          = "cluster.health_probes"    // active health checks sent
 	MetricProbeFailures   = "cluster.health_probe_failures"
-	MetricStateChanges    = "cluster.shard_state_changes" // up/suspect/down transitions
-	MetricShardsUp        = "cluster.shards_up"           // gauge: shards currently up
-	MetricForwardUS       = "cluster.forward_us"          // histogram (obs.MicrosBuckets): per-attempt forward latency
+	MetricStateChanges    = "cluster.shard_state_changes"  // up/suspect/down transitions
+	MetricShardsUp        = "cluster.shards_up"            // gauge: shards currently up
+	MetricForwardUS       = "cluster.forward_us"           // histogram (obs.MicrosBuckets): per-attempt forward latency
+	MetricReplications    = "cluster.compile_replications" // compiled kernels broadcast to the shard set
 )
 
 // shardState is the health lifecycle: up ⇄ suspect → down, any success
@@ -151,6 +152,7 @@ type Router struct {
 	cForwards, cForwardFails, cFailovers *obs.Counter
 	cExhausted, cLocalFallbacks          *obs.Counter
 	cProbes, cProbeFails, cStateChanges  *obs.Counter
+	cReplications                        *obs.Counter
 	gShardsUp                            *obs.Gauge
 	hForward                             *obs.Histogram
 
@@ -198,6 +200,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		cProbes:         reg.Counter(MetricProbes),
 		cProbeFails:     reg.Counter(MetricProbeFailures),
 		cStateChanges:   reg.Counter(MetricStateChanges),
+		cReplications:   reg.Counter(MetricReplications),
 		gShardsUp:       reg.Gauge(MetricShardsUp),
 		hForward:        reg.Histogram(MetricForwardUS, obs.MicrosBuckets),
 		states:          make([]shardState, opts.Shards),
@@ -207,6 +210,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.gShardsUp.Set(int64(opts.Shards))
 	rt.mux.HandleFunc("POST /v1/classify", rt.handleClassify)
 	rt.mux.HandleFunc("POST /v1/sweep", rt.handleSweep)
+	rt.mux.HandleFunc("POST /v1/compile", rt.handleCompile)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /debug/trace", rt.handleTrace)
 	rt.mux.Handle("/", rt.local.Handler()) // kernels, metrics, pprof, vars
@@ -498,7 +502,10 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var key string
 	if err := dec.Decode(&req); err == nil {
-		if k, kerr := loops.ByKey(req.Kernel); kerr == nil {
+		// Resolve through the local registry: built-in keys and compiled
+		// "u:..." ids place the same way, so a compiled kernel's captures
+		// concentrate on one home shard exactly like a built-in's.
+		if k, kerr := rt.local.Registry().Resolve(req.Kernel); kerr == nil {
 			key = GroupKey(k.Key, k.ClampN(req.N))
 		}
 	}
@@ -510,6 +517,9 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	root := tr.Start("route")
 	status, body, err := rt.dispatch(r.Context(), tr, root, key, "/v1/classify", reqID, raw)
+	if err == nil && rt.healUnknown(r.Context(), reqID, status, body, req.Kernel) {
+		status, body, err = rt.dispatch(r.Context(), tr, root, key, "/v1/classify", reqID, raw)
+	}
 	if err != nil {
 		rt.cLocalFallbacks.Inc()
 		tr.Count("cluster.local_fallbacks", 1)
@@ -518,6 +528,94 @@ func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
 	root.End()
 	writeJSON(w, status, body)
 	rt.finish(tr, status)
+}
+
+// handleCompile serves POST /v1/compile cluster-wide. The embedded
+// local server compiles first and its bytes are the response — so a
+// routed compile is byte-identical to the single-node one — and on
+// success the kernel's canonical replication request (the registry's
+// own rendering: already SA-clean, no convert flag, first-wins
+// default_n) is broadcast to every shard synchronously, so a classify
+// or sweep arriving right after the compile returns finds a warm
+// registry on its home shard. A shard that misses the broadcast
+// (down, mid-restart) is healed lazily: its 404 unknown_kernel answer
+// triggers re-replication and one dispatch retry (healUnknown).
+func (rt *Router) handleCompile(w http.ResponseWriter, r *http.Request) {
+	tr, reqID := rt.begin(w, r, "/v1/compile")
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Errorf("reading request body: %w", err)))
+		rt.finish(tr, http.StatusBadRequest)
+		return
+	}
+	sp := tr.Start("compile_local")
+	status, body := rt.serveLocalBytes(r, "/v1/compile", raw)
+	sp.End()
+	if status == http.StatusOK {
+		var resp kernelreg.CompileResponse
+		if json.Unmarshal(body, &resp) == nil && resp.Kernel != "" {
+			rsp := tr.Start("replicate")
+			rt.replicate(r.Context(), reqID, resp.Kernel)
+			rsp.End()
+		}
+	}
+	writeJSON(w, status, body)
+	rt.finish(tr, status)
+}
+
+// replicate broadcasts a locally registered compiled kernel to every
+// shard concurrently and waits for the fan-out. Best-effort per shard:
+// an unreachable shard is left for heal-on-use rather than failing the
+// client's compile. Reports whether the kernel was known locally (the
+// precondition for a useful retry).
+func (rt *Router) replicate(ctx context.Context, reqID, id string) bool {
+	rep, ok := rt.local.Registry().ReplicationRequest(id)
+	if !ok {
+		return false
+	}
+	payload, err := json.Marshal(rep)
+	if err != nil {
+		return false
+	}
+	var wg sync.WaitGroup
+	for shard := 0; shard < rt.opts.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			status, _, ferr := rt.forwardOnce(ctx, shard, "/v1/compile", reqID, payload)
+			if ferr != nil || status != http.StatusOK {
+				rt.cForwardFails.Inc()
+				rt.noteFailure(shard)
+				return
+			}
+			rt.noteSuccess(shard)
+		}(shard)
+	}
+	wg.Wait()
+	rt.cReplications.Inc()
+	return true
+}
+
+// healUnknown inspects a shard answer for the 404 unknown_kernel
+// signature over a compiled id — the mark of a shard that restarted
+// and lost its in-memory registry — re-replicates every compiled
+// kernel the failed sub-request named, and reports whether the caller
+// should retry its dispatch.
+func (rt *Router) healUnknown(ctx context.Context, reqID string, status int, body []byte, kernels ...string) bool {
+	if status != http.StatusNotFound {
+		return false
+	}
+	var eb serve.ErrorBody
+	if json.Unmarshal(body, &eb) != nil || eb.Code != kernelreg.CodeUnknownKernel {
+		return false
+	}
+	healed := false
+	for _, k := range kernels {
+		if kernelreg.IsCompiledID(k) && rt.replicate(ctx, reqID, k) {
+			healed = true
+		}
+	}
+	return healed
 }
 
 // subSweep is one shard's share of a sweep: the original request with
@@ -602,6 +700,9 @@ func (rt *Router) handleSweep(w http.ResponseWriter, r *http.Request) {
 				groupKey := GroupKey(groups[plan.groups[0]].Kernel, groups[plan.groups[0]].N)
 				var derr error
 				res.status, res.body, derr = rt.dispatch(r.Context(), tr, root, groupKey, "/v1/sweep", reqID, payload)
+				if derr == nil && rt.healUnknown(r.Context(), reqID, res.status, res.body, plan.kernels...) {
+					res.status, res.body, derr = rt.dispatch(r.Context(), tr, root, groupKey, "/v1/sweep", reqID, payload)
+				}
 				if derr != nil {
 					rt.cLocalFallbacks.Inc()
 					tr.Count("cluster.local_fallbacks", 1)

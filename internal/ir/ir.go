@@ -314,7 +314,14 @@ func (p *Program) String() string {
 		if a.Input {
 			role = "INPUT"
 		}
-		fmt.Fprintf(&b, "  ARRAY %s(%s) %s\n", a.Name, strings.Join(dims, ","), role)
+		fmt.Fprintf(&b, "  ARRAY %s(%s) %s", a.Name, strings.Join(dims, ","), role)
+		if !a.Input && a.InitLowCount > 0 {
+			// Round-trip fidelity: the parser accepts INIT, so the
+			// renderer must emit it or content addressing over the
+			// canonical form would conflate distinct programs.
+			fmt.Fprintf(&b, " INIT %d", a.InitLowCount)
+		}
+		b.WriteString("\n")
 	}
 	for _, s := range p.Body {
 		s.render("  ", &b)

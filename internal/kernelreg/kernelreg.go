@@ -1,0 +1,557 @@
+// Package kernelreg is the kernel registry behind POST /v1/compile:
+// the subsystem that turns the daemon's fixed 24-kernel menu into an
+// open platform. A tenant submits Fortran-flavored loop-nest source;
+// the registry parses it (internal/ir), reports the §5 single-
+// assignment diagnostics, optionally applies the ordinary-loop→SA
+// conversion (internal/convert), derives hard resource ceilings from
+// the affine structure, verifies the compiled kernel on the reference
+// engine at sentinel sizes, and registers it under a content-addressed
+// id — "u:" + hex SHA-256 of the canonical IR rendering — that the
+// classify/sweep paths resolve exactly like a built-in key.
+//
+// Content addressing is what makes the open platform safe to
+// distribute: the id is a pure function of the program, so two tenants
+// submitting the same loop nest share one kernel, one capture stream,
+// and one disk-store entry, and a router can replicate a compile to
+// every shard knowing all of them derive the same id. The registry
+// enforces that the canonical rendering is a parse/render fixed point
+// before hashing, so the id space cannot be split by programs that
+// re-render differently.
+//
+// The registry is bounded two ways: total capacity (LRU eviction — a
+// compiled kernel is cheap to re-register from source) and a per-tenant
+// live-kernel quota, so one tenant cannot evict the world.
+package kernelreg
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/convert"
+	"repro/internal/ir"
+	"repro/internal/loops"
+	"repro/internal/obs"
+)
+
+// Metric names for the registry family. Counters except where noted.
+const (
+	MetricCompiles      = "kernelreg.compiles"       // compile attempts
+	MetricCompileHits   = "kernelreg.compile_hits"   // recompiles of an already-registered id
+	MetricCompileErrors = "kernelreg.compile_errors" // rejected compiles (4xx)
+	MetricEvictions     = "kernelreg.evictions"      // LRU evictions under capacity pressure
+	MetricQuotaRejects  = "kernelreg.quota_rejects"  // compiles rejected by the per-tenant quota
+	MetricResolveMisses = "kernelreg.resolve_misses" // lookups of unknown compiled ids
+	MetricEntries       = "kernelreg.entries"        // gauge: registered compiled kernels
+)
+
+// IDPrefix distinguishes compiled-kernel ids from built-in keys.
+const IDPrefix = "u:"
+
+// IsCompiledID reports whether key names a registry-resident kernel
+// (as opposed to a built-in loops key).
+func IsCompiledID(key string) bool { return strings.HasPrefix(key, IDPrefix) }
+
+// IDOf returns the content address of a canonical source: "u:" + hex
+// SHA-256 of the bytes.
+func IDOf(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return IDPrefix + hex.EncodeToString(sum[:])
+}
+
+// Limits bounds what a compile may cost and what the registry may
+// hold. The zero value of any field selects its default.
+type Limits struct {
+	MaxSourceBytes int   // request source ceiling (default 64 KiB)
+	MaxStatements  int   // assignment statements after conversion (default 256)
+	MaxLoopDepth   int   // loop-nest depth (default 8)
+	MaxArrays      int   // declared arrays after conversion (default 64)
+	MaxOps         int64 // estimated executed RHS terms at any admitted n (default 1<<22)
+	MaxArrayBytes  int64 // total array footprint at any admitted n (default 128 MiB)
+	MaxKernelN     int   // ceiling on the derived per-kernel MaxN (default 1<<16)
+
+	CompileDeadline time.Duration // wall budget per compile (default 2s)
+
+	Capacity    int // registry entries before LRU eviction (default 256)
+	TenantQuota int // live kernels per tenant (default 64)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSourceBytes <= 0 {
+		l.MaxSourceBytes = 64 << 10
+	}
+	if l.MaxStatements <= 0 {
+		l.MaxStatements = 256
+	}
+	if l.MaxLoopDepth <= 0 {
+		l.MaxLoopDepth = 8
+	}
+	if l.MaxArrays <= 0 {
+		l.MaxArrays = 64
+	}
+	if l.MaxOps <= 0 {
+		l.MaxOps = 1 << 22
+	}
+	if l.MaxArrayBytes <= 0 {
+		l.MaxArrayBytes = 128 << 20
+	}
+	if l.MaxKernelN <= 0 {
+		l.MaxKernelN = 1 << 16
+	}
+	if l.CompileDeadline <= 0 {
+		l.CompileDeadline = 2 * time.Second
+	}
+	if l.Capacity <= 0 {
+		l.Capacity = 256
+	}
+	if l.TenantQuota <= 0 {
+		l.TenantQuota = 64
+	}
+	return l
+}
+
+// Info is the listable metadata of one registered kernel.
+type Info struct {
+	ID        string    `json:"id"`
+	Name      string    `json:"name"`
+	Arity     int       `json:"arity"`
+	DefaultN  int       `json:"default_n"`
+	MaxN      int       `json:"max_n"`
+	Tenant    string    `json:"tenant,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+type entry struct {
+	info   Info
+	k      *loops.Kernel
+	source string // canonical source (including trailing END), for replication
+	el     *list.Element
+}
+
+// Registry is the bounded store of compiled kernels. Safe for
+// concurrent use. The nil *Registry resolves built-in keys only.
+type Registry struct {
+	lim Limits
+
+	compiles      *obs.Counter
+	hits          *obs.Counter
+	compileErrors *obs.Counter
+	evictions     *obs.Counter
+	quotaRejects  *obs.Counter
+	resolveMisses *obs.Counter
+	entriesGauge  *obs.Gauge
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are ids
+	tenants map[string]int
+}
+
+// New creates a registry. reg may be nil (metrics become no-ops).
+func New(lim Limits, reg *obs.Registry) *Registry {
+	return &Registry{
+		lim:           lim.withDefaults(),
+		compiles:      reg.Counter(MetricCompiles),
+		hits:          reg.Counter(MetricCompileHits),
+		compileErrors: reg.Counter(MetricCompileErrors),
+		evictions:     reg.Counter(MetricEvictions),
+		quotaRejects:  reg.Counter(MetricQuotaRejects),
+		resolveMisses: reg.Counter(MetricResolveMisses),
+		entriesGauge:  reg.Gauge(MetricEntries),
+		entries:       map[string]*entry{},
+		lru:           list.New(),
+		tenants:       map[string]int{},
+	}
+}
+
+// Limits returns the effective (defaulted) limits.
+func (r *Registry) Limits() Limits {
+	if r == nil {
+		return Limits{}.withDefaults()
+	}
+	return r.lim
+}
+
+// Compile runs the full pipeline — parse, SA diagnostics, optional
+// conversion, canonicalization, resource admission, kernel compile,
+// sentinel-size verification — and registers the result. Errors are
+// *Error values carrying an HTTP status and a stable code. The whole
+// pipeline runs under the compile deadline; a source that cannot be
+// processed in time is rejected (the pipeline's pre-verification
+// stages are all bounded by the static limits, so the deadline is a
+// backstop, not the primary defense).
+func (r *Registry) Compile(req CompileRequest) (*CompileResponse, error) {
+	if r == nil {
+		return nil, errf(503, "registry_disabled", "kernelreg: no registry configured")
+	}
+	r.compiles.Inc()
+	resp, err := r.compileTimed(req)
+	if err != nil {
+		if ce, ok := err.(*Error); ok && ce.Code == CodeTenantQuota {
+			r.quotaRejects.Inc()
+		}
+		r.compileErrors.Inc()
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (r *Registry) compileTimed(req CompileRequest) (*CompileResponse, error) {
+	if len(req.Source) > r.lim.MaxSourceBytes {
+		return nil, errf(400, CodeSourceTooLarge,
+			"kernelreg: source is %d bytes; limit %d", len(req.Source), r.lim.MaxSourceBytes)
+	}
+	type outcome struct {
+		resp *CompileResponse
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: errf(422, CodeCompileFailed, "kernelreg: compile panicked: %v", p)}
+			}
+		}()
+		resp, err := r.compileSource(req)
+		ch <- outcome{resp: resp, err: err}
+	}()
+	timer := time.NewTimer(r.lim.CompileDeadline)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.resp, o.err
+	case <-timer.C:
+		return nil, errf(400, CodeDeadline,
+			"kernelreg: compile exceeded the %s deadline", r.lim.CompileDeadline)
+	}
+}
+
+func (r *Registry) compileSource(req CompileRequest) (*CompileResponse, error) {
+	p, err := ir.Parse(req.Source)
+	if err != nil {
+		return nil, errf(400, CodeParseError, "kernelreg: %v", err)
+	}
+	if cerr := r.checkShape(p); cerr != nil {
+		return nil, cerr
+	}
+
+	diags := p.CheckSA()
+	final := p
+	converted := false
+	var conv *convert.Result
+	if len(ir.Violations(diags)) > 0 {
+		if !req.Convert {
+			return nil, &Error{
+				Status: 422, Code: CodeSAViolations,
+				Msg:         fmt.Sprintf("kernelreg: program %s has %d single-assignment violations; resubmit with convert:true or rewrite", p.Name, len(ir.Violations(diags))),
+				Diagnostics: WireDiags(diags),
+			}
+		}
+		conv, err = convert.ToSA(p, r.defaultN(req.DefaultN, r.lim.MaxKernelN))
+		if err != nil {
+			return nil, errf(422, CodeConvertFailed, "kernelreg: %v", err)
+		}
+		final = conv.Program
+		converted = true
+		// Conversion introduces arrays; re-admit the grown program.
+		if cerr := r.checkShape(final); cerr != nil {
+			return nil, cerr
+		}
+	}
+
+	// Canonical form: the rendering must be a parse/render fixed point,
+	// or content addressing would assign one program several ids.
+	canon := Canonicalize(final)
+	back, err := ir.Parse(canon)
+	if err != nil {
+		return nil, errf(422, CodeNotCanonical,
+			"kernelreg: canonical rendering does not reparse: %v", err)
+	}
+	if Canonicalize(back) != canon {
+		return nil, errf(422, CodeNotCanonical,
+			"kernelreg: rendering is not a parse/render fixed point")
+	}
+
+	maxN, merr := r.lim.deriveMaxN(back)
+	if merr != nil {
+		return nil, merr
+	}
+	id := IDOf(canon)
+	dn := r.defaultN(req.DefaultN, maxN)
+
+	k, err := back.Kernel(dn)
+	if err != nil {
+		return nil, errf(422, CodeCompileFailed, "kernelreg: %v", err)
+	}
+	k.Key = id
+	k.MaxN = maxN
+	if converted {
+		k.Notes = "compiled from the affine loop IR (SA-converted)"
+	}
+
+	for _, vn := range verifySizes(dn, maxN) {
+		if verr := runVerify(k, vn); verr != nil {
+			return nil, errf(422, CodeVerifyFailed,
+				"kernelreg: kernel fails the reference engine at n=%d: %v", vn, verr)
+		}
+	}
+
+	e, rerr := r.register(k, canon, req.Tenant, dn, maxN)
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	resp := &CompileResponse{
+		Kernel:      e.info.ID,
+		Name:        e.info.Name,
+		Converted:   converted,
+		DefaultN:    e.info.DefaultN, // first registration wins
+		MaxN:        e.info.MaxN,
+		Arity:       e.info.Arity,
+		Outputs:     k.Outputs,
+		Diagnostics: WireDiags(diags),
+	}
+	if conv != nil {
+		resp.Rewrites = wireRewrites(conv.Rewrites)
+		resp.ExtraElems = conv.ExtraElems
+		resp.Notes = conv.Notes
+	}
+	return resp, nil
+}
+
+// Canonicalize renders a program in its canonical, content-addressable
+// source form (the renderer's output plus the END terminator the
+// parser requires).
+func Canonicalize(p *ir.Program) string { return p.String() + "END\n" }
+
+// defaultN resolves a requested default problem size against a kernel
+// ceiling: 0 picks min(64, maxN); anything else clamps into [1, maxN].
+func (r *Registry) defaultN(requested, maxN int) int {
+	n := requested
+	if n <= 0 {
+		n = 64
+	}
+	if n > maxN {
+		n = maxN
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (r *Registry) checkShape(p *ir.Program) *Error {
+	if len(p.Arrays) > r.lim.MaxArrays {
+		return errf(400, CodeProgramTooBig,
+			"kernelreg: %d arrays declared; limit %d", len(p.Arrays), r.lim.MaxArrays)
+	}
+	stmts, depth := shape(p.Body, 0)
+	if stmts > r.lim.MaxStatements {
+		return errf(400, CodeProgramTooBig,
+			"kernelreg: %d assignment statements; limit %d", stmts, r.lim.MaxStatements)
+	}
+	if depth > r.lim.MaxLoopDepth {
+		return errf(400, CodeProgramTooBig,
+			"kernelreg: loop nest depth %d; limit %d", depth, r.lim.MaxLoopDepth)
+	}
+	return nil
+}
+
+func shape(stmts []ir.Stmt, base int) (assigns, depth int) {
+	depth = base
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ir.Assign:
+			assigns++
+		case *ir.Loop:
+			a, d := shape(st.Body, base+1)
+			assigns += a
+			if d > depth {
+				depth = d
+			}
+		}
+	}
+	return assigns, depth
+}
+
+// verifySizes picks the sentinel problem sizes a candidate must
+// execute cleanly at: the smallest admitted sizes (where boundary
+// mistakes live) and the default size callers will actually hit.
+func verifySizes(defaultN, maxN int) []int {
+	sizes := []int{1, 2, 3, defaultN}
+	seen := map[int]bool{}
+	out := sizes[:0]
+	for _, n := range sizes {
+		if n < 1 || n > maxN || seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return out
+}
+
+// runVerify executes the kernel on the strict reference engine,
+// converting any panic (an out-of-bounds subscript the affine model
+// could not see, e.g. through indirection) into an error.
+func runVerify(k *loops.Kernel, n int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v", p)
+		}
+	}()
+	_, err = loops.RunSeq(k, n)
+	return err
+}
+
+// register installs a compiled kernel under the capacity and tenant
+// bounds. Re-registering an existing id is an idempotent hit: it
+// refreshes LRU position and is not charged against any quota.
+func (r *Registry) register(k *loops.Kernel, canon, tenant string, defaultN, maxN int) (*entry, *Error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[k.Key]; ok {
+		r.hits.Inc()
+		r.lru.MoveToFront(e.el)
+		return e, nil
+	}
+	if r.tenants[tenant] >= r.lim.TenantQuota {
+		return nil, errf(429, CodeTenantQuota,
+			"kernelreg: tenant %q holds %d kernels; quota %d", tenant, r.tenants[tenant], r.lim.TenantQuota)
+	}
+	for len(r.entries) >= r.lim.Capacity {
+		r.evictOldestLocked()
+	}
+	e := &entry{
+		info: Info{
+			ID:        k.Key,
+			Name:      k.Name,
+			Arity:     len(k.Arrays(defaultN)),
+			DefaultN:  defaultN,
+			MaxN:      maxN,
+			Tenant:    tenant,
+			CreatedAt: time.Now().UTC(),
+		},
+		k:      k,
+		source: canon,
+	}
+	e.el = r.lru.PushFront(k.Key)
+	r.entries[k.Key] = e
+	r.tenants[tenant]++
+	r.entriesGauge.Set(int64(len(r.entries)))
+	return e, nil
+}
+
+func (r *Registry) evictOldestLocked() {
+	back := r.lru.Back()
+	if back == nil {
+		return
+	}
+	id := back.Value.(string)
+	e := r.entries[id]
+	r.lru.Remove(back)
+	delete(r.entries, id)
+	if e != nil {
+		if n := r.tenants[e.info.Tenant] - 1; n > 0 {
+			r.tenants[e.info.Tenant] = n
+		} else {
+			delete(r.tenants, e.info.Tenant)
+		}
+	}
+	r.evictions.Inc()
+	r.entriesGauge.Set(int64(len(r.entries)))
+}
+
+// Resolve maps any kernel key — built-in or compiled — to its kernel.
+// Unknown compiled ids return an *Error with status 404 and code
+// unknown_kernel; unknown built-in keys return loops.ByKey's error
+// unchanged (so existing clients see identical bytes).
+func (r *Registry) Resolve(key string) (*loops.Kernel, error) {
+	if !IsCompiledID(key) {
+		return loops.ByKey(key)
+	}
+	if r == nil {
+		return nil, errf(404, CodeUnknownKernel, "unknown compiled kernel %q", key)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok {
+		r.resolveMisses.Inc()
+		return nil, errf(404, CodeUnknownKernel, "unknown compiled kernel %q (compile it first via POST /v1/compile)", key)
+	}
+	r.lru.MoveToFront(e.el)
+	return e.k, nil
+}
+
+// Lookup returns the entry metadata for a compiled id without
+// touching LRU order.
+func (r *Registry) Lookup(id string) (Info, bool) {
+	if r == nil {
+		return Info{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// ReplicationRequest reconstructs the compile request that re-creates
+// a registered kernel bit-for-bit on another node: the canonical
+// source compiled without conversion (it is already SA-clean) at the
+// registered default size.
+func (r *Registry) ReplicationRequest(id string) (CompileRequest, bool) {
+	if r == nil {
+		return CompileRequest{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[id]
+	if !ok {
+		return CompileRequest{}, false
+	}
+	return CompileRequest{
+		Source:   e.source,
+		DefaultN: e.info.DefaultN,
+		Tenant:   e.info.Tenant,
+	}, true
+}
+
+// List returns the registered kernels, newest first (creation order,
+// not LRU order, so listings are stable under read traffic).
+func (r *Registry) List() []Info {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Info, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.info)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.After(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Len returns the number of registered kernels.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

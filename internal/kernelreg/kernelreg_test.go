@@ -1,0 +1,318 @@
+package kernelreg
+
+// kernelreg_test.go — the registry contract behind POST /v1/compile:
+// content addressing is a pure function of the program (stable across
+// registries and recompiles), the convert opt-in gates SA-violating
+// source, pathological inputs land in the structured rejection table,
+// and the two boundedness mechanisms (LRU capacity, per-tenant quota)
+// evict and reject exactly as documented.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// src builds a tiny SA-clean program whose content varies with coef,
+// so tests can mint distinct ids on demand.
+func src(name string, coef int) string {
+	return fmt.Sprintf(`PROGRAM %s
+  ARRAY A(n+1) OUTPUT
+  ARRAY B(n+1) INPUT
+  DO i = 1, n
+    A(i) = %d*B(i)
+  END DO
+END
+`, name, coef)
+}
+
+// sampleSrc renders a built-in sample in the canonical source syntax.
+func sampleSrc(t *testing.T, name string) string {
+	t.Helper()
+	for _, p := range ir.Samples() {
+		if p.Name == name {
+			return p.String() + "END\n"
+		}
+	}
+	t.Fatalf("no sample %q", name)
+	return ""
+}
+
+func TestIDStableAcrossRegistries(t *testing.T) {
+	source := sampleSrc(t, "matched")
+	reg1 := New(Limits{}, obs.NewRegistry())
+	reg2 := New(Limits{}, obs.NewRegistry())
+	r1, err := reg1.Compile(CompileRequest{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := reg2.Compile(CompileRequest{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kernel != r2.Kernel {
+		t.Fatalf("id differs across registries: %q vs %q", r1.Kernel, r2.Kernel)
+	}
+	if !IsCompiledID(r1.Kernel) {
+		t.Fatalf("id %q lacks the %q prefix", r1.Kernel, IDPrefix)
+	}
+	if want := IDOf(Canonicalize(mustParse(t, source))); r1.Kernel != want {
+		t.Fatalf("id %q is not the content address %q", r1.Kernel, want)
+	}
+}
+
+func mustParse(t *testing.T, source string) *ir.Program {
+	t.Helper()
+	p, err := ir.Parse(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecompileIsIdempotentHit(t *testing.T) {
+	mreg := obs.NewRegistry()
+	reg := New(Limits{}, mreg)
+	source := sampleSrc(t, "hydro")
+	r1, err := reg.Compile(CompileRequest{Source: source, DefaultN: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second compile asks for a different default_n: first wins.
+	r2, err := reg.Compile(CompileRequest{Source: source, DefaultN: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kernel != r2.Kernel || r2.DefaultN != 48 {
+		t.Fatalf("recompile: id %q->%q default_n %d (want first-wins 48)", r1.Kernel, r2.Kernel, r2.DefaultN)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry holds %d entries after a recompile, want 1", reg.Len())
+	}
+	snap := mreg.Snapshot()
+	if snap.Counters[MetricCompileHits] != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCompileHits, snap.Counters[MetricCompileHits])
+	}
+}
+
+func TestConvertOptIn(t *testing.T) {
+	reg := New(Limits{}, obs.NewRegistry())
+	source := sampleSrc(t, "inplace")
+
+	_, err := reg.Compile(CompileRequest{Source: source})
+	var ke *Error
+	if !errors.As(err, &ke) || ke.Code != CodeSAViolations || ke.Status != 422 {
+		t.Fatalf("violating source without convert: %v, want 422 %s", err, CodeSAViolations)
+	}
+	if len(ke.Diagnostics) == 0 {
+		t.Fatal("sa_violations error carries no diagnostics")
+	}
+
+	resp, err := reg.Compile(CompileRequest{Source: source, Convert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Converted || len(resp.Rewrites) == 0 || len(resp.Diagnostics) == 0 {
+		t.Fatalf("convert path: converted=%v rewrites=%d diagnostics=%d",
+			resp.Converted, len(resp.Rewrites), len(resp.Diagnostics))
+	}
+	if !strings.HasSuffix(resp.Name, "_sa") {
+		t.Fatalf("converted program kept name %q, want _sa suffix", resp.Name)
+	}
+}
+
+// TestConvertFlagNoOpOnCleanSource pins the content-address invariant:
+// convert applies only when violations exist, so a clean program hashes
+// to one id with or without the flag.
+func TestConvertFlagNoOpOnCleanSource(t *testing.T) {
+	reg := New(Limits{}, obs.NewRegistry())
+	source := sampleSrc(t, "cyclic")
+	plain, err := reg.Compile(CompileRequest{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged, err := reg.Compile(CompileRequest{Source: source, Convert: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Kernel != flagged.Kernel || flagged.Converted {
+		t.Fatalf("clean source with convert: id %q vs %q, converted=%v",
+			plain.Kernel, flagged.Kernel, flagged.Converted)
+	}
+}
+
+// TestRejectionTable drives every structured 4xx the compile pipeline
+// can produce and checks status + stable code.
+func TestRejectionTable(t *testing.T) {
+	deep := "PROGRAM deep\n  ARRAY A(n+1) OUTPUT\n  ARRAY B(n+1) INPUT\n" +
+		"  DO i = 1, n\n    DO j = 1, n\n      A(i) = B(j)\n    END DO\n  END DO\nEND\n"
+	twoStmts := "PROGRAM two\n  ARRAY A(n+1) OUTPUT\n  ARRAY C(n+1) OUTPUT\n  ARRAY B(n+1) INPUT\n" +
+		"  DO i = 1, n\n    A(i) = B(i)\n    C(i) = 2*B(i)\n  END DO\nEND\n"
+	cases := []struct {
+		name   string
+		lim    Limits
+		req    CompileRequest
+		status int
+		code   string
+	}{
+		{"source_too_large", Limits{MaxSourceBytes: 64},
+			CompileRequest{Source: src("big", 1) + strings.Repeat("# pad\n", 64)}, 400, CodeSourceTooLarge},
+		{"parse_error", Limits{},
+			CompileRequest{Source: "PROGRAM broken\n  NOT A STATEMENT\nEND\n"}, 400, CodeParseError},
+		{"program_too_large_stmts", Limits{MaxStatements: 1},
+			CompileRequest{Source: twoStmts}, 400, CodeProgramTooBig},
+		{"program_too_large_depth", Limits{MaxLoopDepth: 1},
+			CompileRequest{Source: deep}, 400, CodeProgramTooBig},
+		{"sa_violations", Limits{},
+			CompileRequest{Source: sampleSrc(t, "gaussseidel")}, 422, CodeSAViolations},
+		{"too_expensive", Limits{MaxOps: 1},
+			CompileRequest{Source: src("pricey", 1)}, 400, CodeTooExpensive},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := New(tc.lim, obs.NewRegistry())
+			_, err := reg.Compile(tc.req)
+			var ke *Error
+			if !errors.As(err, &ke) {
+				t.Fatalf("got %v, want *kernelreg.Error", err)
+			}
+			if ke.Status != tc.status || ke.Code != tc.code {
+				t.Fatalf("got %d %s (%s), want %d %s", ke.Status, ke.Code, ke.Msg, tc.status, tc.code)
+			}
+		})
+	}
+}
+
+func TestResolveUnknownCompiledID(t *testing.T) {
+	reg := New(Limits{}, obs.NewRegistry())
+	_, err := reg.Resolve("u:deadbeef")
+	var ke *Error
+	if !errors.As(err, &ke) || ke.Status != 404 || ke.Code != CodeUnknownKernel {
+		t.Fatalf("unknown id: %v, want 404 %s", err, CodeUnknownKernel)
+	}
+	// Built-in keys pass straight through to the loops menu.
+	if _, err := reg.Resolve("k1"); err != nil {
+		t.Fatalf("built-in k1: %v", err)
+	}
+}
+
+func TestEvictionUnderCapacity(t *testing.T) {
+	mreg := obs.NewRegistry()
+	reg := New(Limits{Capacity: 2}, mreg)
+	ids := make([]string, 3)
+	for i := range ids {
+		resp, err := reg.Compile(CompileRequest{Source: src("p", i+2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = resp.Kernel
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry holds %d entries, want capacity 2", reg.Len())
+	}
+	if _, err := reg.Resolve(ids[0]); err == nil {
+		t.Fatalf("oldest id %q survived eviction", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, err := reg.Resolve(id); err != nil {
+			t.Fatalf("id %q evicted, want resident: %v", id, err)
+		}
+	}
+	if got := mreg.Snapshot().Counters[MetricEvictions]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricEvictions, got)
+	}
+}
+
+func TestTenantQuota(t *testing.T) {
+	mreg := obs.NewRegistry()
+	reg := New(Limits{TenantQuota: 1}, mreg)
+	first, err := reg.Compile(CompileRequest{Source: src("q", 2), Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = reg.Compile(CompileRequest{Source: src("q", 3), Tenant: "acme"})
+	var ke *Error
+	if !errors.As(err, &ke) || ke.Status != 429 || ke.Code != CodeTenantQuota {
+		t.Fatalf("over-quota compile: %v, want 429 %s", err, CodeTenantQuota)
+	}
+	// Idempotent recompile of a live kernel is a hit, not a quota charge.
+	again, err := reg.Compile(CompileRequest{Source: src("q", 2), Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("recompile of live kernel rejected: %v", err)
+	}
+	if again.Kernel != first.Kernel {
+		t.Fatalf("recompile changed id: %q vs %q", again.Kernel, first.Kernel)
+	}
+	// A different tenant still has room.
+	if _, err := reg.Compile(CompileRequest{Source: src("q", 4), Tenant: "other"}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	if got := mreg.Snapshot().Counters[MetricQuotaRejects]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricQuotaRejects, got)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	reg := New(Limits{}, obs.NewRegistry())
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, err := reg.Compile(CompileRequest{Source: src("l", i+2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resp.Kernel)
+		time.Sleep(2 * time.Millisecond) // distinct CreatedAt stamps
+	}
+	infos := reg.List()
+	if len(infos) != 3 {
+		t.Fatalf("List returned %d entries, want 3", len(infos))
+	}
+	for i, info := range infos {
+		if want := ids[len(ids)-1-i]; info.ID != want {
+			t.Fatalf("List[%d] = %s, want newest-first %s", i, info.ID, want)
+		}
+		if info.Arity == 0 || info.DefaultN == 0 || info.MaxN == 0 {
+			t.Fatalf("List[%d] missing metadata: %+v", i, info)
+		}
+	}
+}
+
+func TestReplicationRequestRoundTrip(t *testing.T) {
+	reg := New(Limits{}, obs.NewRegistry())
+	resp, err := reg.Compile(CompileRequest{Source: sampleSrc(t, "inplace"), Convert: true, DefaultN: 40, Tenant: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := reg.ReplicationRequest(resp.Kernel)
+	if !ok {
+		t.Fatal("no replication request for a live kernel")
+	}
+	if rep.Convert {
+		t.Fatal("replication request sets convert: the stored source is already SA-clean")
+	}
+	other := New(Limits{}, obs.NewRegistry())
+	got, err := other.Compile(rep)
+	if err != nil {
+		t.Fatalf("replication compile: %v", err)
+	}
+	if got.Kernel != resp.Kernel || got.DefaultN != resp.DefaultN {
+		t.Fatalf("replication drifted: id %q->%q default_n %d->%d",
+			resp.Kernel, got.Kernel, resp.DefaultN, got.DefaultN)
+	}
+}
+
+func TestCompileDeadline(t *testing.T) {
+	// A deadline so tight even a tiny program cannot finish: the
+	// pipeline must answer 400 compile_deadline, not hang.
+	reg := New(Limits{CompileDeadline: time.Nanosecond}, obs.NewRegistry())
+	_, err := reg.Compile(CompileRequest{Source: src("slow", 2)})
+	var ke *Error
+	if !errors.As(err, &ke) || ke.Code != CodeDeadline {
+		t.Fatalf("got %v, want %s", err, CodeDeadline)
+	}
+}

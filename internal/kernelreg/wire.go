@@ -1,0 +1,129 @@
+// wire.go — the JSON wire contract of the compile subsystem, shared
+// between POST /v1/compile (internal/serve), the router's replication
+// path (internal/cluster), and cmd/saconv's -json mode, so every
+// surface that talks about a compiled kernel speaks one encoding.
+package kernelreg
+
+import (
+	"fmt"
+
+	"repro/internal/convert"
+	"repro/internal/ir"
+)
+
+// CompileRequest is the body of POST /v1/compile.
+type CompileRequest struct {
+	// Source is Fortran-flavored loop-nest text (the internal/ir
+	// grammar: PROGRAM / ARRAY / DO / linear assignments / END).
+	Source string `json:"source"`
+	// Convert opts into the §5 ordinary-loop→SA conversion when the
+	// source carries single-assignment violations. Clean sources
+	// compile to the same id with or without it.
+	Convert bool `json:"convert,omitempty"`
+	// DefaultN is the problem size used when a classify/sweep request
+	// omits n. First registration of an id wins; 0 picks a default.
+	DefaultN int `json:"default_n,omitempty"`
+	// Tenant attributes the kernel for quota accounting. Empty is the
+	// anonymous tenant (itself quota-bounded).
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// Diag is one SA diagnostic on the wire.
+type Diag struct {
+	Kind     string `json:"kind"`
+	Severity string `json:"severity"`
+	Array    string `json:"array"`
+	Stmt     string `json:"stmt,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// RewriteNote is one conversion rewrite on the wire.
+type RewriteNote struct {
+	Kind     string `json:"kind"`
+	Array    string `json:"array"`
+	NewArray string `json:"new_array"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// CompileResponse is the body of a successful compile. Every field is
+// a deterministic function of (source, convert, first-registered
+// default_n), so repeated compiles of one program return byte-identical
+// bodies.
+type CompileResponse struct {
+	// Kernel is the content-addressed id: "u:" + hex SHA-256 of the
+	// canonical IR rendering. It is accepted anywhere a built-in key
+	// (k1, k6, ...) is.
+	Kernel      string        `json:"kernel"`
+	Name        string        `json:"name"`
+	Converted   bool          `json:"converted"`
+	DefaultN    int           `json:"default_n"`
+	MaxN        int           `json:"max_n"`
+	Arity       int           `json:"arity"`
+	Outputs     []string      `json:"outputs"`
+	Diagnostics []Diag        `json:"diagnostics"`
+	Rewrites    []RewriteNote `json:"rewrites,omitempty"`
+	ExtraElems  int           `json:"extra_elems,omitempty"`
+	Notes       []string      `json:"notes,omitempty"`
+}
+
+// Structured 4xx codes. The serve layer copies Error.Code into the
+// response body verbatim; clients branch on these, not on messages.
+const (
+	CodeParseError     = "parse_error"
+	CodeSourceTooLarge = "source_too_large"
+	CodeProgramTooBig  = "program_too_large"
+	CodeSAViolations   = "sa_violations"
+	CodeConvertFailed  = "convert_failed"
+	CodeNotCanonical   = "not_canonical"
+	CodeTooExpensive   = "too_expensive"
+	CodeCompileFailed  = "compile_failed"
+	CodeVerifyFailed   = "verify_failed"
+	CodeDeadline       = "compile_deadline"
+	CodeTenantQuota    = "tenant_quota"
+	CodeUnknownKernel  = "unknown_kernel"
+)
+
+// Error is a structured compile/lookup failure: an HTTP status, a
+// stable machine-readable code, and (for SA rejections) the
+// diagnostics that caused it.
+type Error struct {
+	Status      int    // HTTP status (always 4xx)
+	Code        string // one of the Code* constants
+	Msg         string
+	Diagnostics []Diag
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func errf(status int, code, format string, args ...any) *Error {
+	return &Error{Status: status, Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// WireDiags converts checker diagnostics to their wire form,
+// preserving checker order.
+func WireDiags(diags []ir.Diagnostic) []Diag {
+	out := make([]Diag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, Diag{
+			Kind:     d.Kind.String(),
+			Severity: d.Severity.String(),
+			Array:    d.Array,
+			Stmt:     d.Stmt,
+			Detail:   d.Detail,
+		})
+	}
+	return out
+}
+
+func wireRewrites(rs []convert.Rewrite) []RewriteNote {
+	out := make([]RewriteNote, 0, len(rs))
+	for _, r := range rs {
+		out = append(out, RewriteNote{
+			Kind:     r.Kind.String(),
+			Array:    r.Array,
+			NewArray: r.NewArray,
+			Detail:   r.Detail,
+		})
+	}
+	return out
+}

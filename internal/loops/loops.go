@@ -239,6 +239,7 @@ type Kernel struct {
 	Class    Class  // paper-assigned class; ClassUnknown if the paper did not classify it
 	DefaultN int    // canonical problem size
 	MinN     int    // smallest meaningful problem size
+	MaxN     int    // largest admitted problem size; 0 means unbounded
 	Notes    string // fidelity notes: SA conversions, simplifications
 	// Arrays returns the array declarations for problem size n.
 	Arrays func(n int) []Spec
@@ -249,14 +250,19 @@ type Kernel struct {
 	Outputs []string
 }
 
-// ClampN returns n clamped to the kernel's minimum size, defaulting to
-// DefaultN when n <= 0.
+// ClampN returns n clamped to the kernel's admitted size range,
+// defaulting to DefaultN when n <= 0. The high clamp only applies when
+// MaxN is set (compiled kernels carry a resource-derived ceiling;
+// built-ins leave it 0 = unbounded).
 func (k *Kernel) ClampN(n int) int {
 	if n <= 0 {
 		n = k.DefaultN
 	}
 	if n < k.MinN {
 		n = k.MinN
+	}
+	if k.MaxN > 0 && n > k.MaxN {
+		n = k.MaxN
 	}
 	return n
 }

@@ -74,13 +74,23 @@ func Capture(k *loops.Kernel, n int) (*Stream, error) {
 // scratch per worker for exactly this). A nil sc runs with a private
 // one. The returned Stream is identical either way and shares nothing
 // with sc.
-func CaptureScratch(sc *sim.Scratch, k *loops.Kernel, n int) (*Stream, error) {
+func CaptureScratch(sc *sim.Scratch, k *loops.Kernel, n int) (st *Stream, err error) {
 	if k == nil {
 		return nil, fmt.Errorf("refstream: nil kernel")
 	}
+	// A capture executes the kernel body. Built-ins are trusted, but
+	// registry-compiled kernels can reach out-of-bounds subscripts
+	// through data-dependent indirection that neither the static
+	// admission model nor sentinel-size verification exercised; a
+	// panic here must fail the one request, not the process.
+	defer func() {
+		if p := recover(); p != nil {
+			st, err = nil, fmt.Errorf("refstream: capturing %s/n=%d: kernel panicked: %v", k.Key, k.ClampN(n), p)
+		}
+	}()
 	n = k.ClampN(n)
 	specs := k.Arrays(n)
-	st := &Stream{Kernel: k, N: n, ArrayLens: make([]int, len(specs))}
+	st = &Stream{Kernel: k, N: n, ArrayLens: make([]int, len(specs))}
 	for i, spec := range specs {
 		dims, err := partition.NewDims(spec.Dims...)
 		if err != nil {
@@ -97,7 +107,6 @@ func CaptureScratch(sc *sim.Scratch, k *loops.Kernel, n int) (*Stream, error) {
 		Tracer:   enc,
 	}
 	var res *sim.Result
-	var err error
 	if sc != nil {
 		res, err = sc.Run(k, n, cfg)
 	} else {

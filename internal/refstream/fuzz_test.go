@@ -135,7 +135,7 @@ func FuzzBatchVsSingle(f *testing.F) {
 // that force both even and ragged partition splits.
 func FuzzParallelVsSerialBatch(f *testing.F) {
 	f.Add(uint8(0), uint16(200), uint8(8), uint8(32), uint16(256), uint8(0), uint8(1), uint8(0), uint8(11), uint8(4))
-	f.Add(uint8(3), uint16(100), uint8(1), uint8(1), uint16(0), uint8(1), uint8(2), uint8(1), uint8(7), uint8(2))  // exactly at the serial threshold
+	f.Add(uint8(3), uint16(100), uint8(1), uint8(1), uint16(0), uint8(1), uint8(2), uint8(1), uint8(7), uint8(2))    // exactly at the serial threshold
 	f.Add(uint8(7), uint16(333), uint8(64), uint8(16), uint16(64), uint8(2), uint8(3), uint8(2), uint8(3), uint8(8)) // below threshold: stays serial
 	f.Add(uint8(23), uint16(400), uint8(16), uint8(64), uint16(1024), uint8(1), uint8(1), uint8(3), uint8(19), uint8(3))
 	kernels := loops.All()

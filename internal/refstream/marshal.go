@@ -132,6 +132,21 @@ func (r *streamReader) bytes(n int) []byte {
 // truncation, unknown kernel, mismatched array declarations, trailing
 // bytes — returns an error wrapping ErrCorruptStream.
 func UnmarshalStream(data []byte) (*Stream, error) {
+	return UnmarshalStreamKernels(data, loops.ByKey)
+}
+
+// ErrUnknownKernel reports that a stream's kernel key did not resolve.
+// Unlike the structural defects wrapping ErrCorruptStream, this is a
+// recoverable condition: a disk store holding captures of
+// registry-compiled kernels sees it at boot, before the registry has
+// been repopulated, and simply retries on a later scan.
+var ErrUnknownKernel = errors.New("refstream: unknown kernel")
+
+// UnmarshalStreamKernels is UnmarshalStream with an explicit kernel
+// resolver, so streams captured from registry-compiled kernels
+// ("u:..." keys) decode against the registry instead of only the
+// built-in table.
+func UnmarshalStreamKernels(data []byte, resolve func(key string) (*loops.Kernel, error)) (*Stream, error) {
 	r := &streamReader{buf: data}
 	if len(r.buf) < len(streamMagic) || string(r.bytes(len(streamMagic))) != string(streamMagic[:]) {
 		return nil, corruptf("bad magic")
@@ -141,9 +156,13 @@ func UnmarshalStream(data []byte) (*Stream, error) {
 		return nil, err
 	}
 	kernelKey := string(r.bytes(keyLen))
-	k, err := loops.ByKey(kernelKey)
+	k, err := resolve(kernelKey)
 	if err != nil {
-		return nil, corruptf("unknown kernel %q", kernelKey)
+		// Wraps both sentinels: structurally the stream is unusable
+		// (ErrCorruptStream, what generic callers check), but the
+		// specific cause is a key that failed to resolve
+		// (ErrUnknownKernel), which the disk store treats as retryable.
+		return nil, fmt.Errorf("%w: %w %q", ErrCorruptStream, ErrUnknownKernel, kernelKey)
 	}
 	nv, err := r.uvarint("problem size")
 	if err != nil {

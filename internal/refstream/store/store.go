@@ -17,6 +17,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,7 @@ const (
 	MetricPuts       = "store.puts"        // captures persisted
 	MetricPutErrors  = "store.put_errors"  // failed persists (disk errors)
 	MetricLoadErrors = "store.load_errors" // unreadable/corrupt files skipped
+	MetricUnresolved = "store.unresolved"  // well-formed files whose kernel key did not resolve (yet)
 	MetricEntries    = "store.entries"     // gauge: distinct (kernel, N) streams indexed
 )
 
@@ -55,9 +57,11 @@ type Store struct {
 	puts       *obs.Counter
 	putErrors  *obs.Counter
 	loadErrors *obs.Counter
+	unresolved *obs.Counter
 	entries    *obs.Gauge
 
 	mu      sync.Mutex
+	resolve func(key string) (*loops.Kernel, error)
 	streams map[streamKey]*refstream.Stream
 	known   map[string]bool // content addresses already indexed or written
 
@@ -95,15 +99,18 @@ func Open(dir string, reg *obs.Registry) (*Store, error) {
 		puts:       reg.Counter(MetricPuts),
 		putErrors:  reg.Counter(MetricPutErrors),
 		loadErrors: reg.Counter(MetricLoadErrors),
+		unresolved: reg.Counter(MetricUnresolved),
 		entries:    reg.Gauge(MetricEntries),
+		resolve:    loops.ByKey,
 		streams:    map[streamKey]*refstream.Stream{},
 		known:      map[string]bool{},
 	}
-	found, errs, err := s.scanDir()
+	found, errs, unresolved, err := s.scanDir()
 	if err != nil {
 		return nil, err
 	}
 	s.loadErrors.Add(errs)
+	s.unresolved.Add(unresolved)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mergeLocked(found)
@@ -112,6 +119,23 @@ func Open(dir string, reg *obs.Registry) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetResolver replaces the kernel resolver used to decode scanned
+// files (default: the built-in table via loops.ByKey). A daemon with a
+// kernel registry installs the registry's Resolve here so persisted
+// captures of compiled ("u:...") kernels decode once their kernel is
+// re-registered. Files whose key does not resolve are skipped — and,
+// because they never enter the index, retried on every later rescan,
+// which is what turns "compile after restart" into a warm start
+// instead of a re-capture.
+func (s *Store) SetResolver(resolve func(key string) (*loops.Kernel, error)) {
+	if s == nil || resolve == nil {
+		return
+	}
+	s.mu.Lock()
+	s.resolve = resolve
+	s.mu.Unlock()
+}
 
 // Len returns the number of distinct (kernel, N) streams indexed.
 func (s *Store) Len() int {
@@ -134,20 +158,22 @@ type scanned struct {
 // not a content address, whose hash does not match their bytes, or
 // whose encoding fails validation are skipped and counted in the
 // returned error tally.
-func (s *Store) scanDir() ([]scanned, int64, error) {
+func (s *Store) scanDir() ([]scanned, int64, int64, error) {
 	names, err := os.ReadDir(s.dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: scanning %s: %w", s.dir, err)
+		return nil, 0, 0, fmt.Errorf("store: scanning %s: %w", s.dir, err)
 	}
 	s.mu.Lock()
 	known := make(map[string]bool, len(s.known))
 	for addr := range s.known {
 		known[addr] = true
 	}
+	resolve := s.resolve
 	s.mu.Unlock()
 	var (
-		found []scanned
-		errs  int64
+		found      []scanned
+		errs       int64
+		unresolved int64
 	)
 	for _, de := range names {
 		name := de.Name()
@@ -169,14 +195,21 @@ func (s *Store) scanDir() ([]scanned, int64, error) {
 			errs++
 			continue
 		}
-		st, err := refstream.UnmarshalStream(data)
+		st, err := refstream.UnmarshalStreamKernels(data, resolve)
 		if err != nil {
-			errs++
+			// An unknown kernel key is not damage: the file may belong
+			// to a compiled kernel that has not been re-registered yet.
+			// It stays out of the index, so a later rescan retries it.
+			if errors.Is(err, refstream.ErrUnknownKernel) {
+				unresolved++
+			} else {
+				errs++
+			}
 			continue
 		}
 		found = append(found, scanned{addr: addr, st: st})
 	}
-	return found, errs, nil
+	return found, errs, unresolved, nil
 }
 
 // mergeLocked indexes a walk's discoveries, rechecking known under the
@@ -217,8 +250,9 @@ func (s *Store) rescanLocked() {
 		done := make(chan struct{})
 		s.scanDone = done
 		s.mu.Unlock()
-		found, errs, err := s.scanDir()
+		found, errs, unresolved, err := s.scanDir()
 		s.loadErrors.Add(errs)
+		s.unresolved.Add(unresolved)
 		s.mu.Lock()
 		if err == nil {
 			s.mergeLocked(found)

@@ -7,6 +7,7 @@ package store
 // deduplicate to one file.
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/kernelreg"
 	"repro/internal/loops"
 	"repro/internal/obs"
 	"repro/internal/refstream"
@@ -260,5 +262,74 @@ func TestContentDedup(t *testing.T) {
 	}
 	if n != 1 {
 		t.Fatalf("%d capture files after duplicate saves, want 1", n)
+	}
+}
+
+// TestCompiledKernelWarmStart is the registry/store handshake: a
+// capture of a compiled ("u:...") kernel persists like any other, a
+// restarted store without the kernel counts the file as unresolved
+// (not a load error) and leaves it on disk, and once the kernel is
+// re-registered — a compile after restart — the next rescan indexes it
+// and Load warm-starts from the old bytes.
+func TestCompiledKernelWarmStart(t *testing.T) {
+	source := "PROGRAM warm\n  ARRAY A(n+1) OUTPUT\n  ARRAY B(n+1) INPUT\n" +
+		"  DO i = 1, n\n    A(i) = 2*B(i)\n  END DO\nEND\n"
+	krA := kernelreg.New(kernelreg.Limits{}, nil)
+	resp, err := krA.Compile(kernelreg.CompileRequest{Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := krA.Resolve(resp.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := refstream.Capture(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	a, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetResolver(krA.Resolve)
+	a.Save(st)
+
+	// Restart without the registry: the file is unresolved, not broken.
+	regB := obs.NewRegistry()
+	b, err := Open(dir, regB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("store indexed %d streams with no resolver for %q", b.Len(), resp.Kernel)
+	}
+	if got := counter(regB, MetricUnresolved); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricUnresolved, got)
+	}
+	if got := counter(regB, MetricLoadErrors); got != 0 {
+		t.Fatalf("%s = %d, want 0 — unresolved kernels are not corruption", MetricLoadErrors, got)
+	}
+
+	// The operator compiles the same source after restart; the very
+	// next Load miss rescans and finds the old capture.
+	krB := kernelreg.New(kernelreg.Limits{}, nil)
+	if _, err := krB.Compile(kernelreg.CompileRequest{Source: source}); err != nil {
+		t.Fatal(err)
+	}
+	b.SetResolver(krB.Resolve)
+	k2, err := krB.Resolve(resp.Kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Load(k2, k2.DefaultN)
+	if !ok {
+		t.Fatal("compiled-kernel capture not loadable after re-registration")
+	}
+	want, _ := st.MarshalBinary()
+	gotBytes, _ := got.MarshalBinary()
+	if !bytes.Equal(want, gotBytes) {
+		t.Fatal("warm-started stream bytes differ from the original capture")
 	}
 }

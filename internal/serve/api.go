@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/kernelreg"
 	"repro/internal/loops"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -146,9 +147,14 @@ type KernelInfo struct {
 	Paper    bool   `json:"paper"` // part of the paper's studied set
 }
 
-// ErrorBody is the JSON body of every non-2xx response.
+// ErrorBody is the JSON body of every non-2xx response. Code and
+// Diagnostics are set only by the compile subsystem's structured
+// rejections (omitempty keeps every pre-existing error body
+// byte-identical).
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error       string           `json:"error"`
+	Code        string           `json:"code,omitempty"`
+	Diagnostics []kernelreg.Diag `json:"diagnostics,omitempty"`
 }
 
 // point is a fully canonicalized, validated grid point: the unit of
@@ -204,6 +210,12 @@ type limits struct {
 	maxPageSize    int
 	maxCacheElems  int
 	maxSweepPoints int
+	// reg resolves kernel keys: built-ins via loops.ByKey, compiled
+	// "u:" ids via the registry. A nil registry still resolves
+	// built-ins (kernelreg.Resolve is nil-safe), so paths without a
+	// compile subsystem — SweepGroups on a bare Options, tests — keep
+	// working unchanged.
+	reg *kernelreg.Registry
 }
 
 // canonPoint validates and canonicalizes one classify request into a
@@ -213,7 +225,7 @@ type limits struct {
 // configuration, and the cache key is derived from it, so equivalent
 // requests share one cache entry and one body.
 func canonPoint(req ClassifyRequest, lim limits) (point, error) {
-	k, err := loops.ByKey(req.Kernel)
+	k, err := lim.reg.Resolve(req.Kernel)
 	if err != nil {
 		return point{}, err
 	}
@@ -288,7 +300,7 @@ func canonSweep(req SweepRequest, lim limits) ([]point, error) {
 	}
 	kernels := make([]*loops.Kernel, len(keys))
 	for i, key := range keys {
-		k, err := loops.ByKey(key)
+		k, err := lim.reg.Resolve(key)
 		if err != nil {
 			return nil, err
 		}

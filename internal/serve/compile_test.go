@@ -1,0 +1,220 @@
+package serve
+
+// compile_test.go — POST /v1/compile end to end: a compiled kernel is
+// immediately usable in /v1/classify and /v1/sweep, ids and bodies are
+// byte-identical across repeated requests and across warm/cold
+// registries (the content-addressing contract at the HTTP layer), the
+// compiled-kernel listing documents the id scheme, and pathological
+// inputs come back as structured 4xx bodies.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/kernelreg"
+	"repro/internal/obs"
+)
+
+// userSource is a tiny SA-clean user kernel for the compile tests.
+const userSource = `PROGRAM userk
+  ARRAY A(n+1) OUTPUT
+  ARRAY B(n+1) INPUT
+  DO i = 1, n
+    A(i) = 2*B(i)
+  END DO
+END
+`
+
+// violatingSource carries an in-place update the converter must
+// rewrite before the program can compile.
+const violatingSource = `PROGRAM relax
+  ARRAY U(n+2) INPUT
+  DO i = 1, n
+    U(i) = 0.5*U(i) + 0.5*U(i+1)
+  END DO
+END
+`
+
+func compileBody(t *testing.T, req kernelreg.CompileRequest) string {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestCompileClassifySweepByteIdentity(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	body := compileBody(t, kernelreg.CompileRequest{Source: userSource})
+
+	code1, _, raw1 := post(t, ts, "/v1/compile", body)
+	code2, _, raw2 := post(t, ts, "/v1/compile", body)
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("compile: %d / %d: %s", code1, code2, raw1)
+	}
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("repeated compile bodies differ:\n%s\n%s", raw1, raw2)
+	}
+	var resp kernelreg.CompileResponse
+	if err := json.Unmarshal(raw1, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !kernelreg.IsCompiledID(resp.Kernel) {
+		t.Fatalf("kernel id %q lacks the compiled prefix", resp.Kernel)
+	}
+
+	classify := fmt.Sprintf(`{"kernel":%q,"npe":8}`, resp.Kernel)
+	ccode1, _, cbody1 := post(t, ts, "/v1/classify", classify)
+	ccode2, _, cbody2 := post(t, ts, "/v1/classify", classify)
+	if ccode1 != http.StatusOK || ccode2 != http.StatusOK {
+		t.Fatalf("classify compiled kernel: %d / %d: %s", ccode1, ccode2, cbody1)
+	}
+	if !bytes.Equal(cbody1, cbody2) {
+		t.Fatal("repeated classify bodies over a compiled kernel differ")
+	}
+
+	sweep := fmt.Sprintf(`{"kernels":[%q,"k1"],"npes":[2,8],"page_sizes":[32,64]}`, resp.Kernel)
+	scode1, _, sbody1 := post(t, ts, "/v1/sweep", sweep)
+	scode2, _, sbody2 := post(t, ts, "/v1/sweep", sweep)
+	if scode1 != http.StatusOK || scode2 != http.StatusOK {
+		t.Fatalf("sweep over compiled kernel: %d / %d: %s", scode1, scode2, sbody1)
+	}
+	if !bytes.Equal(sbody1, sbody2) {
+		t.Fatal("repeated sweep bodies over a compiled kernel differ")
+	}
+
+	// Cold registry: a second server compiles the same source to the
+	// same id and serves the byte-identical sweep body — content
+	// addressing makes "which process compiled it" unobservable.
+	_, ts2, _ := newTestService(t, Options{Metrics: obs.NewRegistry()})
+	code3, _, raw3 := post(t, ts2, "/v1/compile", body)
+	if code3 != http.StatusOK {
+		t.Fatalf("cold compile: %d: %s", code3, raw3)
+	}
+	if !bytes.Equal(raw1, raw3) {
+		t.Fatalf("cold-registry compile body differs:\n%s\n%s", raw1, raw3)
+	}
+	_, _, sbody3 := post(t, ts2, "/v1/sweep", sweep)
+	if !bytes.Equal(sbody1, sbody3) {
+		t.Fatal("cold-registry sweep body differs from warm")
+	}
+}
+
+func TestCompileConvertThenServe(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+
+	// Without convert: structured 422 with the SA diagnostics.
+	code, _, raw := post(t, ts, "/v1/compile", compileBody(t, kernelreg.CompileRequest{Source: violatingSource}))
+	if code != 422 {
+		t.Fatalf("violating compile: %d: %s", code, raw)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != kernelreg.CodeSAViolations || len(eb.Diagnostics) == 0 {
+		t.Fatalf("422 body lacks code/diagnostics: %s", raw)
+	}
+
+	// With convert: compiles, and the returned id classifies.
+	resp := mustCompile(t, ts, kernelreg.CompileRequest{Source: violatingSource, Convert: true})
+	if !resp.Converted || len(resp.Rewrites) == 0 {
+		t.Fatalf("convert response: converted=%v rewrites=%d", resp.Converted, len(resp.Rewrites))
+	}
+	ccode, _, cbody := post(t, ts, "/v1/classify", fmt.Sprintf(`{"kernel":%q,"npe":4}`, resp.Kernel))
+	if ccode != http.StatusOK {
+		t.Fatalf("classify converted kernel: %d: %s", ccode, cbody)
+	}
+}
+
+func TestClassifyUnknownCompiledID(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	code, _, raw := post(t, ts, "/v1/classify", `{"kernel":"u:deadbeef","npe":4}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown compiled id: %d: %s", code, raw)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != kernelreg.CodeUnknownKernel {
+		t.Fatalf("404 body code %q, want %q: %s", eb.Code, kernelreg.CodeUnknownKernel, raw)
+	}
+}
+
+func TestCompiledKernelListing(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+
+	code, raw := get(t, ts, "/v1/kernels?compiled=1")
+	if code != http.StatusOK {
+		t.Fatalf("empty listing: %d: %s", code, raw)
+	}
+	var out CompiledKernelsOut
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 0 || out.Kernels == nil || out.IDScheme != IDSchemeDoc {
+		t.Fatalf("empty listing body: %s", raw)
+	}
+
+	resp := mustCompile(t, ts, kernelreg.CompileRequest{Source: userSource})
+	_, raw = get(t, ts, "/v1/kernels?compiled=1")
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Count != 1 || len(out.Kernels) != 1 || out.Kernels[0].ID != resp.Kernel {
+		t.Fatalf("listing after compile: %s", raw)
+	}
+	if out.Kernels[0].Name != "userk" || out.Kernels[0].Arity != resp.Arity || out.Kernels[0].CreatedAt.IsZero() {
+		t.Fatalf("listing entry metadata: %+v", out.Kernels[0])
+	}
+
+	// The plain listing still serves the built-in menu.
+	code, raw = get(t, ts, "/v1/kernels")
+	if code != http.StatusOK || !bytes.Contains(raw, []byte(`"k1"`)) {
+		t.Fatalf("built-in listing: %d: %s", code, raw)
+	}
+}
+
+func TestCompileRejectionsHTTP(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+
+	// Malformed JSON: the plain 400 body (no structured code).
+	code, _, raw := post(t, ts, "/v1/compile", `{"source":`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d: %s", code, raw)
+	}
+
+	// A body over the transport bound: 413 before the registry runs.
+	huge := compileBody(t, kernelreg.CompileRequest{Source: strings.Repeat("x", 3*(64<<10))})
+	code, _, raw = post(t, ts, "/v1/compile", huge)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d: %s", code, raw)
+	}
+
+	// Unparseable source: structured 400 parse_error.
+	code, _, raw = post(t, ts, "/v1/compile", compileBody(t, kernelreg.CompileRequest{Source: "PROGRAM x\n  garbage\nEND\n"}))
+	var eb ErrorBody
+	if code != http.StatusBadRequest || json.Unmarshal(raw, &eb) != nil || eb.Code != kernelreg.CodeParseError {
+		t.Fatalf("parse error: %d: %s", code, raw)
+	}
+}
+
+func mustCompile(t *testing.T, ts *httptest.Server, req kernelreg.CompileRequest) kernelreg.CompileResponse {
+	t.Helper()
+	code, _, raw := post(t, ts, "/v1/compile", compileBody(t, req))
+	if code != http.StatusOK {
+		t.Fatalf("compile: %d: %s", code, raw)
+	}
+	var resp kernelreg.CompileResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

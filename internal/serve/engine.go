@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/kernelreg"
 	"repro/internal/loops"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -44,6 +45,7 @@ import (
 const (
 	MetricClassifyRequests = "serve.classify_requests"
 	MetricSweepRequests    = "serve.sweep_requests"
+	MetricCompileRequests  = "serve.compile_requests"
 	MetricRejected         = "serve.rejected"          // admissions refused → 429
 	MetricBadRequests      = "serve.bad_requests"      // validation failures → 400
 	MetricDeadlineExceeded = "serve.deadline_exceeded" // → 504
@@ -61,6 +63,7 @@ const (
 
 	MetricClassifyLatencyUS = "serve.classify_latency_us" // histogram (obs.MicrosBuckets)
 	MetricSweepLatencyUS    = "serve.sweep_latency_us"    // histogram (obs.MicrosBuckets)
+	MetricCompileLatencyUS  = "serve.compile_latency_us"  // histogram (obs.MicrosBuckets)
 
 	// MetricBuildInfo is the gauge-style build marker: constant 1 while
 	// the process serves; the version/revision details ride GET /healthz.
@@ -80,6 +83,7 @@ const (
 	MetricStageReplayUS      = "serve.stage.replay_us"       // replayer Run/RunBatch pass
 	MetricStageDirectUS      = "serve.stage.direct_us"       // direct simulator run (partial-fill ablation)
 	MetricStageEncodeUS      = "serve.stage.encode_us"       // result → canonical JSON body
+	MetricStageCompileUS     = "serve.stage.compile_us"      // registry compile pipeline (parse → verify → register)
 )
 
 // Errors surfaced by Engine.Do and Engine admission; the HTTP layer
@@ -136,6 +140,12 @@ type Options struct {
 	// this at a shared internal/refstream/store directory so a restart
 	// warm-starts instead of re-executing.
 	CaptureStore CaptureStore
+	// Registry is the compiled-kernel registry behind POST /v1/compile
+	// and "u:" kernel resolution. nil makes New construct one with
+	// default kernelreg.Limits on Metrics; leave it nil unless sharing
+	// a registry (the cluster router shares its local server's) or
+	// customizing limits.
+	Registry *kernelreg.Registry
 }
 
 // CaptureStore is the durable tier behind the engine's stream cache —
@@ -188,6 +198,7 @@ func (o Options) limits() limits {
 		maxPageSize:    o.MaxPageSize,
 		maxCacheElems:  o.MaxCacheElems,
 		maxSweepPoints: o.MaxSweepPoints,
+		reg:            o.Registry,
 	}
 }
 
@@ -256,6 +267,7 @@ type Engine struct {
 	// Per-stage latency histograms; see the MetricStage* constants.
 	hDecode, hAdmit, hCacheLookup, hFlightWait *obs.Histogram
 	hCapture, hReplay, hDirect, hEncode        *obs.Histogram
+	hCompile                                   *obs.Histogram
 
 	results *lruCache
 	streams *refstream.Cache
@@ -277,6 +289,9 @@ type Engine struct {
 func newEngine(opts Options) *Engine {
 	opts = opts.withDefaults()
 	reg := opts.Metrics
+	if opts.Registry == nil {
+		opts.Registry = kernelreg.New(kernelreg.Limits{}, reg)
+	}
 	e := &Engine{
 		opts:         opts,
 		reg:          reg,
@@ -295,6 +310,7 @@ func newEngine(opts Options) *Engine {
 		hReplay:      reg.Histogram(MetricStageReplayUS, obs.MicrosBuckets),
 		hDirect:      reg.Histogram(MetricStageDirectUS, obs.MicrosBuckets),
 		hEncode:      reg.Histogram(MetricStageEncodeUS, obs.MicrosBuckets),
+		hCompile:     reg.Histogram(MetricStageCompileUS, obs.MicrosBuckets),
 		results:      newLRU(opts.ResultCacheEntries),
 		streams:      refstream.NewCache(opts.StreamCacheEntries),
 		tasks:        make(chan *task, opts.MaxInflight),
@@ -610,7 +626,7 @@ func (e *Engine) execute(scratch *sim.Scratch, replayer *refstream.Replayer, t *
 		engine = "replay"
 	} else {
 		sp := t.tr.StartChild(t.parent, "direct")
-		res, err = scratch.Run(p.kernel, p.n, p.cfg)
+		res, err = runDirect(scratch, p)
 		e.hDirect.Observe(sp.End().Microseconds())
 		engine = "direct"
 	}
@@ -692,6 +708,25 @@ func (e *Engine) executeBatch(scratch *sim.Scratch, replayer *refstream.Replayer
 		bt.fls[i].resolve(bodies[i], nil)
 	}
 }
+
+// runDirect executes a direct simulation with panic containment: a
+// registry-compiled kernel can reach an out-of-bounds subscript
+// through data-dependent indirection at a (size, config) combination
+// the compile-time verification did not run, and that must fail the
+// one point, not the worker (the capture path has the same guard
+// inside refstream.CaptureScratch).
+func runDirect(scratch *sim.Scratch, p point) (res *sim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("serve: direct run of %s/n=%d panicked: %v", p.kernel.Key, p.n, r)
+		}
+	}()
+	return scratch.Run(p.kernel, p.n, p.cfg)
+}
+
+// Registry exposes the compiled-kernel registry (always non-nil on an
+// engine built by New).
+func (e *Engine) Registry() *kernelreg.Registry { return e.opts.Registry }
 
 // deadline resolves the per-request deadline: an explicit deadline_ms
 // wins, then the configured default, then the machine layer's

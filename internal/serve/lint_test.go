@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/kernelreg"
 	"repro/internal/machine"
 	"repro/internal/network"
 	"repro/internal/obs"
@@ -24,7 +25,8 @@ import (
 // exerciseAll drives a fresh service through every execution path so
 // each layer registers its full metric set: replay-eligible classify
 // (capture + replay + encode), a cache hit, a partial-fill point
-// (direct simulation), a sweep (batch path), and a bad request.
+// (direct simulation), a sweep (batch path), a compile (registration,
+// an idempotent hit, an SA rejection), and a bad request.
 func exerciseAll(t *testing.T) *obs.Registry {
 	t.Helper()
 	reg := obs.NewRegistry()
@@ -34,6 +36,9 @@ func exerciseAll(t *testing.T) *obs.Registry {
 		{"/v1/classify", `{"kernel":"k1","npe":16,"page_size":32}`},
 		{"/v1/classify", `{"kernel":"k6","npe":8,"partial_fill":true}`},
 		{"/v1/sweep", `{"kernels":["k2","k12"],"npes":[4,8],"page_sizes":[32]}`},
+		{"/v1/compile", compileBody(t, kernelreg.CompileRequest{Source: userSource})},
+		{"/v1/compile", compileBody(t, kernelreg.CompileRequest{Source: userSource})},
+		{"/v1/compile", compileBody(t, kernelreg.CompileRequest{Source: violatingSource})},
 		{"/v1/classify", `{"kernel":"nope"}`},
 	} {
 		post(t, ts, rq.path, rq.body)
@@ -69,7 +74,11 @@ func TestMetricNamesCanonical(t *testing.T) {
 	// constants below).
 	for _, want := range []string{
 		MetricCacheHits, MetricPointsExecuted, MetricStageReplayUS, MetricStageDirectUS,
+		MetricCompileRequests, MetricCompileLatencyUS, MetricStageCompileUS,
 		sim.MetricRuns, sim.MetricRunMicros, refstream.MetricBatchGroups, refstream.MetricBatchConfigsPerPass,
+		kernelreg.MetricCompiles, kernelreg.MetricCompileHits, kernelreg.MetricCompileErrors,
+		kernelreg.MetricEvictions, kernelreg.MetricQuotaRejects, kernelreg.MetricResolveMisses,
+		kernelreg.MetricEntries,
 	} {
 		_, c := snap.Counters[want]
 		_, g := snap.Gauges[want]
@@ -127,6 +136,7 @@ func TestHistogramsDocumented(t *testing.T) {
 		MetricStageDecodeUS, MetricStageAdmitWaitUS, MetricStageCacheLookupUS,
 		MetricStageFlightWaitUS, MetricStageCaptureUS, MetricStageReplayUS,
 		MetricStageDirectUS, MetricStageEncodeUS,
+		MetricCompileLatencyUS, MetricStageCompileUS,
 	} {
 		if !rows[name] {
 			t.Errorf("histogram constant %q has no bucket-family row in docs/OBSERVABILITY.md", name)

@@ -50,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/kernelreg"
 	"repro/internal/loops"
 	"repro/internal/obs"
 	"repro/internal/obs/trace"
@@ -66,8 +67,8 @@ type Server struct {
 	alog   *accessLogger
 	health []byte
 
-	cClassify, cSweep, cBad, cDeadline *obs.Counter
-	hClassify, hSweep                  *obs.Histogram
+	cClassify, cSweep, cCompile, cBad, cDeadline *obs.Counter
+	hClassify, hSweep, hCompileReq               *obs.Histogram
 }
 
 // New builds a Server (and its Engine) from opts.
@@ -75,22 +76,25 @@ func New(opts Options) *Server {
 	eng := newEngine(opts)
 	reg := eng.reg
 	s := &Server{
-		eng:       eng,
-		reg:       reg,
-		mux:       http.NewServeMux(),
-		ring:      trace.NewRing(opts.TraceRingEntries),
-		alog:      newAccessLogger(opts.AccessLog),
-		health:    healthBody(),
-		cClassify: reg.Counter(MetricClassifyRequests),
-		cSweep:    reg.Counter(MetricSweepRequests),
-		cBad:      reg.Counter(MetricBadRequests),
-		cDeadline: reg.Counter(MetricDeadlineExceeded),
-		hClassify: reg.Histogram(MetricClassifyLatencyUS, obs.MicrosBuckets),
-		hSweep:    reg.Histogram(MetricSweepLatencyUS, obs.MicrosBuckets),
+		eng:         eng,
+		reg:         reg,
+		mux:         http.NewServeMux(),
+		ring:        trace.NewRing(opts.TraceRingEntries),
+		alog:        newAccessLogger(opts.AccessLog),
+		health:      healthBody(),
+		cClassify:   reg.Counter(MetricClassifyRequests),
+		cSweep:      reg.Counter(MetricSweepRequests),
+		cCompile:    reg.Counter(MetricCompileRequests),
+		cBad:        reg.Counter(MetricBadRequests),
+		cDeadline:   reg.Counter(MetricDeadlineExceeded),
+		hClassify:   reg.Histogram(MetricClassifyLatencyUS, obs.MicrosBuckets),
+		hSweep:      reg.Histogram(MetricSweepLatencyUS, obs.MicrosBuckets),
+		hCompileReq: reg.Histogram(MetricCompileLatencyUS, obs.MicrosBuckets),
 	}
 	reg.Gauge(MetricBuildInfo).Set(1)
 	s.mux.HandleFunc("POST /v1/classify", s.traced("/v1/classify", s.handleClassify))
 	s.mux.HandleFunc("POST /v1/sweep", s.traced("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/compile", s.traced("/v1/compile", s.handleCompile))
 	s.mux.HandleFunc("GET /v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -104,6 +108,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Engine exposes the execution core (tests, embedders).
 func (s *Server) Engine() *Engine { return s.eng }
+
+// Registry exposes the compiled-kernel registry (always non-nil). The
+// cluster router shares it into its routing options so compiled ids
+// resolve for group-key derivation.
+func (s *Server) Registry() *kernelreg.Registry { return s.eng.Registry() }
 
 // Close drains the engine: call it after http.Server.Shutdown has
 // stopped new connections; it blocks until in-flight work finishes.
@@ -206,7 +215,10 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	s.eng.hDecode.Observe(sp.End().Microseconds())
 	if err != nil {
 		s.cBad.Inc()
-		writeError(w, http.StatusBadRequest, err)
+		// Unknown compiled ("u:") kernels carry a structured 404 +
+		// unknown_kernel code; every other validation failure keeps its
+		// pre-existing 400 body bytes.
+		writeStructured(w, http.StatusBadRequest, err)
 		return
 	}
 	asp := tr.Start("admit_wait")
@@ -244,7 +256,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.eng.hDecode.Observe(sp.End().Microseconds())
 	if err != nil {
 		s.cBad.Inc()
-		writeError(w, http.StatusBadRequest, err)
+		writeStructured(w, http.StatusBadRequest, err)
 		return
 	}
 	asp := tr.Start("admit_wait")
@@ -281,7 +293,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
-func (s *Server) handleKernels(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("compiled") == "1" {
+		s.handleCompiledKernels(w)
+		return
+	}
 	paper := map[string]bool{}
 	for _, k := range loops.PaperSet() {
 		paper[k.Key] = true
@@ -377,4 +393,15 @@ var metricHelp = map[string]string{
 	MetricStageReplayUS:      "stage: replayer pass (microseconds)",
 	MetricStageDirectUS:      "stage: direct simulator run (microseconds)",
 	MetricStageEncodeUS:      "stage: result encoding (microseconds)",
+	MetricCompileRequests:    "POST /v1/compile requests received",
+	MetricCompileLatencyUS:   "end-to-end /v1/compile latency (microseconds)",
+	MetricStageCompileUS:     "stage: registry compile pipeline (microseconds)",
+
+	kernelreg.MetricCompiles:      "kernel compile attempts",
+	kernelreg.MetricCompileHits:   "recompiles of an already-registered kernel id",
+	kernelreg.MetricCompileErrors: "compiles rejected with a structured 4xx",
+	kernelreg.MetricEvictions:     "compiled kernels evicted under capacity pressure",
+	kernelreg.MetricQuotaRejects:  "compiles rejected by the per-tenant quota",
+	kernelreg.MetricResolveMisses: "classify/sweep lookups of unknown compiled ids",
+	kernelreg.MetricEntries:       "registered compiled kernels",
 }
